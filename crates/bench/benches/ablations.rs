@@ -1,0 +1,80 @@
+//! Ablations over the §III-B design alternatives: what each combine /
+//! history strategy costs per agent cycle. (The *quality* ablation —
+//! what each alternative does to completion times — is the `ablation`
+//! binary; this bench isolates compute cost.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use riptide::prelude::*;
+use riptide_linuxnet::route::RouteTable;
+use riptide_simnet::time::SimTime;
+
+fn observations() -> Vec<CwndObservation> {
+    (0..2_000usize)
+        .map(|i| {
+            let d = i % 400;
+            CwndObservation {
+                dst: Ipv4Addr::new(10, (d / 250) as u8, (d % 250) as u8, 1),
+                cwnd: 10 + (i % 120) as u32,
+                bytes_acked: (i as u64 + 1) * 10_000,
+            }
+        })
+        .collect()
+}
+
+fn bench_combine_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_combine");
+    let obs = observations();
+    for combine in [
+        CombineStrategy::Average,
+        CombineStrategy::Max,
+        CombineStrategy::TrafficWeighted,
+    ] {
+        group.bench_function(combine.name(), |b| {
+            let cfg = RiptideConfig::builder().combine(combine).build().unwrap();
+            let mut agent = RiptideAgent::new(cfg).unwrap();
+            let mut routes = RouteTable::new();
+            let mut t = 1u64;
+            b.iter(|| {
+                let mut observer = FnObserver(|| obs.clone());
+                t += 1;
+                agent.tick(SimTime::from_secs(t), &mut observer, &mut routes);
+                black_box(routes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_history");
+    let obs = observations();
+    for (label, history) in [
+        ("ewma", HistoryStrategy::Ewma { alpha: 0.7 }),
+        ("none", HistoryStrategy::None),
+        ("windowed8", HistoryStrategy::WindowedMean { window: 8 }),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = RiptideConfig::builder().history(history).build().unwrap();
+            let mut agent = RiptideAgent::new(cfg).unwrap();
+            let mut routes = RouteTable::new();
+            let mut t = 1u64;
+            b.iter(|| {
+                let mut observer = FnObserver(|| obs.clone());
+                t += 1;
+                agent.tick(SimTime::from_secs(t), &mut observer, &mut routes);
+                black_box(routes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_combine_strategies, bench_history_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! §V "Overhead": the cost of one Riptide agent update cycle as the
+//! number of observed connections grows. The paper argues the agent is
+//! cheap because all work is a scheduled, local computation — this bench
+//! quantifies that for our implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use riptide::prelude::*;
+use riptide_linuxnet::route::RouteTable;
+use riptide_simnet::time::SimTime;
+
+fn observations(conns: usize, destinations: usize) -> Vec<CwndObservation> {
+    (0..conns)
+        .map(|i| {
+            let d = i % destinations;
+            CwndObservation {
+                dst: Ipv4Addr::new(10, (d / 256) as u8, (d % 256) as u8, 1),
+                cwnd: 10 + (i % 90) as u32,
+                bytes_acked: 1_000_000,
+            }
+        })
+        .collect()
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_tick");
+    for &conns in &[10usize, 100, 1_000, 10_000] {
+        let destinations = (conns / 3).max(1);
+        group.bench_with_input(BenchmarkId::new("conns", conns), &conns, |b, _| {
+            let obs = observations(conns, destinations);
+            let mut agent = RiptideAgent::new(RiptideConfig::deployment()).unwrap();
+            let mut routes = RouteTable::new();
+            let mut t = 1u64;
+            b.iter(|| {
+                let mut observer = FnObserver(|| obs.clone());
+                t += 1;
+                agent.tick(SimTime::from_secs(t), &mut observer, &mut routes);
+                black_box(agent.table().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tick_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_tick_granularity");
+    let obs = observations(3_000, 1_000);
+    for (label, granularity) in [
+        ("host", Granularity::Host),
+        ("prefix24", Granularity::Prefix(24)),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = RiptideConfig::builder()
+                .granularity(granularity)
+                .build()
+                .unwrap();
+            let mut agent = RiptideAgent::new(cfg).unwrap();
+            let mut routes = RouteTable::new();
+            let mut t = 1u64;
+            b.iter(|| {
+                let mut observer = FnObserver(|| obs.clone());
+                t += 1;
+                agent.tick(SimTime::from_secs(t), &mut observer, &mut routes);
+                black_box(routes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tick, bench_tick_granularity
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Cost of the §II-B analytic model — used in tight loops by the
+//! Fig. 3/4/6 generators, so it should be effectively free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use riptide::model::{rtt_gain, rtts_for_bytes, transfer_time, DEFAULT_MSS};
+use riptide_simnet::time::SimDuration;
+
+fn bench_model(c: &mut Criterion) {
+    c.bench_function("model_rtts_for_bytes", |b| {
+        let mut size = 1_000u64;
+        b.iter(|| {
+            size = (size * 7 + 13) % 10_000_000 + 1;
+            black_box(rtts_for_bytes(size, DEFAULT_MSS, 10))
+        });
+    });
+    c.bench_function("model_gain_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for size in (1_000u64..1_000_000).step_by(10_000) {
+                acc += rtt_gain(size, DEFAULT_MSS, 100, 10);
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("model_transfer_time", |b| {
+        let rtt = SimDuration::from_millis(125);
+        b.iter(|| black_box(transfer_time(100_000, DEFAULT_MSS, 10, rtt, true)));
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Cost of the control-plane substrate: longest-prefix-match lookups
+//! (the kernel-side cost every new connection pays) and route
+//! install/replace cycles (the agent-side cost every update pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_linuxnet::route::{RouteAttrs, RouteTable};
+
+fn filled_table(routes: usize) -> RouteTable {
+    let mut t = RouteTable::new();
+    for i in 0..routes as u32 {
+        let addr = Ipv4Addr::from(0x0a00_0000 | i);
+        t.add(Ipv4Prefix::host(addr), RouteAttrs::initcwnd(i % 200 + 1))
+            .unwrap();
+    }
+    t
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_lookup");
+    for &routes in &[16usize, 256, 4_096, 65_536] {
+        let table = filled_table(routes);
+        group.bench_with_input(BenchmarkId::new("routes", routes), &routes, |b, &routes| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(2_654_435_761) % routes as u32;
+                let addr = Ipv4Addr::from(0x0a00_0000 | i);
+                black_box(table.initcwnd_for(addr))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_replace(c: &mut Criterion) {
+    c.bench_function("route_replace_cycle", |b| {
+        let mut table = filled_table(1_024);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1) % 1_024;
+            let addr = Ipv4Addr::from(0x0a00_0000 | i);
+            table.replace(Ipv4Prefix::host(addr), RouteAttrs::initcwnd(50));
+            black_box(table.len())
+        });
+    });
+}
+
+fn bench_ip_cmd_parse(c: &mut Criterion) {
+    use riptide_linuxnet::ip_cmd::IpRouteCmd;
+    c.bench_function("ip_cmd_parse_fig8", |b| {
+        let line = "ip route add 10.0.0.127 dev eth0 proto static initcwnd 80 via 10.0.0.1";
+        b.iter(|| black_box(line.parse::<IpRouteCmd>().unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lookup, bench_replace, bench_ip_cmd_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Simulator throughput: how much simulated transfer work the substrate
+//! sustains per wall-clock second — the budget every figure run spends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use riptide_simnet::prelude::*;
+use riptide_simnet::time::SimDuration;
+
+fn run_transfers(flows: usize, bytes: u64, loss: f64) -> u64 {
+    let mut w = World::new(TcpConfig::default(), 42);
+    let a = w.add_pop();
+    let b = w.add_pop();
+    let h1 = w.add_host(a);
+    let h2 = w.add_host(b);
+    w.set_symmetric_path(
+        a,
+        b,
+        PathConfig::with_delay(SimDuration::from_millis(40)).loss(loss),
+    );
+    for _ in 0..flows {
+        w.open_and_transfer(h1, h2, bytes);
+    }
+    w.run_to_quiescence();
+    let stats = w.stats();
+    assert_eq!(stats.transfers_completed, flows as u64);
+    stats.events_processed
+}
+
+fn bench_transfer_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_transfers");
+    for &flows in &[10usize, 100] {
+        group.throughput(Throughput::Elements(flows as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lossless_100KB", flows),
+            &flows,
+            |b, &flows| b.iter(|| black_box(run_transfers(flows, 100_000, 0.0))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lossy1pct_100KB", flows),
+            &flows,
+            |b, &flows| b.iter(|| black_box(run_transfers(flows, 100_000, 0.01))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cdn_deployment_minute(c: &mut Criterion) {
+    use riptide_cdn::prelude::*;
+    let mut group = c.benchmark_group("cdn_sim_minute");
+    group.sample_size(10);
+    for riptide in [false, true] {
+        let label = if riptide { "riptide" } else { "control" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = CdnSimConfig {
+                    testbed: TestbedConfig::tiny(5, 2, 11),
+                    riptide: riptide.then(riptide::config::RiptideConfig::deployment),
+                    probes: ProbeConfig {
+                        interval: SimDuration::from_secs(20),
+                        ..ProbeConfig::default()
+                    },
+                    organic: OrganicConfig::among(vec![0, 1], 0.5),
+                    cwnd_sample_interval: SimDuration::from_secs(30),
+                    probe_senders: None,
+                };
+                let mut sim = CdnSim::new(cfg);
+                sim.run_for(SimDuration::from_secs(60));
+                black_box(sim.probe_outcomes().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use riptide_simnet::event::EventQueue;
+    use riptide_simnet::time::SimTime;
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos(i * 7919 % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_transfer_batch, bench_cdn_deployment_minute, bench_event_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §IV-D edge cases: per-destination change in the minimum (best-case)
+//! and maximum (worst-case) completion time for 100 KB probes — the
+//! paper finds essentially no change in the minimum and no consistent
+//! trend in the maximum.
+
+use riptide_bench::{banner, parse_args};
+use riptide_cdn::experiment::{edge_cases, probe_comparison, probe_sender_sites};
+
+fn main() {
+    let opts = parse_args();
+    banner(
+        "Section IV-D",
+        "edge cases: best/worst completion change per destination, 100 KB probes",
+    );
+    eprintln!("running control and riptide arms...");
+    let cmp = probe_comparison(&opts.scale);
+    for &sender in &probe_sender_sites(&opts.scale) {
+        let rows = edge_cases(&cmp, sender, 100_000);
+        println!("\n## sender site {sender}");
+        println!(
+            "{:>9} {:>14} {:>14}",
+            "dst_site", "min_change_%", "max_change_%"
+        );
+        let mut min_within_5 = 0usize;
+        for r in &rows {
+            println!(
+                "{:>9} {:>14.1} {:>14.1}",
+                r.dst_site,
+                r.min_change * 100.0,
+                r.max_change * 100.0
+            );
+            if r.min_change.abs() <= 0.05 {
+                min_within_5 += 1;
+            }
+        }
+        println!(
+            "# minimum within ±5% for {}/{} destinations (paper: 75–100%)",
+            min_within_5,
+            rows.len()
+        );
+    }
+    println!("\n# paper: best case essentially unchanged; worst case shows no consistent trend");
+}

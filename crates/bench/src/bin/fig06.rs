@@ -1,0 +1,40 @@
+//! Figure 6: total transfer time for a 100 KB file over the Fig. 5 RTT
+//! distribution, for initial windows 10, 25, 50 and 100 (model).
+
+use riptide::model::{transfer_time, DEFAULT_MSS};
+use riptide_bench::{banner, parse_args, print_cdf_series, print_cdf_summary};
+use riptide_cdn::geo::all_pair_rtts;
+use riptide_cdn::stats::Cdf;
+
+fn main() {
+    let opts = parse_args();
+    banner(
+        "Figure 6",
+        "modelled transfer time of a 100 KB file over the inter-PoP RTT distribution",
+    );
+    let rtts = all_pair_rtts();
+    let windows = [10u32, 25, 50, 100];
+    let mut cdfs = Vec::new();
+    println!("{:>16} {:>12} {:>7}", "series", "time_ms", "cdf");
+    for &iw in &windows {
+        let cdf = Cdf::new(
+            rtts.iter()
+                .map(|&rtt| transfer_time(100_000, DEFAULT_MSS, iw, rtt, false).as_millis_f64()),
+        );
+        print_cdf_series(&format!("iw{iw}"), &cdf, opts.points);
+        cdfs.push((iw, cdf));
+    }
+    println!();
+    for (iw, cdf) in &cdfs {
+        print_cdf_summary(&format!("iw{iw}"), cdf);
+    }
+    let d_median = cdfs[0].1.median() - cdfs[3].1.median();
+    let d_p90 = cdfs[0].1.quantile(0.9) - cdfs[3].1.quantile(0.9);
+    println!("\n# paper: median penalty of iw10 vs iw100 over 280 ms; ~290 ms (~100%) at p90");
+    println!(
+        "# measured: median difference {:.0} ms; p90 difference {:.0} ms ({:.0}%)",
+        d_median,
+        d_p90,
+        d_p90 / cdfs[3].1.quantile(0.9) * 100.0
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 9: "Markers indicate PoPs with current Riptide deployment" —
+//! rendered as an equirectangular ASCII world map with one marker per
+//! PoP site, initialed by continent (E/N/S/A/O).
+
+use riptide_cdn::geo::{Continent, POP_SITES};
+
+const WIDTH: usize = 100;
+const HEIGHT: usize = 32;
+
+fn project(lat: f64, lon: f64) -> (usize, usize) {
+    // Equirectangular: lon -180..180 → 0..WIDTH, lat 75..-55 → 0..HEIGHT
+    // (cropped to inhabited latitudes).
+    let x = ((lon + 180.0) / 360.0 * (WIDTH as f64 - 1.0)).round() as usize;
+    let y = ((75.0 - lat) / 130.0 * (HEIGHT as f64 - 1.0)).round() as usize;
+    (x.min(WIDTH - 1), y.min(HEIGHT - 1))
+}
+
+fn marker(c: Continent) -> char {
+    match c {
+        Continent::Europe => 'E',
+        Continent::NorthAmerica => 'N',
+        Continent::SouthAmerica => 'S',
+        Continent::Asia => 'A',
+        Continent::Oceania => 'O',
+    }
+}
+
+fn main() {
+    println!("# Figure 9: PoPs with current Riptide deployment (equirectangular)");
+    let mut grid = vec![vec!['.'; WIDTH]; HEIGHT];
+    for site in &POP_SITES {
+        let (x, y) = project(site.lat, site.lon);
+        grid[y][x] = marker(site.continent);
+    }
+    for row in &grid {
+        println!("{}", row.iter().collect::<String>());
+    }
+    println!("\n# E=Europe N=North America S=South America A=Asia O=Oceania");
+    for site in &POP_SITES {
+        let (x, y) = project(site.lat, site.lon);
+        println!(
+            "# {:<13} {:>13}  ({x:>3},{y:>2})",
+            site.name,
+            site.continent.to_string()
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 12: CDF of probe completion time for 10 KB probes, grouped by
+//! destination RTT — Riptide has no discernible effect (and no harm),
+//! since 10 KB already fits in the default initial window.
+
+use riptide_bench::{parse_args, run_probe_time_figure};
+
+fn main() {
+    let opts = parse_args();
+    run_probe_time_figure(
+        &opts,
+        10_000,
+        "Figure 12",
+        "10KB probes show no change — they already fit in the default window of 10",
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 15: fraction of gain by percentile for the European and North
+//! American sender PoPs, 50 KB probes — flat through ~p50–p60, then
+//! gains up to 30% (EU) / 21% (NA).
+
+use riptide_bench::{parse_args, run_gain_figure};
+
+fn main() {
+    let opts = parse_args();
+    run_gain_figure(
+        &opts,
+        50_000,
+        "Figure 15",
+        "50KB probes: p5–p60 nearly unchanged; upper percentiles gain up to 30% (EU) / 21% (NA)",
+    );
+}

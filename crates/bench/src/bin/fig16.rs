@@ -1,0 +1,15 @@
+//! Figure 16: fraction of gain by percentile, 100 KB probes — broader
+//! improvements than Fig. 15 (gains from ~p30 in the EU case, all
+//! percentiles in the NA case, up to ~25%).
+
+use riptide_bench::{parse_args, run_gain_figure};
+
+fn main() {
+    let opts = parse_args();
+    run_gain_figure(
+        &opts,
+        100_000,
+        "Figure 16",
+        "100KB probes: gains reach lower percentiles (p30+ EU, all NA), up to ~25%",
+    );
+}

@@ -1,0 +1,87 @@
+//! Table I: Riptide's input parameters, plus a live demonstration of the
+//! Fig. 7 mechanism (averaging observed windows) and the Fig. 8 command.
+
+use riptide::prelude::*;
+use riptide_linuxnet::route::RouteTable;
+use riptide_simnet::time::SimTime;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+fn main() {
+    println!("# Table I: Riptide input parameters (deployment values)");
+    let cfg = RiptideConfig::deployment();
+    let alpha = match cfg.history {
+        HistoryStrategy::Ewma { alpha } => format!("{alpha}"),
+        ref other => format!("({other:?})"),
+    };
+    println!("{:>10} {:>44} {:>12}", "parameter", "use", "value");
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "alpha", "weight applied to historical data", alpha
+    );
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "i_u",
+        "update interval to poll current windows",
+        cfg.update_interval.to_string()
+    );
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "t",
+        "time to live of a stored window",
+        cfg.ttl.to_string()
+    );
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "c_max", "maximum allowed window", cfg.cwnd_max
+    );
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "c_min", "minimum allowed window", cfg.cwnd_min
+    );
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "combine",
+        "per-destination combination strategy",
+        cfg.combine.to_string()
+    );
+    println!(
+        "{:>10} {:>44} {:>12}",
+        "routes",
+        "destination granularity",
+        cfg.granularity.name()
+    );
+
+    // Fig. 7: windows 60/80/100 to one destination average to 80.
+    println!("\n# Fig. 7 mechanism demo: observed windows 60, 80, 100 -> initcwnd 80");
+    let table = Rc::new(RefCell::new(RouteTable::new()));
+    let mut controller = SharedRouteController::new(Rc::clone(&table));
+    let mut agent = RiptideAgent::new(
+        RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("valid config");
+    let dst = Ipv4Addr::new(10, 0, 0, 127);
+    let mut observer = FnObserver(|| {
+        [60u32, 80, 100]
+            .iter()
+            .map(|&cwnd| CwndObservation {
+                dst,
+                cwnd,
+                bytes_acked: 1 << 20,
+            })
+            .collect()
+    });
+    agent.tick(SimTime::from_secs(1), &mut observer, &mut controller);
+    println!(
+        "learned_window({dst}) = {:?}",
+        table.borrow().initcwnd_for(dst)
+    );
+
+    // Fig. 8: the exact command shape the agent issued.
+    println!("\n# Fig. 8: command issued (replace variant of the paper's `add`):");
+    print!("{}", controller.render_log());
+}

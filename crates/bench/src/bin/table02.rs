@@ -1,0 +1,24 @@
+//! Table II: CDN PoPs with Riptide deployed, per continent.
+
+use riptide_cdn::geo::{continent_counts, POP_SITES};
+
+fn main() {
+    println!("# Table II: CDN PoPs with Riptide deployed");
+    println!("{:>15} {:>10}", "continent", "pop_count");
+    let mut total = 0;
+    for (continent, count) in continent_counts() {
+        println!("{:>15} {:>10}", continent.to_string(), count);
+        total += count;
+    }
+    println!("{:>15} {:>10}", "total", total);
+    println!("\n# sites:");
+    for site in &POP_SITES {
+        println!(
+            "{:>15}  {:<13} lat {:>7.2} lon {:>8.2}",
+            site.continent.to_string(),
+            site.name,
+            site.lat,
+            site.lon
+        );
+    }
+}

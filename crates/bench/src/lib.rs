@@ -1,0 +1,267 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same arguments:
+//!
+//! ```text
+//! --scale test|quick|paper   run size (default: quick)
+//! --seed N                   RNG seed override
+//! --points N                 CDF resolution when printing series
+//! --seeds N                  pool N independent replications
+//! ```
+//!
+//! Output is plain aligned text with a `# comment` header naming the
+//! figure, so runs can be diffed and redirected into EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use riptide_cdn::experiment::ExperimentScale;
+use riptide_cdn::stats::{Cdf, PercentileGain};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The experiment scale.
+    pub scale: ExperimentScale,
+    /// Points per printed CDF series.
+    pub points: usize,
+    /// Independent replications (distinct seeds) pooled into one result.
+    pub seeds: usize,
+}
+
+/// Parses `std::env::args` into [`RunOptions`].
+///
+/// # Panics
+///
+/// Panics with a usage message on unknown flags or malformed values —
+/// appropriate for a CLI entry point.
+pub fn parse_args() -> RunOptions {
+    let mut scale = ExperimentScale::quick();
+    let mut points = 20usize;
+    let mut seeds = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                scale = match value("--scale").as_str() {
+                    "test" => ExperimentScale::test(),
+                    "quick" => ExperimentScale::quick(),
+                    "paper" => ExperimentScale::paper(),
+                    other => panic!("unknown scale {other:?} (test|quick|paper)"),
+                };
+            }
+            "--seed" => {
+                scale.seed = value("--seed").parse().expect("--seed takes a number");
+            }
+            "--points" => {
+                points = value("--points").parse().expect("--points takes a number");
+            }
+            "--seeds" => {
+                seeds = value("--seeds")
+                    .parse()
+                    .expect("--seeds takes a positive number");
+                assert!(seeds >= 1, "--seeds must be at least 1");
+            }
+            "--help" | "-h" => {
+                println!("usage: [--scale test|quick|paper] [--seed N] [--points N] [--seeds N]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}; try --help"),
+        }
+    }
+    RunOptions {
+        scale,
+        points,
+        seeds,
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, what: &str) {
+    println!("# {figure}: {what}");
+}
+
+/// Prints one CDF as `label, value, cumulative_probability` rows.
+pub fn print_cdf_series(label: &str, cdf: &Cdf, points: usize) {
+    if cdf.is_empty() {
+        println!("{label:>16}  (no samples)");
+        return;
+    }
+    for (value, p) in cdf.series(points) {
+        println!("{label:>16}  {value:>12.2}  {p:>6.3}");
+    }
+}
+
+/// Prints a one-line summary of a CDF.
+pub fn print_cdf_summary(label: &str, cdf: &Cdf) {
+    if cdf.is_empty() {
+        println!("{label:>16}  (no samples)");
+        return;
+    }
+    println!(
+        "{label:>16}  n={:<7} min={:<10.2} p25={:<10.2} p50={:<10.2} p75={:<10.2} p90={:<10.2} max={:<10.2}",
+        cdf.len(),
+        cdf.min(),
+        cdf.quantile(0.25),
+        cdf.quantile(0.50),
+        cdf.quantile(0.75),
+        cdf.quantile(0.90),
+        cdf.max()
+    );
+}
+
+/// Prints a Fig. 15/16-style gain table.
+pub fn print_gain_table(label: &str, gains: &[PercentileGain]) {
+    println!("# {label}");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "percentile", "control_ms", "riptide_ms", "gain_%"
+    );
+    for g in gains {
+        println!(
+            "{:>10} {:>14.1} {:>14.1} {:>9.1}",
+            g.percentile,
+            g.baseline,
+            g.treated,
+            g.gain * 100.0
+        );
+    }
+}
+
+/// Runs the paired probe experiment for every requested seed and pools
+/// the outcomes.
+pub fn pooled_probe_comparison(opts: &RunOptions) -> riptide_cdn::experiment::ProbeComparison {
+    use riptide_cdn::experiment::{probe_comparison, ProbeComparison};
+    let mut pooled = ProbeComparison {
+        control: Vec::new(),
+        riptide: Vec::new(),
+    };
+    for i in 0..opts.seeds {
+        let mut scale = opts.scale.clone();
+        scale.seed = opts.scale.seed + i as u64;
+        if opts.seeds > 1 {
+            eprintln!(
+                "replication {} of {} (seed {})...",
+                i + 1,
+                opts.seeds,
+                scale.seed
+            );
+        }
+        let cmp = probe_comparison(&scale);
+        pooled.control.extend(cmp.control);
+        pooled.riptide.extend(cmp.riptide);
+    }
+    pooled
+}
+
+/// Runs the paired probe experiment and prints a Figs. 12–14-style
+/// report for one probe size: per sender PoP, per RTT bucket, control vs
+/// Riptide completion-time CDF summaries.
+pub fn run_probe_time_figure(opts: &RunOptions, size: u64, figure: &str, paper_note: &str) {
+    use riptide_cdn::experiment::{completion_by_bucket, probe_sender_sites};
+
+    banner(
+        figure,
+        &format!(
+            "{} KB probe completion times by destination RTT bucket",
+            size / 1000
+        ),
+    );
+    eprintln!("running control and riptide arms...");
+    let cmp = pooled_probe_comparison(opts);
+    let senders = probe_sender_sites(&opts.scale);
+    for &sender in &senders {
+        let ctl = completion_by_bucket(&cmp.control, sender, size);
+        let rip = completion_by_bucket(&cmp.riptide, sender, size);
+        println!("\n## sender site {sender}");
+        println!(
+            "{:>12} {:>10} {:>9} {:>10} {:>10} {:>10}",
+            "bucket", "arm", "n", "p50_ms", "p75_ms", "p90_ms"
+        );
+        for (bucket, cdf) in &ctl {
+            print_bucket_row(&bucket.to_string(), "control", cdf);
+            if let Some(r) = rip.get(bucket) {
+                print_bucket_row(&bucket.to_string(), "riptide", r);
+            }
+        }
+    }
+    println!("\n# paper: {paper_note}");
+}
+
+fn print_bucket_row(bucket: &str, arm: &str, cdf: &Cdf) {
+    if cdf.is_empty() {
+        println!("{bucket:>12} {arm:>10}  (no samples)");
+        return;
+    }
+    println!(
+        "{:>12} {:>10} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+        bucket,
+        arm,
+        cdf.len(),
+        cdf.median(),
+        cdf.quantile(0.75),
+        cdf.quantile(0.90)
+    );
+}
+
+/// Runs the paired probe experiment and prints a Figs. 15/16-style
+/// per-percentile gain report for one probe size, for both sender PoPs.
+pub fn run_gain_figure(opts: &RunOptions, size: u64, figure: &str, paper_note: &str) {
+    use riptide_cdn::experiment::{gain_by_percentile, probe_sender_sites};
+
+    banner(
+        figure,
+        &format!(
+            "fraction of completion-time gain by percentile, {} KB probes",
+            size / 1000
+        ),
+    );
+    eprintln!("running control and riptide arms...");
+    let cmp = pooled_probe_comparison(opts);
+    for &sender in &probe_sender_sites(&opts.scale) {
+        let gains = gain_by_percentile(&cmp, sender, size);
+        print_gain_table(&format!("sender site {sender}"), &gains);
+        let best = gains
+            .iter()
+            .max_by(|a, b| a.gain.total_cmp(&b.gain))
+            .expect("non-empty gain table");
+        println!(
+            "# best gain {:.1}% at p{}\n",
+            best.gain * 100.0,
+            best.percentile
+        );
+    }
+    println!("# paper: {paper_note}");
+}
+
+/// Log-spaced file sizes between `lo` and `hi` bytes, inclusive.
+pub fn log_spaced_sizes(lo: u64, hi: u64, points: usize) -> Vec<u64> {
+    assert!(lo > 0 && hi > lo && points >= 2, "bad sweep bounds");
+    let (l, h) = ((lo as f64).ln(), (hi as f64).ln());
+    (0..points)
+        .map(|i| (l + (h - l) * i as f64 / (points - 1) as f64).exp().round() as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spacing_endpoints_and_monotonicity() {
+        let s = log_spaced_sizes(1_000, 10_000_000, 9);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s[0], 1_000);
+        assert_eq!(*s.last().unwrap(), 10_000_000);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sweep bounds")]
+    fn log_spacing_rejects_degenerate() {
+        let _ = log_spaced_sizes(10, 10, 5);
+    }
+}

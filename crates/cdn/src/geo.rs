@@ -1,0 +1,423 @@
+//! The 34-PoP global footprint (Table II) and geography-derived RTTs.
+//!
+//! The paper's CDN spans 34 PoPs: 10 in Europe, 11 in North America, 1 in
+//! South America, 9 in Asia and 3 in Oceania (Table II), with a median
+//! inter-PoP RTT above 125 ms (Fig. 5). We reconstruct that footprint
+//! from plausible metro locations per continent and synthesize RTTs from
+//! great-circle distances: light in fibre travels ≈ 200 000 km/s, real
+//! paths detour (stretch factor), and every path carries some fixed
+//! equipment latency. The constants are calibrated so the all-pairs RTT
+//! CDF matches Fig. 5's shape (median ≈ 125–140 ms, long tail past
+//! 300 ms).
+
+use riptide_simnet::time::SimDuration;
+
+/// Continent labels, as in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    /// Europe (10 PoPs).
+    Europe,
+    /// North America (11 PoPs).
+    NorthAmerica,
+    /// South America (1 PoP).
+    SouthAmerica,
+    /// Asia (9 PoPs).
+    Asia,
+    /// Oceania (3 PoPs).
+    Oceania,
+}
+
+impl std::fmt::Display for Continent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "North America",
+            Continent::SouthAmerica => "South America",
+            Continent::Asia => "Asia",
+            Continent::Oceania => "Oceania",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One PoP site: metro name, continent, and coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopSite {
+    /// Metro identifier.
+    pub name: &'static str,
+    /// Continent (Table II grouping).
+    pub continent: Continent,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+/// The 34 PoP sites, matching Table II's per-continent counts.
+pub const POP_SITES: [PopSite; 34] = [
+    // Europe — 10
+    PopSite {
+        name: "London",
+        continent: Continent::Europe,
+        lat: 51.51,
+        lon: -0.13,
+    },
+    PopSite {
+        name: "Frankfurt",
+        continent: Continent::Europe,
+        lat: 50.11,
+        lon: 8.68,
+    },
+    PopSite {
+        name: "Paris",
+        continent: Continent::Europe,
+        lat: 48.86,
+        lon: 2.35,
+    },
+    PopSite {
+        name: "Amsterdam",
+        continent: Continent::Europe,
+        lat: 52.37,
+        lon: 4.90,
+    },
+    PopSite {
+        name: "Madrid",
+        continent: Continent::Europe,
+        lat: 40.42,
+        lon: -3.70,
+    },
+    PopSite {
+        name: "Milan",
+        continent: Continent::Europe,
+        lat: 45.46,
+        lon: 9.19,
+    },
+    PopSite {
+        name: "Stockholm",
+        continent: Continent::Europe,
+        lat: 59.33,
+        lon: 18.07,
+    },
+    PopSite {
+        name: "Warsaw",
+        continent: Continent::Europe,
+        lat: 52.23,
+        lon: 21.01,
+    },
+    PopSite {
+        name: "Vienna",
+        continent: Continent::Europe,
+        lat: 48.21,
+        lon: 16.37,
+    },
+    PopSite {
+        name: "Dublin",
+        continent: Continent::Europe,
+        lat: 53.35,
+        lon: -6.26,
+    },
+    // North America — 11
+    PopSite {
+        name: "NewYork",
+        continent: Continent::NorthAmerica,
+        lat: 40.71,
+        lon: -74.01,
+    },
+    PopSite {
+        name: "Ashburn",
+        continent: Continent::NorthAmerica,
+        lat: 39.04,
+        lon: -77.49,
+    },
+    PopSite {
+        name: "Atlanta",
+        continent: Continent::NorthAmerica,
+        lat: 33.75,
+        lon: -84.39,
+    },
+    PopSite {
+        name: "Miami",
+        continent: Continent::NorthAmerica,
+        lat: 25.76,
+        lon: -80.19,
+    },
+    PopSite {
+        name: "Chicago",
+        continent: Continent::NorthAmerica,
+        lat: 41.88,
+        lon: -87.63,
+    },
+    PopSite {
+        name: "Dallas",
+        continent: Continent::NorthAmerica,
+        lat: 32.78,
+        lon: -96.80,
+    },
+    PopSite {
+        name: "Denver",
+        continent: Continent::NorthAmerica,
+        lat: 39.74,
+        lon: -104.99,
+    },
+    PopSite {
+        name: "Seattle",
+        continent: Continent::NorthAmerica,
+        lat: 47.61,
+        lon: -122.33,
+    },
+    PopSite {
+        name: "SanJose",
+        continent: Continent::NorthAmerica,
+        lat: 37.34,
+        lon: -121.89,
+    },
+    PopSite {
+        name: "LosAngeles",
+        continent: Continent::NorthAmerica,
+        lat: 34.05,
+        lon: -118.24,
+    },
+    PopSite {
+        name: "Toronto",
+        continent: Continent::NorthAmerica,
+        lat: 43.65,
+        lon: -79.38,
+    },
+    // South America — 1
+    PopSite {
+        name: "SaoPaulo",
+        continent: Continent::SouthAmerica,
+        lat: -23.55,
+        lon: -46.63,
+    },
+    // Asia — 9
+    PopSite {
+        name: "Tokyo",
+        continent: Continent::Asia,
+        lat: 35.68,
+        lon: 139.69,
+    },
+    PopSite {
+        name: "Osaka",
+        continent: Continent::Asia,
+        lat: 34.69,
+        lon: 135.50,
+    },
+    PopSite {
+        name: "Seoul",
+        continent: Continent::Asia,
+        lat: 37.57,
+        lon: 126.98,
+    },
+    PopSite {
+        name: "HongKong",
+        continent: Continent::Asia,
+        lat: 22.32,
+        lon: 114.17,
+    },
+    PopSite {
+        name: "Taipei",
+        continent: Continent::Asia,
+        lat: 25.03,
+        lon: 121.57,
+    },
+    PopSite {
+        name: "Singapore",
+        continent: Continent::Asia,
+        lat: 1.35,
+        lon: 103.82,
+    },
+    PopSite {
+        name: "KualaLumpur",
+        continent: Continent::Asia,
+        lat: 3.139,
+        lon: 101.69,
+    },
+    PopSite {
+        name: "Mumbai",
+        continent: Continent::Asia,
+        lat: 19.08,
+        lon: 72.88,
+    },
+    PopSite {
+        name: "Delhi",
+        continent: Continent::Asia,
+        lat: 28.61,
+        lon: 77.21,
+    },
+    // Oceania — 3
+    PopSite {
+        name: "Sydney",
+        continent: Continent::Oceania,
+        lat: -33.87,
+        lon: 151.21,
+    },
+    PopSite {
+        name: "Melbourne",
+        continent: Continent::Oceania,
+        lat: -37.81,
+        lon: 144.96,
+    },
+    PopSite {
+        name: "Auckland",
+        continent: Continent::Oceania,
+        lat: -36.85,
+        lon: 174.76,
+    },
+];
+
+/// Speed of light in fibre, km per second.
+const FIBRE_KM_PER_S: f64 = 200_000.0;
+/// Multiplier for real paths detouring relative to the great circle.
+const PATH_STRETCH: f64 = 1.6;
+/// Fixed per-path equipment/peering latency added to every RTT.
+const BASE_RTT_MS: f64 = 6.0;
+
+/// Great-circle distance between two sites, in kilometres (haversine).
+pub fn great_circle_km(a: &PopSite, b: &PopSite) -> f64 {
+    const R: f64 = 6371.0;
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * R * h.sqrt().asin()
+}
+
+/// The synthesized round-trip time between two sites.
+pub fn rtt_between(a: &PopSite, b: &PopSite) -> SimDuration {
+    let km = great_circle_km(a, b);
+    let rtt_ms = BASE_RTT_MS + 2.0 * km * PATH_STRETCH / FIBRE_KM_PER_S * 1000.0;
+    SimDuration::from_secs_f64(rtt_ms / 1000.0)
+}
+
+/// Table II: PoP count per continent.
+pub fn continent_counts() -> Vec<(Continent, usize)> {
+    let mut counts = [
+        (Continent::Europe, 0),
+        (Continent::NorthAmerica, 0),
+        (Continent::SouthAmerica, 0),
+        (Continent::Asia, 0),
+        (Continent::Oceania, 0),
+    ];
+    for site in &POP_SITES {
+        let slot = counts
+            .iter_mut()
+            .find(|(c, _)| *c == site.continent)
+            .expect("all continents enumerated");
+        slot.1 += 1;
+    }
+    counts.to_vec()
+}
+
+/// All ordered-pair RTTs (Fig. 5's population), sorted ascending.
+pub fn all_pair_rtts() -> Vec<SimDuration> {
+    let mut rtts = Vec::new();
+    for (i, a) in POP_SITES.iter().enumerate() {
+        for (j, b) in POP_SITES.iter().enumerate() {
+            if i < j {
+                rtts.push(rtt_between(a, b));
+            }
+        }
+    }
+    rtts.sort_unstable();
+    rtts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_counts_match_paper() {
+        let counts = continent_counts();
+        let get = |c: Continent| counts.iter().find(|(k, _)| *k == c).unwrap().1;
+        assert_eq!(get(Continent::Europe), 10);
+        assert_eq!(get(Continent::NorthAmerica), 11);
+        assert_eq!(get(Continent::SouthAmerica), 1);
+        assert_eq!(get(Continent::Asia), 9);
+        assert_eq!(get(Continent::Oceania), 3);
+        assert_eq!(POP_SITES.len(), 34);
+    }
+
+    #[test]
+    fn known_distances_are_sane() {
+        let london = &POP_SITES[0];
+        let ny = &POP_SITES[10];
+        let km = great_circle_km(london, ny);
+        assert!((5400.0..5800.0).contains(&km), "London–NY {km} km");
+        let tokyo = POP_SITES.iter().find(|p| p.name == "Tokyo").unwrap();
+        let km = great_circle_km(london, tokyo);
+        assert!((9300.0..9900.0).contains(&km), "London–Tokyo {km} km");
+    }
+
+    #[test]
+    fn rtt_is_symmetric_and_positive() {
+        for a in POP_SITES.iter().take(5) {
+            for b in POP_SITES.iter().take(5) {
+                assert_eq!(rtt_between(a, b), rtt_between(b, a));
+                if a.name != b.name {
+                    assert!(rtt_between(a, b) > SimDuration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_median_rtt_exceeds_125ms() {
+        // Fig. 5: "50% of links have an RTT > 125 ms".
+        let rtts = all_pair_rtts();
+        let median = rtts[rtts.len() / 2];
+        assert!(
+            median > SimDuration::from_millis(115) && median < SimDuration::from_millis(180),
+            "median RTT {median} out of Fig. 5 band"
+        );
+    }
+
+    #[test]
+    fn fig5_tail_reaches_intercontinental_extremes() {
+        let rtts = all_pair_rtts();
+        let max = *rtts.last().unwrap();
+        assert!(
+            max > SimDuration::from_millis(250),
+            "antipodal pairs exceed 250 ms, got {max}"
+        );
+        let min = rtts[0];
+        assert!(
+            min < SimDuration::from_millis(25),
+            "nearby metros stay cheap, got {min}"
+        );
+    }
+
+    #[test]
+    fn rtt_buckets_are_all_populated() {
+        // Figs. 12–14 group destinations into <50, 51–100, 101–150 and
+        // >150 ms buckets relative to a sender; each bucket must be
+        // non-empty from both a European and a North American PoP.
+        for sender_idx in [0usize, 10] {
+            let sender = &POP_SITES[sender_idx];
+            let mut buckets = [0usize; 4];
+            for (i, other) in POP_SITES.iter().enumerate() {
+                if i == sender_idx {
+                    continue;
+                }
+                let ms = rtt_between(sender, other).as_millis_f64();
+                let b = if ms <= 50.0 {
+                    0
+                } else if ms <= 100.0 {
+                    1
+                } else if ms <= 150.0 {
+                    2
+                } else {
+                    3
+                };
+                buckets[b] += 1;
+            }
+            assert!(
+                buckets.iter().all(|&n| n > 0),
+                "{}: empty RTT bucket in {buckets:?}",
+                sender.name
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # riptide-cdn
+//!
+//! The simulated production environment for the Riptide reproduction:
+//! the paper's 34-PoP CDN (Table II) with geography-derived RTTs
+//! (Fig. 5), the Fig. 2 file-size workload, the §IV-A probe
+//! infrastructure, organic back-office traffic, and experiment runners
+//! that regenerate every figure of the evaluation.
+//!
+//! See `DESIGN.md` at the repository root for the experiment index.
+//!
+//! ## Example: one paired experiment
+//!
+//! ```
+//! use riptide_cdn::experiment::{probe_comparison, ExperimentScale};
+//!
+//! // A miniature control-vs-Riptide run (five PoPs, minutes of
+//! // simulated time); scale up with `ExperimentScale::quick()`/`paper()`.
+//! let cmp = probe_comparison(&ExperimentScale::test());
+//! assert!(!cmp.control.is_empty() && !cmp.riptide.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod geo;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod workload;
+
+/// The types most users need, importable in one line.
+pub mod prelude {
+    pub use crate::experiment::{probe_comparison, ExperimentScale, ProbeComparison};
+    pub use crate::geo::{Continent, PopSite, POP_SITES};
+    pub use crate::sim::{CdnSim, CdnSimConfig, CwndSample, ProbeOutcome};
+    pub use crate::stats::{average_gains, percentile_gains, Cdf, PercentileGain};
+    pub use crate::topology::{RttBucket, Testbed, TestbedConfig};
+    pub use crate::workload::{FileSizeDist, OrganicConfig, ProbeConfig};
+}

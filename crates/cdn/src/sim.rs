@@ -1,0 +1,589 @@
+//! The deployment harness: a simulated CDN with (optionally) a Riptide
+//! agent on every machine, the paper's probe infrastructure, and organic
+//! back-office traffic.
+//!
+//! This is the simulated equivalent of §IV-A: every machine probes every
+//! other PoP with 10/50/100 KB objects on a fixed interval, reusing idle
+//! connections when available; Riptide agents poll `ss` every `i_u`
+//! seconds and steer per-destination routes; and an observer samples live
+//! congestion windows once a minute, considering only connections opened
+//! after the agent started — exactly the paper's measurement filter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use riptide::prelude::*;
+use riptide_linuxnet::route::RouteTable;
+use riptide_simnet::prelude::*;
+
+use crate::topology::{RttBucket, Testbed, TestbedConfig};
+use crate::workload::{OrganicConfig, ProbeConfig};
+
+/// An [`InitcwndPolicy`] that reads a host's (shared) routing table — the
+/// kernel's route lookup at connect time.
+#[derive(Debug)]
+struct TablePolicy {
+    table: Rc<RefCell<RouteTable>>,
+}
+
+impl InitcwndPolicy for TablePolicy {
+    fn initial_cwnd(&self, _src: HostId, dst_addr: Ipv4Addr) -> Option<u32> {
+        self.table.borrow().initcwnd_for(dst_addr)
+    }
+}
+
+/// Full configuration of one deployment run.
+#[derive(Debug, Clone)]
+pub struct CdnSimConfig {
+    /// The substrate.
+    pub testbed: TestbedConfig,
+    /// Riptide configuration, or `None` for a control run.
+    pub riptide: Option<RiptideConfig>,
+    /// Probe harness parameters.
+    pub probes: ProbeConfig,
+    /// Organic traffic parameters.
+    pub organic: OrganicConfig,
+    /// How often live congestion windows are sampled (the paper samples
+    /// "each minute using the ss tool").
+    pub cwnd_sample_interval: SimDuration,
+    /// Site indices that send probes (`None` = every site). The paper's
+    /// transfer-time analysis uses two sender PoPs.
+    pub probe_senders: Option<Vec<usize>>,
+}
+
+impl Default for CdnSimConfig {
+    fn default() -> Self {
+        CdnSimConfig {
+            testbed: TestbedConfig::default(),
+            riptide: Some(RiptideConfig::deployment()),
+            probes: ProbeConfig::default(),
+            organic: OrganicConfig::none(),
+            cwnd_sample_interval: SimDuration::from_secs(60),
+            probe_senders: None,
+        }
+    }
+}
+
+/// One completed probe, annotated with the experiment dimensions the
+/// paper's figures group on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOutcome {
+    /// Sending site index.
+    pub src_site: usize,
+    /// Destination site index.
+    pub dst_site: usize,
+    /// Probe payload, bytes.
+    pub size: u64,
+    /// Distance group of the destination relative to the sender.
+    pub bucket: RttBucket,
+    /// End-to-end completion time.
+    pub completion: SimDuration,
+    /// Whether a fresh connection (with handshake) carried it.
+    pub fresh_connection: bool,
+    /// When the probe was requested.
+    pub requested_at: SimTime,
+    /// Initial congestion window of the carrying connection.
+    pub initial_cwnd: u32,
+}
+
+/// One live-window sample (a row of the paper's per-minute `ss` sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CwndSample {
+    /// Site owning the observed connection.
+    pub site: usize,
+    /// Destination site of the connection.
+    pub dst_site: usize,
+    /// The congestion window, in segments.
+    pub cwnd: u32,
+    /// Sample instant.
+    pub at: SimTime,
+}
+
+/// A running deployment.
+#[derive(Debug)]
+pub struct CdnSim {
+    tb: Testbed,
+    cfg: CdnSimConfig,
+    agents: Vec<Option<RiptideAgent>>,
+    controllers: Vec<Option<SharedRouteController>>,
+    rng: DetRng,
+    next_agent_tick: SimTime,
+    next_cwnd_sample: SimTime,
+    /// Per probing machine: (next fire time, host, site index).
+    probe_schedule: Vec<(SimTime, HostId, usize)>,
+    /// Per ordered busy pair: (next arrival, src site, dst site).
+    organic_schedule: Vec<(SimTime, usize, usize)>,
+    probe_tags: HashMap<TransferId, (usize, usize, u64)>,
+    probe_outcomes: Vec<ProbeOutcome>,
+    cwnd_samples: Vec<CwndSample>,
+    organic_completed: u64,
+    organic_started: u64,
+}
+
+impl CdnSim {
+    /// Builds the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid probe or Riptide configuration.
+    pub fn new(cfg: CdnSimConfig) -> Self {
+        if let Err(e) = cfg.probes.validate() {
+            panic!("invalid probe config: {e}");
+        }
+        let mut tb = Testbed::build(&cfg.testbed);
+        let mut rng = DetRng::from_seed(cfg.testbed.seed ^ 0x5EED_CD11);
+        let host_count = tb.world.host_count();
+
+        let mut agents: Vec<Option<RiptideAgent>> = Vec::with_capacity(host_count);
+        let mut controllers: Vec<Option<SharedRouteController>> = Vec::with_capacity(host_count);
+        for h in 0..host_count {
+            match &cfg.riptide {
+                Some(rc) => {
+                    let table = Rc::new(RefCell::new(RouteTable::new()));
+                    tb.world.set_host_policy(
+                        HostId::from_index(h as u32),
+                        Rc::new(TablePolicy {
+                            table: Rc::clone(&table),
+                        }),
+                    );
+                    controllers.push(Some(SharedRouteController::new(table)));
+                    agents.push(Some(
+                        RiptideAgent::new(rc.clone()).expect("validated riptide config"),
+                    ));
+                }
+                None => {
+                    agents.push(None);
+                    controllers.push(None);
+                }
+            }
+        }
+
+        // Stagger each machine's probe phase uniformly over one interval.
+        let mut probe_schedule = Vec::new();
+        let senders: Vec<usize> = cfg
+            .probe_senders
+            .clone()
+            .unwrap_or_else(|| (0..tb.pop_count()).collect());
+        for &site in &senders {
+            for &host in tb.machines(site) {
+                let phase = rng.jitter(cfg.probes.interval);
+                probe_schedule.push((SimTime::ZERO + phase, host, site));
+            }
+        }
+
+        // Organic arrivals per ordered busy pair.
+        let mut organic_schedule = Vec::new();
+        if cfg.organic.is_enabled() {
+            for &i in &cfg.organic.busy_pops {
+                for &j in &cfg.organic.busy_pops {
+                    if i == j {
+                        continue;
+                    }
+                    let gap = rng
+                        .exp_duration(SimDuration::from_secs_f64(1.0 / cfg.organic.flows_per_sec));
+                    organic_schedule.push((SimTime::ZERO + gap, i, j));
+                }
+            }
+        }
+
+        let agent_interval = cfg
+            .riptide
+            .as_ref()
+            .map(|r| r.update_interval)
+            .unwrap_or(SimDuration::from_secs(1));
+
+        CdnSim {
+            tb,
+            next_agent_tick: SimTime::ZERO + agent_interval,
+            next_cwnd_sample: SimTime::ZERO + cfg.cwnd_sample_interval,
+            cfg,
+            agents,
+            controllers,
+            rng,
+            probe_schedule,
+            organic_schedule,
+            probe_tags: HashMap::new(),
+            probe_outcomes: Vec::new(),
+            cwnd_samples: Vec::new(),
+            organic_completed: 0,
+            organic_started: 0,
+        }
+    }
+
+    /// Whether this run has Riptide agents.
+    pub fn riptide_enabled(&self) -> bool {
+        self.cfg.riptide.is_some()
+    }
+
+    /// The underlying testbed (read access for assertions).
+    pub fn testbed(&self) -> &Testbed {
+        &self.tb
+    }
+
+    /// Completed probes so far.
+    pub fn probe_outcomes(&self) -> &[ProbeOutcome] {
+        &self.probe_outcomes
+    }
+
+    /// Live-window samples so far.
+    pub fn cwnd_samples(&self) -> &[CwndSample] {
+        &self.cwnd_samples
+    }
+
+    /// Organic flows completed so far.
+    pub fn organic_completed(&self) -> u64 {
+        self.organic_completed
+    }
+
+    /// Organic flows started so far.
+    pub fn organic_started(&self) -> u64 {
+        self.organic_started
+    }
+
+    /// Mean learned (installed) window across every agent's live table,
+    /// with the number of live destination entries — a convergence
+    /// snapshot. `None` for control runs or before anything is learned.
+    pub fn mean_learned_window(&self) -> Option<(f64, usize)> {
+        let mut sum = 0u64;
+        let mut n = 0usize;
+        for agent in self.agents.iter().flatten() {
+            for (_, entry) in agent.table().iter() {
+                sum += entry.window as u64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some((sum as f64 / n as f64, n))
+        }
+    }
+
+    /// Aggregated agent counters (zeros for control runs).
+    pub fn agent_stats_total(&self) -> AgentStats {
+        let mut total = AgentStats::default();
+        for a in self.agents.iter().flatten() {
+            let s = a.stats();
+            total.ticks += s.ticks;
+            total.observations += s.observations;
+            total.route_updates += s.route_updates;
+            total.route_expirations += s.route_expirations;
+            total.errors += s.errors;
+        }
+        total
+    }
+
+    /// The learned window a host currently has for a destination address
+    /// (for tests).
+    pub fn learned_window(&self, host: HostId, dst: Ipv4Addr) -> Option<u32> {
+        self.agents[host.index()]
+            .as_ref()
+            .and_then(|a| a.learned_window(dst))
+    }
+
+    /// Advances the deployment by `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.tb.world.now() + duration;
+        loop {
+            let mut next = end;
+            if self.riptide_enabled() {
+                next = next.min(self.next_agent_tick);
+            }
+            next = next.min(self.next_cwnd_sample);
+            if let Some(&(t, _, _)) = self.probe_schedule.iter().min_by_key(|e| e.0) {
+                next = next.min(t);
+            }
+            if let Some(&(t, _, _)) = self.organic_schedule.iter().min_by_key(|e| e.0) {
+                next = next.min(t);
+            }
+            self.tb.world.run_until(next);
+            self.collect_completed();
+            if next >= end {
+                break;
+            }
+            let now = next;
+            if self.riptide_enabled() && now >= self.next_agent_tick {
+                self.tick_agents(now);
+                let interval = self
+                    .cfg
+                    .riptide
+                    .as_ref()
+                    .expect("riptide enabled")
+                    .update_interval;
+                self.next_agent_tick = now + interval;
+            }
+            if now >= self.next_cwnd_sample {
+                self.sample_cwnds(now);
+                self.next_cwnd_sample = now + self.cfg.cwnd_sample_interval;
+            }
+            self.fire_due_probes(now);
+            self.fire_due_organic(now);
+        }
+    }
+
+    fn collect_completed(&mut self) {
+        for rec in self.tb.world.drain_completed() {
+            match self.probe_tags.remove(&rec.transfer) {
+                Some((src_site, dst_site, size)) => {
+                    self.probe_outcomes.push(ProbeOutcome {
+                        src_site,
+                        dst_site,
+                        size,
+                        bucket: self.tb.bucket(src_site, dst_site),
+                        completion: rec.completion_time(),
+                        fresh_connection: rec.fresh_connection,
+                        requested_at: rec.requested_at,
+                        initial_cwnd: rec.initial_cwnd,
+                    });
+                }
+                None => self.organic_completed += 1,
+            }
+        }
+    }
+
+    fn tick_agents(&mut self, now: SimTime) {
+        for h in 0..self.agents.len() {
+            let host = HostId::from_index(h as u32);
+            let Some(agent) = self.agents[h].as_mut() else {
+                continue;
+            };
+            let controller = self.controllers[h]
+                .as_mut()
+                .expect("controller exists when agent does");
+            let observations: Vec<CwndObservation> = self
+                .tb
+                .world
+                .host_conn_stats(host)
+                .into_iter()
+                .filter(|s| s.state == ConnState::Established)
+                .map(|s| CwndObservation {
+                    dst: s.dst_addr,
+                    cwnd: s.cwnd,
+                    bytes_acked: s.bytes_acked,
+                })
+                .collect();
+            let mut observer = FnObserver(move || observations.clone());
+            agent.tick(now, &mut observer, controller);
+        }
+    }
+
+    fn sample_cwnds(&mut self, now: SimTime) {
+        for h in 0..self.tb.world.host_count() {
+            let host = HostId::from_index(h as u32);
+            let site = self.tb.world.pop_of(host).index();
+            for s in self.tb.world.host_conn_stats(host) {
+                // The paper's filter: only connections created after
+                // Riptide was started (t = 0 here), in ESTAB state.
+                if s.state != ConnState::Established {
+                    continue;
+                }
+                self.cwnd_samples.push(CwndSample {
+                    site,
+                    dst_site: self.tb.world.pop_of(s.dst).index(),
+                    cwnd: s.cwnd,
+                    at: now,
+                });
+            }
+        }
+    }
+
+    fn fire_due_probes(&mut self, now: SimTime) {
+        for idx in 0..self.probe_schedule.len() {
+            let (due, host, site) = self.probe_schedule[idx];
+            if due > now {
+                continue;
+            }
+            self.probe_one_machine(host, site);
+            self.probe_schedule[idx].0 = now + self.cfg.probes.interval;
+        }
+    }
+
+    fn probe_one_machine(&mut self, host: HostId, site: usize) {
+        let machine_slot = self
+            .tb
+            .machines(site)
+            .iter()
+            .position(|&h| h == host)
+            .expect("host belongs to its site");
+        let sizes = self.cfg.probes.sizes.clone();
+        for dst_site in 0..self.tb.pop_count() {
+            if dst_site == site {
+                continue;
+            }
+            let targets = self.tb.machines(dst_site);
+            let target = targets[machine_slot % targets.len()];
+            for &size in &sizes {
+                // §II-A churn: some idle connections have been closed by
+                // application behaviour since the last round.
+                if self.rng.chance(self.cfg.probes.churn) {
+                    if let Some(cid) = self.tb.world.find_idle_connection(host, target) {
+                        self.tb.world.close_connection(cid);
+                    }
+                }
+                let tid = match self.tb.world.find_idle_connection(host, target) {
+                    Some(cid) => self.tb.world.start_transfer(cid, size),
+                    None => self.tb.world.open_and_transfer(host, target, size).1,
+                };
+                self.probe_tags.insert(tid, (site, dst_site, size));
+            }
+        }
+    }
+
+    fn fire_due_organic(&mut self, now: SimTime) {
+        for idx in 0..self.organic_schedule.len() {
+            let (due, src_site, dst_site) = self.organic_schedule[idx];
+            if due > now {
+                continue;
+            }
+            let src_hosts = self.tb.machines(src_site);
+            let dst_hosts = self.tb.machines(dst_site);
+            let src = src_hosts[self.rng.below(src_hosts.len())];
+            let dst = dst_hosts[self.rng.below(dst_hosts.len())];
+            let bytes = self.cfg.organic.sizes.sample(&mut self.rng);
+            match self.tb.world.find_idle_connection(src, dst) {
+                Some(cid) => {
+                    self.tb.world.start_transfer(cid, bytes);
+                }
+                None => {
+                    self.tb.world.open_and_transfer(src, dst, bytes);
+                }
+            }
+            self.organic_started += 1;
+            let rate = self.cfg.organic.rate_at(now.as_secs_f64()).max(1e-6);
+            let gap = self
+                .rng
+                .exp_duration(SimDuration::from_secs_f64(1.0 / rate));
+            self.organic_schedule[idx].0 = now + gap;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(riptide: bool, seed: u64) -> CdnSimConfig {
+        CdnSimConfig {
+            testbed: TestbedConfig::tiny(3, 2, seed),
+            riptide: riptide.then(RiptideConfig::deployment),
+            probes: ProbeConfig {
+                interval: SimDuration::from_secs(60),
+                ..ProbeConfig::default()
+            },
+            organic: OrganicConfig::none(),
+            cwnd_sample_interval: SimDuration::from_secs(30),
+            probe_senders: None,
+        }
+    }
+
+    #[test]
+    fn probes_complete_in_both_modes() {
+        for riptide in [false, true] {
+            let mut sim = CdnSim::new(tiny_cfg(riptide, 11));
+            sim.run_for(SimDuration::from_secs(300));
+            // 3 sites × 2 machines × 2 destinations × 3 sizes per round,
+            // several rounds in 300 s.
+            let n = sim.probe_outcomes().len();
+            assert!(n >= 3 * 2 * 2 * 3 * 3, "riptide={riptide}: {n} probes");
+            assert!(
+                sim.probe_outcomes()
+                    .iter()
+                    .all(|p| p.completion > SimDuration::ZERO && p.src_site != p.dst_site),
+                "well-formed outcomes"
+            );
+        }
+    }
+
+    #[test]
+    fn agents_learn_windows_for_probed_destinations() {
+        let mut sim = CdnSim::new(tiny_cfg(true, 13));
+        sim.run_for(SimDuration::from_secs(200));
+        let host = sim.testbed().machines(0)[0];
+        let dst_host = sim.testbed().machines(1)[0];
+        let dst_addr = sim.testbed().world.host_addr(dst_host);
+        let learned = sim.learned_window(host, dst_addr);
+        assert!(learned.is_some(), "agent learned a window after probing");
+        let w = learned.unwrap();
+        assert!(
+            (10..=100).contains(&w),
+            "learned window {w} in [c_min, c_max]"
+        );
+        let stats = sim.agent_stats_total();
+        assert!(stats.ticks > 0 && stats.route_updates > 0);
+    }
+
+    #[test]
+    fn control_run_has_no_agents() {
+        let mut sim = CdnSim::new(tiny_cfg(false, 13));
+        sim.run_for(SimDuration::from_secs(120));
+        assert_eq!(sim.agent_stats_total(), AgentStats::default());
+        assert!(!sim.riptide_enabled());
+        assert!(!sim.probe_outcomes().is_empty());
+    }
+
+    #[test]
+    fn cwnd_samples_accumulate() {
+        let mut sim = CdnSim::new(tiny_cfg(true, 17));
+        sim.run_for(SimDuration::from_secs(200));
+        assert!(!sim.cwnd_samples().is_empty());
+        assert!(sim.cwnd_samples().iter().all(|s| s.cwnd >= 1));
+    }
+
+    #[test]
+    fn organic_traffic_flows() {
+        let mut cfg = tiny_cfg(true, 19);
+        cfg.organic = OrganicConfig::among(vec![0, 1], 0.5);
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(300));
+        assert!(
+            sim.organic_started() > 30,
+            "started {}",
+            sim.organic_started()
+        );
+        assert!(
+            sim.organic_completed() > 20,
+            "completed {}",
+            sim.organic_completed()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let mut sim = CdnSim::new(tiny_cfg(true, seed));
+            sim.run_for(SimDuration::from_secs(180));
+            sim.probe_outcomes()
+                .iter()
+                .map(|p| (p.src_site, p.dst_site, p.size, p.completion.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(23), run(23));
+        assert_ne!(run(23), run(24));
+    }
+
+    #[test]
+    fn probe_senders_can_be_restricted() {
+        let mut cfg = tiny_cfg(false, 29);
+        cfg.probe_senders = Some(vec![0]);
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(150));
+        assert!(sim.probe_outcomes().iter().all(|p| p.src_site == 0));
+    }
+
+    #[test]
+    fn riptide_probes_eventually_start_with_learned_windows() {
+        let mut sim = CdnSim::new(tiny_cfg(true, 31));
+        sim.run_for(SimDuration::from_secs(600));
+        let boosted = sim
+            .probe_outcomes()
+            .iter()
+            .filter(|p| p.initial_cwnd > 10)
+            .count();
+        assert!(
+            boosted > 0,
+            "some later probes open with Riptide-set windows"
+        );
+    }
+}

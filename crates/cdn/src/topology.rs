@@ -1,0 +1,289 @@
+//! Building a simulated World shaped like the paper's CDN.
+
+use riptide_simnet::prelude::*;
+
+use crate::geo::{rtt_between, PopSite, POP_SITES};
+
+/// Which Fig. 12–14 distance group a destination falls into, relative to
+/// a sending PoP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RttBucket {
+    /// `< 50 ms` — "close destinations".
+    Close,
+    /// `51–100 ms` — "medium destinations".
+    Medium,
+    /// `101–150 ms` — "far destinations".
+    Far,
+    /// `> 150 ms` — "very far destinations".
+    VeryFar,
+}
+
+impl RttBucket {
+    /// Classifies a round-trip time.
+    pub fn of(rtt: SimDuration) -> RttBucket {
+        let ms = rtt.as_millis_f64();
+        if ms <= 50.0 {
+            RttBucket::Close
+        } else if ms <= 100.0 {
+            RttBucket::Medium
+        } else if ms <= 150.0 {
+            RttBucket::Far
+        } else {
+            RttBucket::VeryFar
+        }
+    }
+
+    /// All buckets, nearest first.
+    pub const ALL: [RttBucket; 4] = [
+        RttBucket::Close,
+        RttBucket::Medium,
+        RttBucket::Far,
+        RttBucket::VeryFar,
+    ];
+}
+
+impl std::fmt::Display for RttBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RttBucket::Close => "<50ms",
+            RttBucket::Medium => "51-100ms",
+            RttBucket::Far => "101-150ms",
+            RttBucket::VeryFar => ">150ms",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters of the simulated CDN substrate.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// PoP sites to instantiate (defaults to all 34 of Table II; tests
+    /// use subsets).
+    pub sites: Vec<PopSite>,
+    /// Machines per PoP.
+    pub machines_per_pop: usize,
+    /// TCP stack configuration shared by all hosts. The default disables
+    /// `slow_start_after_idle`, matching the paper's premise that reused
+    /// connections keep their learned window (§I: reuse "could avoid
+    /// this overhead"); Riptide's value is then concentrated on *fresh*
+    /// connections, which reproduces Fig. 15's flat lower percentiles.
+    /// Flip it on for the ssai ablation.
+    pub tcp: TcpConfig,
+    /// Inter-PoP path serialization rate.
+    pub rate_bps: u64,
+    /// Inter-PoP path queue capacity.
+    pub queue_bytes: u64,
+    /// Random per-packet loss on every inter-PoP path.
+    pub loss: f64,
+    /// Per-packet jitter bound.
+    pub jitter: SimDuration,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            sites: POP_SITES.to_vec(),
+            machines_per_pop: 3,
+            tcp: TcpConfig {
+                slow_start_after_idle: false,
+                initial_rwnd: 1000,
+                ..TcpConfig::default()
+            },
+            rate_bps: 500_000_000, // 500 Mbit/s per inter-PoP path
+            queue_bytes: 384 * 1024,
+            loss: 0.0003,
+            jitter: SimDuration::from_micros(200),
+            seed: 1,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// A small topology for unit tests: the first `n` sites, `machines`
+    /// hosts each.
+    pub fn tiny(n: usize, machines: usize, seed: u64) -> Self {
+        TestbedConfig {
+            sites: POP_SITES[..n].to_vec(),
+            machines_per_pop: machines,
+            seed,
+            ..TestbedConfig::default()
+        }
+    }
+}
+
+/// A built testbed: the world plus the site/PoP correspondence.
+#[derive(Debug)]
+pub struct Testbed {
+    /// The simulation world.
+    pub world: World,
+    /// PoP ids, index-aligned with `sites`.
+    pub pops: Vec<PopId>,
+    /// The instantiated sites.
+    pub sites: Vec<PopSite>,
+}
+
+impl Testbed {
+    /// Builds the world: one PoP per site, `machines_per_pop` hosts each,
+    /// and a full mesh of symmetric paths whose one-way delay is half the
+    /// geo-derived RTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no sites, no machines,
+    /// invalid TCP config).
+    pub fn build(config: &TestbedConfig) -> Testbed {
+        assert!(!config.sites.is_empty(), "need at least one site");
+        assert!(
+            config.machines_per_pop > 0,
+            "need at least one machine per PoP"
+        );
+        let mut world = World::new(config.tcp.clone(), config.seed);
+        let mut pops = Vec::with_capacity(config.sites.len());
+        for _ in &config.sites {
+            let pop = world.add_pop();
+            for _ in 0..config.machines_per_pop {
+                world.add_host(pop);
+            }
+            pops.push(pop);
+        }
+        for (i, a) in config.sites.iter().enumerate() {
+            for (j, b) in config.sites.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let rtt = rtt_between(a, b);
+                let path = PathConfig {
+                    delay: rtt / 2,
+                    jitter: config.jitter,
+                    loss: config.loss,
+                    rate_bps: config.rate_bps,
+                    queue_bytes: config.queue_bytes,
+                };
+                world.set_path(pops[i], pops[j], path);
+            }
+        }
+        Testbed {
+            world,
+            pops,
+            sites: config.sites.clone(),
+        }
+    }
+
+    /// Number of PoPs.
+    pub fn pop_count(&self) -> usize {
+        self.pops.len()
+    }
+
+    /// The geo RTT between two PoPs (by site index).
+    pub fn rtt(&self, a: usize, b: usize) -> SimDuration {
+        rtt_between(&self.sites[a], &self.sites[b])
+    }
+
+    /// The Fig. 12–14 bucket of destination `b` as seen from sender `a`.
+    pub fn bucket(&self, a: usize, b: usize) -> RttBucket {
+        RttBucket::of(self.rtt(a, b))
+    }
+
+    /// The site index named `name`, if present.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.sites.iter().position(|s| s.name == name)
+    }
+
+    /// The machines of site `i`.
+    pub fn machines(&self, i: usize) -> &[HostId] {
+        self.world.hosts_in_pop(self.pops[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_axis() {
+        assert_eq!(
+            RttBucket::of(SimDuration::from_millis(10)),
+            RttBucket::Close
+        );
+        assert_eq!(
+            RttBucket::of(SimDuration::from_millis(50)),
+            RttBucket::Close
+        );
+        assert_eq!(
+            RttBucket::of(SimDuration::from_millis(51)),
+            RttBucket::Medium
+        );
+        assert_eq!(
+            RttBucket::of(SimDuration::from_millis(100)),
+            RttBucket::Medium
+        );
+        assert_eq!(RttBucket::of(SimDuration::from_millis(101)), RttBucket::Far);
+        assert_eq!(RttBucket::of(SimDuration::from_millis(150)), RttBucket::Far);
+        assert_eq!(
+            RttBucket::of(SimDuration::from_millis(151)),
+            RttBucket::VeryFar
+        );
+    }
+
+    #[test]
+    fn tiny_testbed_builds_and_moves_data() {
+        let cfg = TestbedConfig::tiny(3, 2, 9);
+        let mut tb = Testbed::build(&cfg);
+        assert_eq!(tb.pop_count(), 3);
+        assert_eq!(tb.machines(0).len(), 2);
+        let src = tb.machines(0)[0];
+        let dst = tb.machines(1)[0];
+        tb.world.open_and_transfer(src, dst, 50_000);
+        tb.world.run_until(SimTime::from_secs(10));
+        assert_eq!(tb.world.drain_completed().len(), 1);
+    }
+
+    #[test]
+    fn full_testbed_has_34_pops_and_full_mesh() {
+        let cfg = TestbedConfig::default();
+        let tb = Testbed::build(&cfg);
+        assert_eq!(tb.pop_count(), 34);
+        assert_eq!(tb.world.host_count(), 34 * 3);
+        // Every ordered pair has a path.
+        for i in 0..tb.pop_count() {
+            for j in 0..tb.pop_count() {
+                if i != j {
+                    assert!(
+                        tb.world.path_config(tb.pops[i], tb.pops[j]).is_some(),
+                        "missing path {i}->{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_delay_matches_geo_rtt() {
+        let cfg = TestbedConfig::tiny(4, 1, 5);
+        let tb = Testbed::build(&cfg);
+        let rtt = tb.rtt(0, 3);
+        let path = tb.world.path_config(tb.pops[0], tb.pops[3]).unwrap();
+        assert_eq!(path.delay, rtt / 2);
+    }
+
+    #[test]
+    fn site_index_finds_named_pops() {
+        let tb = Testbed::build(&TestbedConfig::default());
+        assert_eq!(tb.site_index("London"), Some(0));
+        assert!(tb.site_index("NewYork").is_some());
+        assert_eq!(tb.site_index("Atlantis"), None);
+    }
+
+    #[test]
+    fn default_tcp_is_cdn_tuned() {
+        let cfg = TestbedConfig::default();
+        assert!(
+            !cfg.tcp.slow_start_after_idle,
+            "CDN practice: reuse keeps the window"
+        );
+        assert_eq!(cfg.tcp.initial_cwnd, 10);
+        cfg.tcp.validate().unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Operator advisories (§V "Additional Algorithms").
+//!
+//! The paper sketches feeding Riptide higher-level signals from the cloud
+//! control plane: *"if a cloud system were able to provide it with higher
+//! level information (e.g., the need to perform immediate load
+//! balancing), it could be used to set more conservative congestion
+//! windows to avoid sudden crowding."* This module realizes that hook:
+//! an [`Advisory`] is runtime state an operator (or orchestrator) sets on
+//! the agent, scaling or suspending what it installs without touching
+//! what it *learns*.
+
+/// A control-plane signal shaping the agent's route installs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Advisory {
+    /// Normal operation: install learned windows as-is.
+    #[default]
+    Normal,
+    /// Scale every installed window by `factor` — e.g. `0.5` while a
+    /// load-balancing wave is about to move traffic onto paths whose
+    /// history no longer predicts their load.
+    Conservative {
+        /// Multiplier in `(0, 1]` applied before clamping.
+        factor: f64,
+    },
+    /// Keep learning (and expiring), but install no new windows. Useful
+    /// during maintenance freezes.
+    Suspend,
+}
+
+impl Advisory {
+    /// Validates the advisory's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if a conservative factor lies outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Advisory::Conservative { factor } = *self {
+            if !(factor > 0.0 && factor <= 1.0) {
+                return Err(format!(
+                    "conservative factor must be in (0, 1], got {factor}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the advisory to a blended window value. Returns `None`
+    /// when installs are suspended.
+    pub fn shape(&self, value: f64) -> Option<f64> {
+        match *self {
+            Advisory::Normal => Some(value),
+            Advisory::Conservative { factor } => Some(value * factor),
+            Advisory::Suspend => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_passes_through() {
+        assert_eq!(Advisory::Normal.shape(80.0), Some(80.0));
+    }
+
+    #[test]
+    fn conservative_scales() {
+        let a = Advisory::Conservative { factor: 0.5 };
+        a.validate().unwrap();
+        assert_eq!(a.shape(80.0), Some(40.0));
+    }
+
+    #[test]
+    fn suspend_installs_nothing() {
+        assert_eq!(Advisory::Suspend.shape(80.0), None);
+    }
+
+    #[test]
+    fn validation_bounds_factor() {
+        assert!(Advisory::Conservative { factor: 0.0 }.validate().is_err());
+        assert!(Advisory::Conservative { factor: 1.5 }.validate().is_err());
+        assert!(Advisory::Conservative { factor: 1.0 }.validate().is_ok());
+        assert!(Advisory::Normal.validate().is_ok());
+        assert!(Advisory::Suspend.validate().is_ok());
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(Advisory::default(), Advisory::Normal);
+    }
+}

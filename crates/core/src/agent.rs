@@ -1,0 +1,545 @@
+//! The Riptide agent: Algorithm 1 of the paper.
+//!
+//! Every `i_u` seconds the agent:
+//!
+//! 1. polls the current congestion windows of all open connections
+//!    (via a [`WindowObserver`]);
+//! 2. groups them by destination at the configured granularity;
+//! 3. combines each group to one value (average in the deployment);
+//! 4. blends it with the destination's history (EWMA with weight `α`);
+//! 5. clamps into `[c_min, c_max]` and installs the result as a
+//!    per-destination route `initcwnd` (via a [`RouteController`]);
+//! 6. expires entries unseen for longer than `t`, withdrawing their
+//!    routes so new connections fall back to the kernel default.
+//!
+//! The agent is deliberately a pure state machine over those two traits:
+//! it can be driven from a simulation clock or a real one, and its
+//! actuator can be an in-process table or a shell running `ip route`.
+
+use std::collections::BTreeMap;
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_simnet::time::SimTime;
+
+use crate::config::RiptideConfig;
+use crate::control::{ControlError, RouteController};
+use crate::observe::{CwndObservation, WindowObserver};
+use crate::table::FinalTable;
+
+/// What one agent tick did, for logging and tests.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Established connections observed this tick.
+    pub observed_connections: usize,
+    /// Destination groups formed.
+    pub groups: usize,
+    /// Routes installed or updated: `(key, clamped window)`.
+    pub updates: Vec<(Ipv4Prefix, u32)>,
+    /// Destinations whose entries (and routes) expired this tick.
+    pub expired: Vec<Ipv4Prefix>,
+    /// Route-control failures (the agent continues past them, as a
+    /// production tool must).
+    pub errors: Vec<ControlError>,
+}
+
+/// Cumulative counters over the agent's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Observations consumed.
+    pub observations: u64,
+    /// Route installs/updates issued.
+    pub route_updates: u64,
+    /// Route withdrawals issued by TTL expiry.
+    pub route_expirations: u64,
+    /// Control errors encountered.
+    pub errors: u64,
+}
+
+impl AgentStats {
+    /// Renders the counters in Prometheus text exposition format, for a
+    /// production deployment's metrics endpoint.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, value) in [
+            (
+                "riptide_ticks_total",
+                "Agent update cycles executed",
+                self.ticks,
+            ),
+            (
+                "riptide_observations_total",
+                "Connection window observations consumed",
+                self.observations,
+            ),
+            (
+                "riptide_route_updates_total",
+                "Route installs or updates issued",
+                self.route_updates,
+            ),
+            (
+                "riptide_route_expirations_total",
+                "Routes withdrawn by TTL expiry",
+                self.route_expirations,
+            ),
+            (
+                "riptide_control_errors_total",
+                "Failed route-control actions",
+                self.errors,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// The Riptide agent.
+///
+/// # Examples
+///
+/// ```
+/// use riptide::prelude::*;
+/// use riptide_linuxnet::route::RouteTable;
+/// use riptide_simnet::time::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut agent = RiptideAgent::new(RiptideConfig::deployment())?;
+/// let mut routes = RouteTable::new();
+///
+/// // One poll observed two connections to the same host, windows 60/100.
+/// let mut observer = FnObserver(|| {
+///     vec![
+///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 60, bytes_acked: 1 << 20 },
+///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 100, bytes_acked: 1 << 20 },
+///     ]
+/// });
+/// let report = agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
+/// assert_eq!(report.updates, vec![("10.0.1.1".parse()?, 80)]);
+/// assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(80));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct RiptideAgent {
+    config: RiptideConfig,
+    table: FinalTable,
+    stats: AgentStats,
+    advisory: crate::advisory::Advisory,
+}
+
+impl RiptideAgent {
+    /// Creates an agent with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: RiptideConfig) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
+        Ok(RiptideAgent {
+            config,
+            table: FinalTable::new(),
+            stats: AgentStats::default(),
+            advisory: crate::advisory::Advisory::Normal,
+        })
+    }
+
+    /// Sets the control-plane advisory shaping future installs (§V).
+    ///
+    /// # Errors
+    ///
+    /// Returns the advisory's validation error, if any.
+    pub fn set_advisory(
+        &mut self,
+        advisory: crate::advisory::Advisory,
+    ) -> Result<(), crate::config::ConfigError> {
+        advisory
+            .validate()
+            .map_err(crate::config::ConfigError::new)?;
+        self.advisory = advisory;
+        Ok(())
+    }
+
+    /// The currently active advisory.
+    pub fn advisory(&self) -> crate::advisory::Advisory {
+        self.advisory
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &RiptideConfig {
+        &self.config
+    }
+
+    /// The live final-values table.
+    pub fn table(&self) -> &FinalTable {
+        &self.table
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// The window currently learned for a destination address, if any.
+    pub fn learned_window(&self, dst: std::net::Ipv4Addr) -> Option<u32> {
+        let key = self.config.granularity.key(dst);
+        self.table.window(&key)
+    }
+
+    /// Runs one cycle of Algorithm 1 at simulated instant `now`.
+    ///
+    /// Route installs are issued only when the clamped window for a
+    /// destination actually changed — repeating an identical `ip route
+    /// replace` every second would be pure overhead (the stored TTL is
+    /// refreshed regardless, as the paper requires).
+    pub fn tick<O, C>(&mut self, now: SimTime, observer: &mut O, controller: &mut C) -> TickReport
+    where
+        O: WindowObserver + ?Sized,
+        C: RouteController + ?Sized,
+    {
+        let mut report = TickReport::default();
+        self.stats.ticks += 1;
+
+        // 1. observed table ← current windows of all connections.
+        let observations = observer.observe();
+        report.observed_connections = observations.len();
+        self.stats.observations += observations.len() as u64;
+
+        // 2. group by destination (BTreeMap: deterministic order).
+        let mut groups: BTreeMap<Ipv4Prefix, Vec<CwndObservation>> = BTreeMap::new();
+        for obs in observations {
+            groups
+                .entry(self.config.granularity.key(obs.dst))
+                .or_default()
+                .push(obs);
+        }
+        report.groups = groups.len();
+
+        // 3–5. combine, blend with history, shape (trend + advisory),
+        // clamp, install.
+        for (key, group) in groups {
+            let Some(fresh) = self.config.combine.combine(&group) else {
+                continue;
+            };
+            let previous = self.table.window(&key);
+            let previous_fresh = self.table.last_fresh(&key);
+            let blended = self.table.blend(key, fresh, &self.config.history, now);
+            let shaped = match &self.config.trend {
+                Some(trend) => trend.shape(previous_fresh, fresh, blended),
+                None => blended,
+            };
+            let Some(shaped) = self.advisory.shape(shaped) else {
+                // Suspended: keep learning but install nothing.
+                continue;
+            };
+            let window = self.config.clamp(shaped);
+            self.table.set_window(&key, window);
+            if previous != Some(window) {
+                match controller.set_initcwnd(key, window) {
+                    Ok(()) => {
+                        self.stats.route_updates += 1;
+                        report.updates.push((key, window));
+                    }
+                    Err(e) => {
+                        self.stats.errors += 1;
+                        report.errors.push(e);
+                    }
+                }
+            }
+        }
+
+        // 6. expire stale destinations, restoring the kernel default.
+        for key in self.table.expire(now, self.config.ttl) {
+            match controller.clear_initcwnd(key) {
+                Ok(()) => {
+                    self.stats.route_expirations += 1;
+                    report.expired.push(key);
+                }
+                Err(e) => {
+                    self.stats.errors += 1;
+                    report.errors.push(e);
+                }
+            }
+        }
+
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::CombineStrategy;
+    use crate::granularity::Granularity;
+    use crate::history::HistoryStrategy;
+    use crate::observe::FnObserver;
+    use riptide_linuxnet::route::RouteTable;
+    use std::net::Ipv4Addr;
+
+    fn obs(dst: [u8; 4], cwnd: u32) -> CwndObservation {
+        CwndObservation {
+            dst: Ipv4Addr::from(dst),
+            cwnd,
+            bytes_acked: 1_000_000,
+        }
+    }
+
+    fn agent(config: RiptideConfig) -> (RiptideAgent, RouteTable) {
+        (RiptideAgent::new(config).unwrap(), RouteTable::new())
+    }
+
+    fn no_history() -> RiptideConfig {
+        RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig7_average_of_observed_windows() {
+        // The paper's Fig. 7: observed windows average 80 → initcwnd 80.
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| {
+            vec![
+                obs([10, 0, 1, 1], 60),
+                obs([10, 0, 1, 1], 80),
+                obs([10, 0, 1, 1], 100),
+            ]
+        });
+        let r = a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(r.observed_connections, 3);
+        assert_eq!(r.groups, 1);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(80));
+    }
+
+    #[test]
+    fn clamping_applies_both_bounds() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 500), obs([10, 0, 2, 1], 2)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)),
+            Some(100),
+            "c_max caps"
+        );
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 2, 1)),
+            Some(10),
+            "c_min floors"
+        );
+    }
+
+    #[test]
+    fn ewma_damps_across_ticks() {
+        let cfg = RiptideConfig::builder().alpha(0.7).build().unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        let mut o1 = FnObserver(|| vec![obs([10, 0, 1, 1], 40)]);
+        a.tick(SimTime::from_secs(1), &mut o1, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(40));
+        // Windows spike to 100; EWMA moves only 30% of the way: 58.
+        let mut o2 = FnObserver(|| vec![obs([10, 0, 1, 1], 100)]);
+        a.tick(SimTime::from_secs(2), &mut o2, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(58));
+    }
+
+    #[test]
+    fn ttl_expiry_withdraws_route() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)).is_some());
+        // No connections for > 90 s: route withdrawn, default restored.
+        let mut silent = FnObserver(Vec::new);
+        let r = a.tick(SimTime::from_secs(95), &mut silent, &mut routes);
+        assert_eq!(r.expired.len(), 1);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), None);
+        assert!(a.table().is_empty());
+    }
+
+    #[test]
+    fn continued_observation_refreshes_ttl() {
+        let (mut a, mut routes) = agent(no_history());
+        for t in (0..200).step_by(10) {
+            let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+            let r = a.tick(SimTime::from_secs(t), &mut o, &mut routes);
+            assert!(r.expired.is_empty(), "t={t}: live traffic never expires");
+        }
+    }
+
+    #[test]
+    fn unchanged_window_is_not_reinstalled() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+        let r1 = a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(r1.updates.len(), 1);
+        let r2 = a.tick(SimTime::from_secs(2), &mut o, &mut routes);
+        assert!(r2.updates.is_empty(), "same value, no route churn");
+        assert_eq!(a.stats().route_updates, 1);
+    }
+
+    #[test]
+    fn prefix_granularity_installs_one_route_per_pop() {
+        let cfg = RiptideConfig::builder()
+            .granularity(Granularity::Prefix(24))
+            .history(HistoryStrategy::None)
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        let mut o = FnObserver(|| {
+            vec![
+                obs([10, 0, 1, 1], 40),
+                obs([10, 0, 1, 2], 60),
+                obs([10, 0, 1, 3], 80),
+            ]
+        });
+        let r = a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(r.groups, 1, "three hosts, one /24 group");
+        assert_eq!(routes.len(), 1);
+        // Any host in the PoP inherits the grouped window.
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 200)), Some(60));
+    }
+
+    #[test]
+    fn max_strategy_is_more_aggressive_than_average() {
+        let base = FnObserver(|| vec![obs([10, 0, 1, 1], 20), obs([10, 0, 1, 1], 90)]);
+        let mut o = base;
+        let cfg = RiptideConfig::builder()
+            .combine(CombineStrategy::Max)
+            .history(HistoryStrategy::None)
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(90));
+    }
+
+    #[test]
+    fn multiple_destinations_update_independently() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| {
+            vec![
+                obs([10, 0, 1, 1], 30),
+                obs([10, 0, 2, 1], 70),
+                obs([10, 0, 3, 1], 110),
+            ]
+        });
+        let r = a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(r.groups, 3);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(30));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 2, 1)), Some(70));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 3, 1)), Some(100));
+    }
+
+    #[test]
+    fn learned_window_respects_granularity() {
+        let cfg = RiptideConfig::builder()
+            .granularity(Granularity::Prefix(24))
+            .history(HistoryStrategy::None)
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 64)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(a.learned_window(Ipv4Addr::new(10, 0, 1, 99)), Some(64));
+        assert_eq!(a.learned_window(Ipv4Addr::new(10, 0, 2, 1)), None);
+    }
+
+    #[test]
+    fn empty_observation_is_harmless() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(Vec::new);
+        let r = a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(r.groups, 0);
+        assert!(r.updates.is_empty() && r.expired.is_empty() && r.errors.is_empty());
+        assert!(routes.is_empty());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        let text = a.stats().render_prometheus();
+        assert!(text.contains("riptide_ticks_total 1"));
+        assert!(text.contains("riptide_route_updates_total 1"));
+        assert!(text.contains("# TYPE riptide_observations_total counter"));
+        // Every metric has HELP, TYPE and a value line.
+        assert_eq!(text.lines().count(), 15);
+    }
+
+    #[test]
+    fn conservative_advisory_scales_installs() {
+        let (mut a, mut routes) = agent(no_history());
+        a.set_advisory(crate::advisory::Advisory::Conservative { factor: 0.5 })
+            .unwrap();
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 80)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)),
+            Some(40),
+            "half of the learned 80"
+        );
+    }
+
+    #[test]
+    fn suspend_advisory_stops_installs_but_keeps_learning() {
+        let (mut a, mut routes) = agent(no_history());
+        a.set_advisory(crate::advisory::Advisory::Suspend).unwrap();
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 80)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert!(routes.is_empty(), "no installs while suspended");
+        assert_eq!(a.table().len(), 1, "learning continues");
+        // Resume: the learned value lands on the next tick.
+        a.set_advisory(crate::advisory::Advisory::Normal).unwrap();
+        a.tick(SimTime::from_secs(2), &mut o, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(80));
+    }
+
+    #[test]
+    fn invalid_advisory_rejected() {
+        let (mut a, _) = agent(no_history());
+        assert!(a
+            .set_advisory(crate::advisory::Advisory::Conservative { factor: 2.0 })
+            .is_err());
+        assert_eq!(a.advisory(), crate::advisory::Advisory::Normal);
+    }
+
+    #[test]
+    fn trend_damping_beats_slow_ewma_on_collapse() {
+        let cfg = RiptideConfig::builder()
+            .alpha(0.9)
+            .trend(crate::trend::TrendPolicy::default())
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        let mut high = FnObserver(|| vec![obs([10, 0, 1, 1], 100)]);
+        a.tick(SimTime::from_secs(1), &mut high, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(100));
+        // Windows collapse to 20; EWMA alone would install 92, the trend
+        // override caps at fresh/2 = 10.
+        let mut low = FnObserver(|| vec![obs([10, 0, 1, 1], 20)]);
+        a.tick(SimTime::from_secs(2), &mut low, &mut routes);
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)),
+            Some(10),
+            "aggressive decrease beyond the blend"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        let mut silent = FnObserver(Vec::new);
+        a.tick(SimTime::from_secs(100), &mut silent, &mut routes);
+        let s = a.stats();
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.observations, 1);
+        assert_eq!(s.route_updates, 1);
+        assert_eq!(s.route_expirations, 1);
+        assert_eq!(s.errors, 0);
+    }
+}

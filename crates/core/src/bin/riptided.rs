@@ -1,0 +1,220 @@
+//! `riptided` — the deployable face of the reproduction.
+//!
+//! The paper's tool is "a single Python script" that polls `ss` and runs
+//! `ip route`. This binary is the same shape: it consumes `ss -i`-format
+//! snapshots (files given on the command line, each treated as one poll
+//! `i_u` apart) and prints the exact `ip route` commands the algorithm
+//! decides on. Point it at real captures for a dry run of a deployment.
+//!
+//! ```text
+//! riptided [options] <ss-snapshot>...
+//!
+//!   --alpha <a>          EWMA weight on history      (default 0.7)
+//!   --no-history         disable the history blend
+//!   --cmax <w>           maximum window              (default 100)
+//!   --cmin <w>           minimum window              (default 10)
+//!   --ttl <secs>         entry time-to-live          (default 90)
+//!   --interval <secs>    poll interval i_u           (default 1)
+//!   --combine <s>        average|max|traffic-weighted
+//!   --granularity <g>    host | /<len>               (default host)
+//!   --trend              enable §V trend damping
+//!   --config <file>      key = value config file (flags override)
+//!   --recover            flush stale riptide routes first
+//!   --show-table         print the final learned table
+//!   --metrics            print Prometheus counters to stderr at exit
+//! ```
+
+use std::cell::RefCell;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use riptide::prelude::*;
+use riptide_linuxnet::route::RouteTable;
+use riptide_linuxnet::ss::SockTable;
+use riptide_simnet::time::{SimDuration, SimTime};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("riptided: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    // First pass: a `--config <file>` seeds the builder; flags given on
+    // the command line override it.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut builder = RiptideConfig::builder();
+    if let Some(pos) = raw.iter().position(|a| a == "--config") {
+        if pos + 1 >= raw.len() {
+            return fail("--config requires a path");
+        }
+        let path = raw.remove(pos + 1);
+        raw.remove(pos);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        match RiptideConfig::from_conf_str(&text) {
+            Ok(cfg) => {
+                builder = RiptideConfig::builder()
+                    .update_interval(cfg.update_interval)
+                    .ttl(cfg.ttl)
+                    .cwnd_max(cfg.cwnd_max)
+                    .cwnd_min(cfg.cwnd_min)
+                    .combine(cfg.combine)
+                    .history(cfg.history)
+                    .granularity(cfg.granularity);
+                if let Some(t) = cfg.trend {
+                    builder = builder.trend(t);
+                }
+            }
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    let mut snapshots: Vec<String> = Vec::new();
+    let mut recover = false;
+    let mut show_table = false;
+    let mut show_metrics = false;
+    let mut trend = false;
+    let mut interval = SimDuration::from_secs(1);
+
+    let mut args = raw.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--alpha" => match value("--alpha")
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("bad --alpha: {e}")))
+            {
+                Ok(a) => builder = builder.alpha(a),
+                Err(e) => return fail(&e),
+            },
+            "--no-history" => builder = builder.history(HistoryStrategy::None),
+            "--cmax" => match value("--cmax")
+                .and_then(|v| v.parse::<u32>().map_err(|e| format!("bad --cmax: {e}")))
+            {
+                Ok(w) => builder = builder.cwnd_max(w),
+                Err(e) => return fail(&e),
+            },
+            "--cmin" => match value("--cmin")
+                .and_then(|v| v.parse::<u32>().map_err(|e| format!("bad --cmin: {e}")))
+            {
+                Ok(w) => builder = builder.cwnd_min(w),
+                Err(e) => return fail(&e),
+            },
+            "--ttl" => match value("--ttl")
+                .and_then(|v| v.parse::<u64>().map_err(|e| format!("bad --ttl: {e}")))
+            {
+                Ok(s) => builder = builder.ttl(SimDuration::from_secs(s)),
+                Err(e) => return fail(&e),
+            },
+            "--interval" => match value("--interval")
+                .and_then(|v| v.parse::<u64>().map_err(|e| format!("bad --interval: {e}")))
+            {
+                Ok(s) => {
+                    interval = SimDuration::from_secs(s);
+                    builder = builder.update_interval(interval);
+                }
+                Err(e) => return fail(&e),
+            },
+            "--combine" => match value("--combine") {
+                Ok(v) => {
+                    let strategy = match v.as_str() {
+                        "average" => CombineStrategy::Average,
+                        "max" => CombineStrategy::Max,
+                        "traffic-weighted" => CombineStrategy::TrafficWeighted,
+                        other => return fail(&format!("unknown combine strategy {other:?}")),
+                    };
+                    builder = builder.combine(strategy);
+                }
+                Err(e) => return fail(&e),
+            },
+            "--granularity" => match value("--granularity") {
+                Ok(v) => {
+                    let g = if v == "host" {
+                        Granularity::Host
+                    } else if let Some(len) = v.strip_prefix('/') {
+                        match len.parse::<u8>() {
+                            Ok(l) if l <= 32 => Granularity::Prefix(l),
+                            _ => return fail(&format!("bad prefix length {v:?}")),
+                        }
+                    } else {
+                        return fail(&format!(
+                            "granularity must be `host` or `/<len>`, got {v:?}"
+                        ));
+                    };
+                    builder = builder.granularity(g);
+                }
+                Err(e) => return fail(&e),
+            },
+            "--trend" => trend = true,
+            "--recover" => recover = true,
+            "--show-table" => show_table = true,
+            "--metrics" => show_metrics = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: riptided [options] <ss-snapshot>...  (see --help header in source)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown option {other:?}"));
+            }
+            path => snapshots.push(path.to_string()),
+        }
+    }
+    if trend {
+        builder = builder.trend(TrendPolicy::default());
+    }
+    if snapshots.is_empty() {
+        return fail("no ss snapshots given (each file is one poll)");
+    }
+
+    let config = match builder.build() {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut agent = match RiptideAgent::new(config) {
+        Ok(a) => a,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    let table = Rc::new(RefCell::new(RouteTable::new()));
+    let mut controller = SharedRouteController::new(Rc::clone(&table));
+    if recover {
+        let removed = riptide::control::recover_stale_routes(&mut table.borrow_mut());
+        eprintln!("# recovered: flushed {removed} stale route(s)");
+    }
+
+    let mut printed = 0usize;
+    for (i, path) in snapshots.iter().enumerate() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let mut sock_table = match SockTable::parse(&text) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        let now = SimTime::ZERO + interval * (i as u64 + 1);
+        let report = agent.tick(now, &mut sock_table, &mut controller);
+        for e in &report.errors {
+            eprintln!("# {path}: {e}");
+        }
+        // Print the commands this tick produced.
+        for cmd in &controller.command_log()[printed..] {
+            println!("{cmd}");
+        }
+        printed = controller.command_log().len();
+    }
+
+    if show_table {
+        eprintln!("# learned table:");
+        eprint!("{}", table.borrow().render());
+    }
+    if show_metrics {
+        eprint!("{}", agent.stats().render_prometheus());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,151 @@
+//! Per-destination combination strategies (§III-B "Combination
+//! Algorithm").
+//!
+//! When several connections to the same destination are open at poll time,
+//! their windows must be reduced to one number. The deployed system
+//! averages; the paper sketches a more aggressive variant (the maximum
+//! "represents the most the link is capable of handling") and a more
+//! conservative one (weight each window by the traffic that has actually
+//! passed through it, "information which is also available via ss").
+
+use crate::observe::CwndObservation;
+
+/// How simultaneous observations of one destination collapse to a single
+/// window value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CombineStrategy {
+    /// Arithmetic mean of the observed windows — the deployed choice.
+    #[default]
+    Average,
+    /// Maximum observed window — the aggressive variant.
+    Max,
+    /// Mean of windows weighted by each connection's `bytes_acked` — the
+    /// conservative variant (a barely-used connection's window says little
+    /// about the path). Connections with zero traffic get a weight of one
+    /// byte so a group of all-idle connections still produces a value.
+    TrafficWeighted,
+}
+
+impl CombineStrategy {
+    /// Collapses a non-empty group of observations to one window value.
+    ///
+    /// Returns `None` for an empty group (no information, no route).
+    pub fn combine(self, group: &[CwndObservation]) -> Option<f64> {
+        if group.is_empty() {
+            return None;
+        }
+        Some(match self {
+            CombineStrategy::Average => {
+                group.iter().map(|o| o.cwnd as f64).sum::<f64>() / group.len() as f64
+            }
+            CombineStrategy::Max => group
+                .iter()
+                .map(|o| o.cwnd as f64)
+                .fold(f64::NEG_INFINITY, f64::max),
+            CombineStrategy::TrafficWeighted => {
+                let total_weight: f64 = group.iter().map(|o| (o.bytes_acked.max(1)) as f64).sum();
+                group
+                    .iter()
+                    .map(|o| o.cwnd as f64 * (o.bytes_acked.max(1)) as f64)
+                    .sum::<f64>()
+                    / total_weight
+            }
+        })
+    }
+
+    /// A short identifier for reports and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            CombineStrategy::Average => "average",
+            CombineStrategy::Max => "max",
+            CombineStrategy::TrafficWeighted => "traffic-weighted",
+        }
+    }
+}
+
+impl std::fmt::Display for CombineStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn obs(cwnd: u32, bytes: u64) -> CwndObservation {
+        CwndObservation {
+            dst: Ipv4Addr::new(10, 0, 1, 1),
+            cwnd,
+            bytes_acked: bytes,
+        }
+    }
+
+    #[test]
+    fn empty_group_yields_none() {
+        for s in [
+            CombineStrategy::Average,
+            CombineStrategy::Max,
+            CombineStrategy::TrafficWeighted,
+        ] {
+            assert_eq!(s.combine(&[]), None);
+        }
+    }
+
+    #[test]
+    fn average_is_the_papers_fig7() {
+        // Fig. 7: observed windows averaging to 80 produce initcwnd 80.
+        let group = [obs(60, 0), obs(80, 0), obs(100, 0)];
+        assert_eq!(CombineStrategy::Average.combine(&group), Some(80.0));
+    }
+
+    #[test]
+    fn max_is_aggressive() {
+        let group = [obs(20, 0), obs(90, 0), obs(40, 0)];
+        assert_eq!(CombineStrategy::Max.combine(&group), Some(90.0));
+    }
+
+    #[test]
+    fn traffic_weighting_discounts_idle_connections() {
+        // A big window on a connection that moved almost nothing should
+        // barely count.
+        let group = [obs(100, 10), obs(20, 1_000_000)];
+        let v = CombineStrategy::TrafficWeighted.combine(&group).unwrap();
+        assert!((19.0..21.0).contains(&v), "weighted value {v}");
+        // Plain average would say 60.
+        assert_eq!(CombineStrategy::Average.combine(&group), Some(60.0));
+    }
+
+    #[test]
+    fn traffic_weighting_survives_all_zero_traffic() {
+        let group = [obs(30, 0), obs(50, 0)];
+        assert_eq!(
+            CombineStrategy::TrafficWeighted.combine(&group),
+            Some(40.0),
+            "zero-traffic group degrades to plain average"
+        );
+    }
+
+    #[test]
+    fn single_observation_passes_through() {
+        let group = [obs(42, 999)];
+        for s in [
+            CombineStrategy::Average,
+            CombineStrategy::Max,
+            CombineStrategy::TrafficWeighted,
+        ] {
+            assert_eq!(s.combine(&group), Some(42.0), "{s}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CombineStrategy::Average.to_string(), "average");
+        assert_eq!(CombineStrategy::Max.to_string(), "max");
+        assert_eq!(
+            CombineStrategy::TrafficWeighted.to_string(),
+            "traffic-weighted"
+        );
+    }
+}

@@ -1,0 +1,466 @@
+//! Riptide's tunable parameters (Table I of the paper) and their builder.
+
+use riptide_simnet::time::SimDuration;
+
+use crate::combine::CombineStrategy;
+use crate::granularity::Granularity;
+use crate::history::HistoryStrategy;
+
+/// The agent's configuration: Table I of the paper plus the §III-B
+/// strategy choices.
+///
+/// | Paper | Field | Deployment value |
+/// |-------|-------|------------------|
+/// | `α` | part of [`HistoryStrategy::Ewma`] | weight on history (unspecified in the paper; 0.7 here) |
+/// | `i_u` | `update_interval` | 1 s (§IV-A) |
+/// | `t` | `ttl` | 90 s (§III-B) |
+/// | `c_max` | `cwnd_max` | 100 (§IV-B knee) |
+/// | `c_min` | `cwnd_min` | 10 (the kernel default floor) |
+///
+/// # Examples
+///
+/// ```
+/// use riptide::config::RiptideConfig;
+/// use riptide_simnet::time::SimDuration;
+///
+/// let cfg = RiptideConfig::builder()
+///     .cwnd_max(100)
+///     .update_interval(SimDuration::from_secs(1))
+///     .alpha(0.7)
+///     .build()?;
+/// assert_eq!(cfg.cwnd_max, 100);
+/// # Ok::<(), riptide::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiptideConfig {
+    /// `i_u`: how often the agent polls open connections and refreshes
+    /// routes.
+    pub update_interval: SimDuration,
+    /// `t`: how long a learned value survives without fresh observations
+    /// before its route is withdrawn (default restored).
+    pub ttl: SimDuration,
+    /// `c_max`: ceiling on any installed initial window.
+    pub cwnd_max: u32,
+    /// `c_min`: floor on any installed initial window.
+    pub cwnd_min: u32,
+    /// How simultaneous observations to one destination are combined
+    /// (§III-B "Combination Algorithm").
+    pub combine: CombineStrategy,
+    /// How the fresh combined value is blended with history (§III-B).
+    pub history: HistoryStrategy,
+    /// Destination grouping: per-host /32 routes or per-prefix routes
+    /// (§III-B "Destinations as Routes").
+    pub granularity: Granularity,
+    /// Optional trend-based damping (§V): react to sharp per-destination
+    /// window collapses faster than the history blend would.
+    pub trend: Option<crate::trend::TrendPolicy>,
+}
+
+impl RiptideConfig {
+    /// The paper's deployment configuration: 1 s polling, 90 s TTL,
+    /// windows clamped to `[10, 100]`, per-destination averaging with an
+    /// EWMA over history, host-granularity routes.
+    pub fn deployment() -> Self {
+        RiptideConfig {
+            update_interval: SimDuration::from_secs(1),
+            ttl: SimDuration::from_secs(90),
+            cwnd_max: 100,
+            cwnd_min: 10,
+            combine: CombineStrategy::Average,
+            history: HistoryStrategy::Ewma { alpha: 0.7 },
+            granularity: Granularity::Host,
+            trend: None,
+        }
+    }
+
+    /// Starts building a configuration from the deployment defaults.
+    pub fn builder() -> RiptideConfigBuilder {
+        RiptideConfigBuilder {
+            config: RiptideConfig::deployment(),
+        }
+    }
+
+    /// Clamps a computed window into `[cwnd_min, cwnd_max]`.
+    pub fn clamp(&self, window: f64) -> u32 {
+        let w = window.round();
+        let w = if w < self.cwnd_min as f64 {
+            self.cwnd_min as f64
+        } else if w > self.cwnd_max as f64 {
+            self.cwnd_max as f64
+        } else {
+            w
+        };
+        w as u32
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if bounds are inverted, intervals are zero,
+    /// or the history strategy's parameters are out of range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cwnd_min == 0 {
+            return Err(ConfigError::new("cwnd_min must be at least 1"));
+        }
+        if self.cwnd_min > self.cwnd_max {
+            return Err(ConfigError::new(format!(
+                "cwnd_min ({}) must not exceed cwnd_max ({})",
+                self.cwnd_min, self.cwnd_max
+            )));
+        }
+        if self.update_interval.is_zero() {
+            return Err(ConfigError::new("update_interval must be non-zero"));
+        }
+        if self.ttl < self.update_interval {
+            return Err(ConfigError::new(
+                "ttl shorter than update_interval would expire entries between polls",
+            ));
+        }
+        self.history
+            .validate()
+            .map_err(|e| ConfigError::new(format!("history: {e}")))?;
+        self.granularity
+            .validate()
+            .map_err(|e| ConfigError::new(format!("granularity: {e}")))?;
+        if let Some(trend) = &self.trend {
+            trend
+                .validate()
+                .map_err(|e| ConfigError::new(format!("trend: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for RiptideConfig {
+    fn default() -> Self {
+        RiptideConfig::deployment()
+    }
+}
+
+/// Builder for [`RiptideConfig`], starting from deployment defaults.
+#[derive(Debug, Clone)]
+pub struct RiptideConfigBuilder {
+    config: RiptideConfig,
+}
+
+impl RiptideConfigBuilder {
+    /// Sets `i_u`, the polling interval.
+    pub fn update_interval(mut self, v: SimDuration) -> Self {
+        self.config.update_interval = v;
+        self
+    }
+
+    /// Sets `t`, the entry time-to-live.
+    pub fn ttl(mut self, v: SimDuration) -> Self {
+        self.config.ttl = v;
+        self
+    }
+
+    /// Sets `c_max`.
+    pub fn cwnd_max(mut self, v: u32) -> Self {
+        self.config.cwnd_max = v;
+        self
+    }
+
+    /// Sets `c_min`.
+    pub fn cwnd_min(mut self, v: u32) -> Self {
+        self.config.cwnd_min = v;
+        self
+    }
+
+    /// Sets the combination strategy.
+    pub fn combine(mut self, v: CombineStrategy) -> Self {
+        self.config.combine = v;
+        self
+    }
+
+    /// Sets the history strategy.
+    pub fn history(mut self, v: HistoryStrategy) -> Self {
+        self.config.history = v;
+        self
+    }
+
+    /// Shorthand: keep the EWMA history strategy but set its `α`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.history = HistoryStrategy::Ewma { alpha };
+        self
+    }
+
+    /// Sets the destination granularity.
+    pub fn granularity(mut self, v: Granularity) -> Self {
+        self.config.granularity = v;
+        self
+    }
+
+    /// Enables trend-based damping (§V).
+    pub fn trend(mut self, v: crate::trend::TrendPolicy) -> Self {
+        self.config.trend = Some(v);
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the assembled configuration fails
+    /// [`RiptideConfig::validate`].
+    pub fn build(self) -> Result<RiptideConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl RiptideConfig {
+    /// Parses a deployment-style configuration file: one `key = value`
+    /// pair per line, `#` comments, unknown keys rejected. Keys mirror
+    /// Table I and the §III-B strategy choices:
+    ///
+    /// ```text
+    /// # riptide.conf
+    /// alpha = 0.7            # or: history = none | windowed:<n>
+    /// interval = 1           # seconds (i_u)
+    /// ttl = 90               # seconds (t)
+    /// cmax = 100
+    /// cmin = 10
+    /// combine = average      # average | max | traffic-weighted
+    /// granularity = host     # host | /<len>
+    /// trend = off            # off | on | <drop>:<overshoot>
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on unknown keys, malformed values, or a
+    /// configuration failing [`RiptideConfig::validate`].
+    pub fn from_conf_str(text: &str) -> Result<Self, ConfigError> {
+        let mut builder = RiptideConfig::builder();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                ConfigError::new(format!("line {}: expected key = value", lineno + 1))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| ConfigError::new(format!("line {}: {what}", lineno + 1));
+            builder = match key {
+                "alpha" => {
+                    builder.alpha(value.parse().map_err(|e| bad(&format!("bad alpha: {e}")))?)
+                }
+                "history" => {
+                    let strategy = if value == "none" {
+                        HistoryStrategy::None
+                    } else if let Some(n) = value.strip_prefix("windowed:") {
+                        HistoryStrategy::WindowedMean {
+                            window: n.parse().map_err(|e| bad(&format!("bad window: {e}")))?,
+                        }
+                    } else {
+                        return Err(bad(&format!("unknown history {value:?}")));
+                    };
+                    builder.history(strategy)
+                }
+                "interval" => builder.update_interval(SimDuration::from_secs(
+                    value
+                        .parse()
+                        .map_err(|e| bad(&format!("bad interval: {e}")))?,
+                )),
+                "ttl" => builder.ttl(SimDuration::from_secs(
+                    value.parse().map_err(|e| bad(&format!("bad ttl: {e}")))?,
+                )),
+                "cmax" => {
+                    builder.cwnd_max(value.parse().map_err(|e| bad(&format!("bad cmax: {e}")))?)
+                }
+                "cmin" => {
+                    builder.cwnd_min(value.parse().map_err(|e| bad(&format!("bad cmin: {e}")))?)
+                }
+                "combine" => builder.combine(match value {
+                    "average" => CombineStrategy::Average,
+                    "max" => CombineStrategy::Max,
+                    "traffic-weighted" => CombineStrategy::TrafficWeighted,
+                    other => return Err(bad(&format!("unknown combine {other:?}"))),
+                }),
+                "granularity" => {
+                    let g = if value == "host" {
+                        Granularity::Host
+                    } else if let Some(len) = value.strip_prefix('/') {
+                        Granularity::Prefix(
+                            len.parse().map_err(|e| bad(&format!("bad prefix: {e}")))?,
+                        )
+                    } else {
+                        return Err(bad(&format!("unknown granularity {value:?}")));
+                    };
+                    builder.granularity(g)
+                }
+                "trend" => match value {
+                    "off" => builder,
+                    "on" => builder.trend(crate::trend::TrendPolicy::default()),
+                    spec => {
+                        let (drop, overshoot) = spec
+                            .split_once(':')
+                            .ok_or_else(|| bad("trend must be off | on | <drop>:<overshoot>"))?;
+                        builder.trend(crate::trend::TrendPolicy {
+                            drop_fraction: drop
+                                .parse()
+                                .map_err(|e| bad(&format!("bad drop: {e}")))?,
+                            overshoot: overshoot
+                                .parse()
+                                .map_err(|e| bad(&format!("bad overshoot: {e}")))?,
+                        })
+                    }
+                },
+                other => return Err(bad(&format!("unknown key {other:?}"))),
+            };
+        }
+        builder.build()
+    }
+}
+
+/// An invalid [`RiptideConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid riptide config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_matches_paper() {
+        let cfg = RiptideConfig::deployment();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.update_interval, SimDuration::from_secs(1));
+        assert_eq!(cfg.ttl, SimDuration::from_secs(90));
+        assert_eq!(cfg.cwnd_max, 100);
+        assert_eq!(cfg.cwnd_min, 10);
+        assert_eq!(cfg.combine, CombineStrategy::Average);
+        assert_eq!(cfg.granularity, Granularity::Host);
+    }
+
+    #[test]
+    fn clamp_bounds_both_sides() {
+        let cfg = RiptideConfig::deployment();
+        assert_eq!(cfg.clamp(3.0), 10);
+        assert_eq!(cfg.clamp(55.4), 55);
+        assert_eq!(cfg.clamp(55.6), 56);
+        assert_eq!(cfg.clamp(250.0), 100);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let cfg = RiptideConfig::builder()
+            .cwnd_max(250)
+            .cwnd_min(2)
+            .ttl(SimDuration::from_secs(30))
+            .update_interval(SimDuration::from_secs(5))
+            .combine(CombineStrategy::Max)
+            .granularity(Granularity::Prefix(24))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.cwnd_max, 250);
+        assert_eq!(cfg.cwnd_min, 2);
+        assert_eq!(cfg.combine, CombineStrategy::Max);
+        assert_eq!(cfg.granularity, Granularity::Prefix(24));
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let err = RiptideConfig::builder()
+            .cwnd_min(200)
+            .cwnd_max(100)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cwnd_min"));
+    }
+
+    #[test]
+    fn ttl_shorter_than_interval_rejected() {
+        assert!(RiptideConfig::builder()
+            .ttl(SimDuration::from_millis(500))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn bad_alpha_rejected() {
+        assert!(RiptideConfig::builder().alpha(1.5).build().is_err());
+        assert!(RiptideConfig::builder().alpha(-0.1).build().is_err());
+        assert!(RiptideConfig::builder().alpha(0.0).build().is_ok());
+        assert!(RiptideConfig::builder().alpha(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn conf_file_round_trip() {
+        let conf = "
+            # deployment config
+            alpha = 0.7
+            interval = 1   # i_u
+            ttl = 90
+            cmax = 100
+            cmin = 10
+            combine = average
+            granularity = host
+            trend = off
+        ";
+        let cfg = RiptideConfig::from_conf_str(conf).unwrap();
+        assert_eq!(cfg, RiptideConfig::deployment());
+    }
+
+    #[test]
+    fn conf_file_alternatives() {
+        let cfg = RiptideConfig::from_conf_str(
+            "history = windowed:5\ncombine = max\ngranularity = /24\ntrend = 0.3:0.6\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.history, HistoryStrategy::WindowedMean { window: 5 });
+        assert_eq!(cfg.combine, CombineStrategy::Max);
+        assert_eq!(cfg.granularity, Granularity::Prefix(24));
+        let trend = cfg.trend.unwrap();
+        assert!((trend.drop_fraction - 0.3).abs() < 1e-12);
+        assert!((trend.overshoot - 0.6).abs() < 1e-12);
+        let on = RiptideConfig::from_conf_str("trend = on\n").unwrap();
+        assert!(on.trend.is_some());
+    }
+
+    #[test]
+    fn conf_file_errors_carry_line_numbers() {
+        let err = RiptideConfig::from_conf_str("alpha = 0.5\nwhat = 7\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(RiptideConfig::from_conf_str("alpha 0.5\n").is_err());
+        assert!(RiptideConfig::from_conf_str("combine = vibes\n").is_err());
+        assert!(RiptideConfig::from_conf_str("cmax = -3\n").is_err());
+        // Validation errors surface too (cmin > cmax).
+        assert!(RiptideConfig::from_conf_str("cmin = 500\n").is_err());
+    }
+
+    #[test]
+    fn empty_conf_is_the_deployment_default() {
+        let cfg = RiptideConfig::from_conf_str("# nothing\n\n").unwrap();
+        assert_eq!(cfg, RiptideConfig::deployment());
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        assert!(RiptideConfig::builder()
+            .update_interval(SimDuration::ZERO)
+            .build()
+            .is_err());
+    }
+}

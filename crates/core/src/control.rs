@@ -1,0 +1,228 @@
+//! Route control outputs: how the agent's decisions reach the kernel.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use riptide_linuxnet::ip_cmd::IpRouteCmd;
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_linuxnet::route::{RouteError, RouteTable};
+
+/// A failed route-control action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlError {
+    message: String,
+}
+
+impl ControlError {
+    /// Creates an error with a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ControlError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "route control failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<RouteError> for ControlError {
+    fn from(e: RouteError) -> Self {
+        ControlError::new(e.to_string())
+    }
+}
+
+/// The agent's actuator: install or withdraw per-destination initial
+/// congestion windows.
+///
+/// In the simulated deployment this fronts a [`RouteTable`]; a real
+/// deployment would shell out to `ip route` with exactly the commands
+/// [`SharedRouteController::command_log`] records.
+pub trait RouteController {
+    /// Installs (or updates) the initial window for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError`] if the underlying route operation fails.
+    fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError>;
+
+    /// Withdraws the window for `key`, restoring the stack default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError`] if the route does not exist or cannot be
+    /// removed.
+    fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError>;
+}
+
+impl RouteController for RouteTable {
+    fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError> {
+        IpRouteCmd::set_initcwnd(key, window).apply(self)?;
+        Ok(())
+    }
+
+    fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError> {
+        IpRouteCmd::del(key).apply(self)?;
+        Ok(())
+    }
+}
+
+/// A controller that drives a shared routing table (the shape the
+/// simulation needs: the table is simultaneously the world's initcwnd
+/// policy and the agent's actuator) and records every action as the
+/// `ip route` command a shell deployment would run.
+#[derive(Debug, Clone)]
+pub struct SharedRouteController {
+    table: Rc<RefCell<RouteTable>>,
+    log: Vec<IpRouteCmd>,
+}
+
+impl SharedRouteController {
+    /// Wraps a shared routing table.
+    pub fn new(table: Rc<RefCell<RouteTable>>) -> Self {
+        SharedRouteController {
+            table,
+            log: Vec::new(),
+        }
+    }
+
+    /// The commands issued so far, oldest first.
+    pub fn command_log(&self) -> &[IpRouteCmd] {
+        &self.log
+    }
+
+    /// Renders the command log as shell lines (one per action).
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for cmd in &self.log {
+            out.push_str(&cmd.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The shared table handle.
+    pub fn table(&self) -> Rc<RefCell<RouteTable>> {
+        Rc::clone(&self.table)
+    }
+}
+
+/// Startup recovery: removes routes a previous (crashed) agent instance
+/// left behind, so learning restarts from a clean slate instead of
+/// trusting stale windows of unknown age. Returns how many routes were
+/// removed.
+///
+/// Only `proto static` routes carrying an `initcwnd` attribute — the
+/// exact signature of Riptide's own installs — are touched; everything
+/// else in the table is someone else's.
+pub fn recover_stale_routes(table: &mut riptide_linuxnet::route::RouteTable) -> usize {
+    use riptide_linuxnet::route::RouteProto;
+    let stale: Vec<Ipv4Prefix> = table
+        .iter()
+        .filter(|r| r.attrs.proto == RouteProto::Static && r.attrs.initcwnd.is_some())
+        .map(|r| r.prefix)
+        .collect();
+    for prefix in &stale {
+        table.del(*prefix).expect("route listed a moment ago");
+    }
+    stale.len()
+}
+
+impl RouteController for SharedRouteController {
+    fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError> {
+        let cmd = IpRouteCmd::set_initcwnd(key, window);
+        cmd.apply(&mut self.table.borrow_mut())?;
+        self.log.push(cmd);
+        Ok(())
+    }
+
+    fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError> {
+        let cmd = IpRouteCmd::del(key);
+        cmd.apply(&mut self.table.borrow_mut())?;
+        self.log.push(cmd);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u8) -> Ipv4Prefix {
+        Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, n))
+    }
+
+    #[test]
+    fn route_table_is_a_controller() {
+        let mut t = RouteTable::new();
+        t.set_initcwnd(key(1), 80).unwrap();
+        assert_eq!(t.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(80));
+        t.set_initcwnd(key(1), 90).unwrap();
+        assert_eq!(t.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(90));
+        t.clear_initcwnd(key(1)).unwrap();
+        assert_eq!(t.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), None);
+    }
+
+    #[test]
+    fn clear_missing_is_an_error() {
+        let mut t = RouteTable::new();
+        assert!(t.clear_initcwnd(key(1)).is_err());
+    }
+
+    #[test]
+    fn shared_controller_logs_shell_commands() {
+        let table = Rc::new(RefCell::new(RouteTable::new()));
+        let mut ctl = SharedRouteController::new(Rc::clone(&table));
+        ctl.set_initcwnd(key(7), 80).unwrap();
+        ctl.clear_initcwnd(key(7)).unwrap();
+        let log = ctl.render_log();
+        assert_eq!(
+            log,
+            "ip route replace 10.0.1.7 proto static initcwnd 80\nip route del 10.0.1.7\n"
+        );
+        assert!(table.borrow().is_empty());
+    }
+
+    #[test]
+    fn recovery_removes_only_riptide_signature_routes() {
+        use riptide_linuxnet::route::{RouteAttrs, RouteProto};
+        let mut t = RouteTable::new();
+        // A dead predecessor's installs:
+        t.set_initcwnd(key(1), 80).unwrap();
+        t.set_initcwnd(key(2), 60).unwrap();
+        // An operator's static route without initcwnd, and a kernel route:
+        t.add("10.9.0.0/16".parse().unwrap(), RouteAttrs::default())
+            .unwrap();
+        t.add(
+            "10.8.0.0/16".parse().unwrap(),
+            RouteAttrs {
+                proto: RouteProto::Kernel,
+                initcwnd: Some(10),
+                ..RouteAttrs::default()
+            },
+        )
+        .unwrap();
+        let removed = recover_stale_routes(&mut t);
+        assert_eq!(removed, 2);
+        assert_eq!(t.len(), 2, "non-riptide routes untouched");
+        assert_eq!(t.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), None);
+    }
+
+    #[test]
+    fn shared_controller_mutations_visible_through_handle() {
+        let table = Rc::new(RefCell::new(RouteTable::new()));
+        let mut ctl = SharedRouteController::new(Rc::clone(&table));
+        ctl.set_initcwnd(key(2), 55).unwrap();
+        // The world-side policy would read the same table.
+        assert_eq!(
+            table.borrow().initcwnd_for(Ipv4Addr::new(10, 0, 1, 2)),
+            Some(55)
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Destination grouping (§III-B "Destinations as Routes").
+//!
+//! Riptide can learn and install windows per host (/32 routes) or per
+//! prefix: if two PoPs draw their addresses from known subnets and the
+//! intra-PoP interconnect is uniform, one route per remote PoP captures
+//! the same information at a fraction of the route-table and computation
+//! cost.
+
+use std::net::Ipv4Addr;
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+
+/// The key space the agent groups observations (and installs routes) on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// One /32 route per observed remote host.
+    #[default]
+    Host,
+    /// One route per covering prefix of the given length (e.g. `24` for
+    /// one route per remote PoP in a /24-per-PoP addressing plan).
+    Prefix(u8),
+}
+
+impl Granularity {
+    /// The routing key a destination address falls under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Prefix` length exceeds 32 (rejected earlier by
+    /// [`Granularity::validate`] in checked paths).
+    pub fn key(self, dst: Ipv4Addr) -> Ipv4Prefix {
+        match self {
+            Granularity::Host => Ipv4Prefix::host(dst),
+            Granularity::Prefix(len) => Ipv4Prefix::new(dst, len),
+        }
+    }
+
+    /// Checks the prefix length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the prefix length exceeds 32.
+    pub fn validate(self) -> Result<(), String> {
+        if let Granularity::Prefix(len) = self {
+            if len > 32 {
+                return Err(format!("prefix length {len} > 32"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A short identifier for reports and benches.
+    pub fn name(self) -> String {
+        match self {
+            Granularity::Host => "host".to_string(),
+            Granularity::Prefix(len) => format!("prefix/{len}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_granularity_keys_are_slash_32() {
+        let g = Granularity::Host;
+        let k = g.key(Ipv4Addr::new(10, 0, 1, 7));
+        assert_eq!(k, Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, 7)));
+        assert_eq!(k.len(), 32);
+    }
+
+    #[test]
+    fn prefix_granularity_groups_a_pop() {
+        let g = Granularity::Prefix(24);
+        let k1 = g.key(Ipv4Addr::new(10, 0, 1, 7));
+        let k2 = g.key(Ipv4Addr::new(10, 0, 1, 250));
+        let k3 = g.key(Ipv4Addr::new(10, 0, 2, 7));
+        assert_eq!(k1, k2, "same PoP, same key");
+        assert_ne!(k1, k3, "different PoP, different key");
+        assert_eq!(k1.to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn slash_30_like_the_papers_example() {
+        // §III-B's example uses /30 operator prefixes.
+        let g = Granularity::Prefix(30);
+        let k = g.key(Ipv4Addr::new(192, 0, 2, 6));
+        assert_eq!(k.to_string(), "192.0.2.4/30");
+    }
+
+    #[test]
+    fn validation_rejects_long_prefixes() {
+        assert!(Granularity::Prefix(33).validate().is_err());
+        assert!(Granularity::Prefix(32).validate().is_ok());
+        assert!(Granularity::Host.validate().is_ok());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Granularity::Host.name(), "host");
+        assert_eq!(Granularity::Prefix(24).name(), "prefix/24");
+    }
+}

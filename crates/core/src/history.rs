@@ -1,0 +1,226 @@
+//! History strategies: how fresh observations blend with what the agent
+//! already believes (§III-B "The use of history is also flexible").
+//!
+//! The deployed system uses an exponentially weighted moving average with
+//! weight `α` on the historical value — damping both "dangerous increases"
+//! and collapses when all connections to a destination momentarily close.
+//! The paper also sketches ignoring history entirely (react fast) and a
+//! longer-view analysis (exploit consistent links); the latter is realized
+//! here as a sliding-window mean.
+
+use std::collections::VecDeque;
+
+/// How a destination's fresh combined value updates its stored value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistoryStrategy {
+    /// `final = α·previous + (1−α)·fresh` — the deployed choice.
+    Ewma {
+        /// Weight on the historical value, in `[0, 1]`.
+        alpha: f64,
+    },
+    /// No history: the fresh value is used directly.
+    None,
+    /// Mean over the last `window` fresh values — the "longer-view
+    /// historical analysis" variant.
+    WindowedMean {
+        /// Number of recent values retained (≥ 1).
+        window: usize,
+    },
+}
+
+impl Default for HistoryStrategy {
+    fn default() -> Self {
+        HistoryStrategy::Ewma { alpha: 0.7 }
+    }
+}
+
+impl HistoryStrategy {
+    /// Checks parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `alpha` is outside `[0, 1]` or the window
+    /// is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            HistoryStrategy::Ewma { alpha } => {
+                if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+                    return Err(format!("alpha must be in [0, 1], got {alpha}"));
+                }
+            }
+            HistoryStrategy::None => {}
+            HistoryStrategy::WindowedMean { window } => {
+                if window == 0 {
+                    return Err("window must be at least 1".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates the per-destination state for this strategy.
+    pub fn new_state(&self) -> HistoryState {
+        match *self {
+            HistoryStrategy::Ewma { .. } => HistoryState::Ewma { value: None },
+            HistoryStrategy::None => HistoryState::None,
+            HistoryStrategy::WindowedMean { window } => HistoryState::Window {
+                values: VecDeque::with_capacity(window),
+            },
+        }
+    }
+
+    /// Feeds a fresh combined value through the history, returning the
+    /// blended value to clamp and install.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was created by a different strategy (a logic
+    /// error in the caller).
+    pub fn blend(&self, state: &mut HistoryState, fresh: f64) -> f64 {
+        match (*self, state) {
+            (HistoryStrategy::Ewma { alpha }, HistoryState::Ewma { value }) => {
+                let blended = match *value {
+                    None => fresh,
+                    Some(prev) => alpha * prev + (1.0 - alpha) * fresh,
+                };
+                *value = Some(blended);
+                blended
+            }
+            (HistoryStrategy::None, HistoryState::None) => fresh,
+            (HistoryStrategy::WindowedMean { window }, HistoryState::Window { values }) => {
+                values.push_back(fresh);
+                while values.len() > window {
+                    values.pop_front();
+                }
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+            (strategy, state) => {
+                panic!("history state {state:?} does not match strategy {strategy:?}")
+            }
+        }
+    }
+
+    /// A short identifier for reports and benches.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistoryStrategy::Ewma { .. } => "ewma",
+            HistoryStrategy::None => "none",
+            HistoryStrategy::WindowedMean { .. } => "windowed-mean",
+        }
+    }
+}
+
+/// Per-destination memory owned by the agent's table, created by
+/// [`HistoryStrategy::new_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryState {
+    /// EWMA accumulator.
+    Ewma {
+        /// Last blended value, if any update has happened.
+        value: Option<f64>,
+    },
+    /// No memory.
+    None,
+    /// Recent fresh values, newest last.
+    Window {
+        /// Retained values.
+        values: VecDeque<f64>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_value_passes_through() {
+        let s = HistoryStrategy::Ewma { alpha: 0.7 };
+        let mut st = s.new_state();
+        assert_eq!(s.blend(&mut st, 50.0), 50.0);
+    }
+
+    #[test]
+    fn ewma_damps_jumps() {
+        let s = HistoryStrategy::Ewma { alpha: 0.7 };
+        let mut st = s.new_state();
+        s.blend(&mut st, 50.0);
+        // A spike to 150 moves the value only 30% of the way.
+        let v = s.blend(&mut st, 150.0);
+        assert!((v - 80.0).abs() < 1e-9, "got {v}");
+        // A collapse to 10 is likewise damped.
+        let v = s.blend(&mut st, 10.0);
+        assert!((v - 59.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn ewma_alpha_zero_ignores_history() {
+        let s = HistoryStrategy::Ewma { alpha: 0.0 };
+        let mut st = s.new_state();
+        s.blend(&mut st, 50.0);
+        assert_eq!(s.blend(&mut st, 90.0), 90.0);
+    }
+
+    #[test]
+    fn ewma_alpha_one_freezes() {
+        let s = HistoryStrategy::Ewma { alpha: 1.0 };
+        let mut st = s.new_state();
+        s.blend(&mut st, 50.0);
+        assert_eq!(s.blend(&mut st, 90.0), 50.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_steady_input() {
+        let s = HistoryStrategy::Ewma { alpha: 0.7 };
+        let mut st = s.new_state();
+        let mut v = s.blend(&mut st, 10.0);
+        for _ in 0..100 {
+            v = s.blend(&mut st, 100.0);
+        }
+        assert!((v - 100.0).abs() < 0.01, "converged to {v}");
+    }
+
+    #[test]
+    fn none_strategy_is_memoryless() {
+        let s = HistoryStrategy::None;
+        let mut st = s.new_state();
+        assert_eq!(s.blend(&mut st, 42.0), 42.0);
+        assert_eq!(s.blend(&mut st, 7.0), 7.0);
+    }
+
+    #[test]
+    fn windowed_mean_slides() {
+        let s = HistoryStrategy::WindowedMean { window: 3 };
+        let mut st = s.new_state();
+        assert_eq!(s.blend(&mut st, 10.0), 10.0);
+        assert_eq!(s.blend(&mut st, 20.0), 15.0);
+        assert_eq!(s.blend(&mut st, 30.0), 20.0);
+        // Window full: the 10 falls out.
+        assert_eq!(s.blend(&mut st, 40.0), 30.0);
+    }
+
+    #[test]
+    fn mismatched_state_panics() {
+        let s = HistoryStrategy::None;
+        let mut st = HistoryStrategy::default().new_state();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.blend(&mut st, 1.0);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HistoryStrategy::Ewma { alpha: 0.5 }.validate().is_ok());
+        assert!(HistoryStrategy::Ewma { alpha: 1.1 }.validate().is_err());
+        assert!(HistoryStrategy::Ewma { alpha: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(HistoryStrategy::WindowedMean { window: 0 }
+            .validate()
+            .is_err());
+        assert!(HistoryStrategy::WindowedMean { window: 5 }
+            .validate()
+            .is_ok());
+        assert!(HistoryStrategy::None.validate().is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! # riptide
+//!
+//! A from-scratch implementation of **Riptide** — the tool from
+//! *"Riptide: Jump-Starting Back-Office Connections in Cloud Systems"*
+//! (Flores, Khakpour, Bedi — ICDCS 2016).
+//!
+//! Riptide observes the congestion windows of a host's live TCP
+//! connections, learns a per-destination window from them, and installs
+//! that value as the `initcwnd` attribute of a per-destination route, so
+//! *new* connections to a known destination skip the cold part of slow
+//! start and enter the network at a level the path is known to support.
+//!
+//! ## Anatomy
+//!
+//! * [`agent::RiptideAgent`] — Algorithm 1: poll → group → combine →
+//!   history-blend → clamp → install, plus TTL expiry.
+//! * [`config::RiptideConfig`] — Table I's parameters (`α`, `i_u`, `t`,
+//!   `c_max`, `c_min`) with a builder.
+//! * [`combine::CombineStrategy`] / [`history::HistoryStrategy`] /
+//!   [`granularity::Granularity`] — the §III-B design alternatives
+//!   (average vs max vs traffic-weighted; EWMA vs none vs windowed;
+//!   host routes vs prefix routes).
+//! * [`observe`] — input side: [`observe::WindowObserver`] and adapters
+//!   from `ss`-style socket tables.
+//! * [`control`] — output side: [`control::RouteController`] over a
+//!   Linux-style routing table, logging the exact `ip route` commands a
+//!   shell deployment would run.
+//! * [`model`] — the paper's §II-B analytic model of slow-start round
+//!   trips, driving Figures 3/4/6.
+//!
+//! ## Example
+//!
+//! ```
+//! use riptide::prelude::*;
+//! use riptide_linuxnet::route::RouteTable;
+//! use riptide_simnet::time::SimTime;
+//! use std::net::Ipv4Addr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut agent = RiptideAgent::new(RiptideConfig::deployment())?;
+//! let mut routes = RouteTable::new();
+//! let mut observer = FnObserver(|| vec![
+//!     CwndObservation { dst: Ipv4Addr::new(10, 0, 0, 127), cwnd: 80, bytes_acked: 1 << 20 },
+//! ]);
+//! agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
+//! // New connections to 10.0.0.127 now start at a window of 80:
+//! assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 127)), Some(80));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advisory;
+pub mod agent;
+pub mod combine;
+pub mod config;
+pub mod control;
+pub mod granularity;
+pub mod history;
+pub mod kernel;
+pub mod model;
+pub mod observe;
+pub mod table;
+pub mod trend;
+
+/// The types most users need, importable in one line.
+pub mod prelude {
+    pub use crate::advisory::Advisory;
+    pub use crate::agent::{AgentStats, RiptideAgent, TickReport};
+    pub use crate::combine::CombineStrategy;
+    pub use crate::config::{RiptideConfig, RiptideConfigBuilder};
+    pub use crate::control::{
+        recover_stale_routes, ControlError, RouteController, SharedRouteController,
+    };
+    pub use crate::granularity::Granularity;
+    pub use crate::history::HistoryStrategy;
+    pub use crate::kernel::KernelAgent;
+    pub use crate::observe::{
+        observations_from_sock_table, CwndObservation, FnObserver, WindowObserver,
+    };
+    pub use crate::table::FinalTable;
+    pub use crate::trend::TrendPolicy;
+}

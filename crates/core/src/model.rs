@@ -1,0 +1,229 @@
+//! The paper's §II-B analytic transfer model.
+//!
+//! Assumptions, exactly as stated there: zero serialization delay, no
+//! delayed ACKs, no loss, no flow-control bottleneck. Under lossless slow
+//! start a sender with initial window `w` delivers `w` segments in the
+//! first round trip, `2w` in the second, `4w` in the third, … so after
+//! `k` round trips it has delivered `w·(2^k − 1)` segments. The model
+//! inverts that: how many round trips does a file of a given size need,
+//! and what does a larger initial window save?
+//!
+//! This drives Figures 3, 4 and 6 of the paper.
+
+use riptide_simnet::time::SimDuration;
+
+/// Default MSS used throughout the paper's arithmetic (1500-byte packets
+/// with headers ≈ 1448 payload bytes; "approximately 15KB" in 10
+/// segments).
+pub const DEFAULT_MSS: u32 = 1448;
+
+/// Round trips needed to deliver `segments` full segments starting from
+/// initial window `initcwnd`, under lossless slow start.
+///
+/// Zero segments need zero round trips.
+///
+/// # Panics
+///
+/// Panics if `initcwnd` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use riptide::model::rtts_for_segments;
+///
+/// // 100 KB ≈ 70 segments: windows 10,20,40 → 3 RTTs at the default.
+/// assert_eq!(rtts_for_segments(70, 10), 3);
+/// // With initcwnd 100 the whole file fits in the first round trip.
+/// assert_eq!(rtts_for_segments(70, 100), 1);
+/// ```
+pub fn rtts_for_segments(segments: u64, initcwnd: u32) -> u32 {
+    assert!(initcwnd > 0, "initcwnd must be positive");
+    if segments == 0 {
+        return 0;
+    }
+    let w = initcwnd as u64;
+    let mut rtts = 0u32;
+    let mut delivered = 0u64;
+    let mut window = w;
+    while delivered < segments {
+        delivered = delivered.saturating_add(window);
+        window = window.saturating_mul(2);
+        rtts += 1;
+    }
+    rtts
+}
+
+/// Round trips needed for a `bytes`-sized file with the given MSS.
+///
+/// # Panics
+///
+/// Panics if `mss` or `initcwnd` is zero.
+pub fn rtts_for_bytes(bytes: u64, mss: u32, initcwnd: u32) -> u32 {
+    assert!(mss > 0, "mss must be positive");
+    rtts_for_segments(bytes.div_ceil(mss as u64), initcwnd)
+}
+
+/// Fractional reduction in round trips from raising the initial window
+/// from `base_initcwnd` to `initcwnd` for a `bytes`-sized file — the
+/// quantity Fig. 4 plots (as a percentage) against file size.
+///
+/// Returns 0 for empty files.
+pub fn rtt_gain(bytes: u64, mss: u32, initcwnd: u32, base_initcwnd: u32) -> f64 {
+    let base = rtts_for_bytes(bytes, mss, base_initcwnd);
+    if base == 0 {
+        return 0.0;
+    }
+    let improved = rtts_for_bytes(bytes, mss, initcwnd);
+    (base as f64 - improved as f64) / base as f64
+}
+
+/// Total transfer time for a file under the model: data round trips
+/// (plus one for the handshake when `include_handshake`) multiplied by
+/// the path RTT. Drives Fig. 6.
+pub fn transfer_time(
+    bytes: u64,
+    mss: u32,
+    initcwnd: u32,
+    rtt: SimDuration,
+    include_handshake: bool,
+) -> SimDuration {
+    let mut rtts = rtts_for_bytes(bytes, mss, initcwnd);
+    if include_handshake {
+        rtts += 1;
+    }
+    rtt.saturating_mul(rtts as u64)
+}
+
+/// The largest file (in bytes) that completes in a single round trip at
+/// the given initial window — the "fits in the initial window" threshold
+/// the paper quotes as ≈15 KB for the default of 10.
+pub fn one_rtt_capacity(mss: u32, initcwnd: u32) -> u64 {
+    mss as u64 * initcwnd as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_need_zero_rtts() {
+        assert_eq!(rtts_for_segments(0, 10), 0);
+        assert_eq!(rtts_for_bytes(0, DEFAULT_MSS, 10), 0);
+    }
+
+    #[test]
+    fn one_segment_needs_one_rtt() {
+        assert_eq!(rtts_for_segments(1, 10), 1);
+        assert_eq!(rtts_for_bytes(1, DEFAULT_MSS, 10), 1);
+    }
+
+    #[test]
+    fn slow_start_doubling_schedule() {
+        // iw=10: cumulative capacity 10, 30, 70, 150, ...
+        assert_eq!(rtts_for_segments(10, 10), 1);
+        assert_eq!(rtts_for_segments(11, 10), 2);
+        assert_eq!(rtts_for_segments(30, 10), 2);
+        assert_eq!(rtts_for_segments(31, 10), 3);
+        assert_eq!(rtts_for_segments(70, 10), 3);
+        assert_eq!(rtts_for_segments(71, 10), 4);
+        assert_eq!(rtts_for_segments(150, 10), 4);
+    }
+
+    #[test]
+    fn papers_15kb_threshold() {
+        // §I: "any flows larger than 15KB requiring more than a single
+        // RTT" with the default window of 10.
+        assert_eq!(one_rtt_capacity(DEFAULT_MSS, 10), 14_480);
+        assert_eq!(rtts_for_bytes(14_480, DEFAULT_MSS, 10), 1);
+        assert_eq!(rtts_for_bytes(15_000, DEFAULT_MSS, 10), 2);
+    }
+
+    #[test]
+    fn papers_100kb_example() {
+        // §II-B / Fig. 6: 100 KB at the paper's four candidate windows.
+        let bytes = 100 * 1000;
+        assert_eq!(rtts_for_bytes(bytes, DEFAULT_MSS, 10), 3);
+        assert_eq!(rtts_for_bytes(bytes, DEFAULT_MSS, 25), 2);
+        assert_eq!(rtts_for_bytes(bytes, DEFAULT_MSS, 50), 2);
+        assert_eq!(rtts_for_bytes(bytes, DEFAULT_MSS, 100), 1);
+    }
+
+    #[test]
+    fn probe_sizes_match_paper_claims() {
+        // §IV-A: "the 50 and 100KB probes are too large to fit in the
+        // Linux default initial congestion window of 10"; 10 KB fits.
+        assert_eq!(rtts_for_bytes(10_000, DEFAULT_MSS, 10), 1);
+        assert!(rtts_for_bytes(50_000, DEFAULT_MSS, 10) > 1);
+        assert!(rtts_for_bytes(100_000, DEFAULT_MSS, 10) > 1);
+    }
+
+    #[test]
+    fn gain_is_zero_when_file_already_fits() {
+        assert_eq!(rtt_gain(10_000, DEFAULT_MSS, 100, 10), 0.0);
+        assert_eq!(rtt_gain(0, DEFAULT_MSS, 100, 10), 0.0);
+    }
+
+    #[test]
+    fn gain_for_100kb_matches_hand_arithmetic() {
+        // 3 RTTs -> 1 RTT: 66.7% reduction.
+        let g = rtt_gain(100_000, DEFAULT_MSS, 100, 10);
+        assert!((g - 2.0 / 3.0).abs() < 1e-9, "gain {g}");
+        // 3 -> 2: 33.3%.
+        let g = rtt_gain(100_000, DEFAULT_MSS, 25, 10);
+        assert!((g - 1.0 / 3.0).abs() < 1e-9, "gain {g}");
+    }
+
+    #[test]
+    fn gain_diminishes_for_very_large_files() {
+        // Fig. 4: benefits fade past ~1 MB because many RTTs are needed
+        // regardless.
+        let small = rtt_gain(100_000, DEFAULT_MSS, 100, 10);
+        let large = rtt_gain(10_000_000, DEFAULT_MSS, 100, 10);
+        assert!(large < small, "gain {large} should fade vs {small}");
+        assert!(large < 0.45, "very large files keep most of their RTTs");
+    }
+
+    #[test]
+    fn transfer_time_scales_with_rtt() {
+        // The paper's median-RTT example: at 125 ms, 100 KB takes
+        // 375 ms at iw=10 vs 125 ms at iw=100 — a 250 ms saving.
+        let rtt = SimDuration::from_millis(125);
+        let slow = transfer_time(100_000, DEFAULT_MSS, 10, rtt, false);
+        let fast = transfer_time(100_000, DEFAULT_MSS, 100, rtt, false);
+        assert_eq!(slow, SimDuration::from_millis(375));
+        assert_eq!(fast, SimDuration::from_millis(125));
+        assert_eq!(slow - fast, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn handshake_adds_one_rtt() {
+        let rtt = SimDuration::from_millis(100);
+        let without = transfer_time(10_000, DEFAULT_MSS, 10, rtt, false);
+        let with = transfer_time(10_000, DEFAULT_MSS, 10, rtt, true);
+        assert_eq!(with - without, rtt);
+    }
+
+    #[test]
+    fn monotonicity_bigger_window_never_hurts() {
+        for bytes in [1u64, 10_000, 50_000, 100_000, 1_000_000, 10_000_000] {
+            let mut prev = u32::MAX;
+            for iw in [10u32, 25, 50, 100, 200] {
+                let r = rtts_for_bytes(bytes, DEFAULT_MSS, iw);
+                assert!(r <= prev, "rtts must not increase with window");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initcwnd")]
+    fn zero_initcwnd_panics() {
+        let _ = rtts_for_segments(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mss")]
+    fn zero_mss_panics() {
+        let _ = rtts_for_bytes(10, 0, 10);
+    }
+}

@@ -1,0 +1,197 @@
+//! The agent's final-values table: one learned window per destination
+//! key, with history state and TTL bookkeeping.
+
+use std::collections::BTreeMap;
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_simnet::time::{SimDuration, SimTime};
+
+use crate::history::{HistoryState, HistoryStrategy};
+
+/// One destination's learned state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinalEntry {
+    /// The clamped window currently installed for this destination.
+    pub window: u32,
+    /// History accumulator feeding the next blend.
+    pub history: HistoryState,
+    /// The most recent *fresh* (pre-blend) combined value — what the
+    /// trend policy differentiates.
+    pub last_fresh: f64,
+    /// When the entry was last refreshed by an observation.
+    pub last_updated: SimTime,
+}
+
+/// The per-destination table of Algorithm 1's "final window values".
+///
+/// Keys are routing prefixes (the configured granularity applied to
+/// destination addresses). Iteration order is deterministic (BTreeMap),
+/// so route updates replay identically across runs.
+#[derive(Debug, Clone, Default)]
+pub struct FinalTable {
+    entries: BTreeMap<Ipv4Prefix, FinalEntry>,
+}
+
+impl FinalTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FinalTable::default()
+    }
+
+    /// Number of live destinations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `key`, if present.
+    pub fn get(&self, key: &Ipv4Prefix) -> Option<&FinalEntry> {
+        self.entries.get(key)
+    }
+
+    /// The installed window for `key`, if present.
+    pub fn window(&self, key: &Ipv4Prefix) -> Option<u32> {
+        self.entries.get(key).map(|e| e.window)
+    }
+
+    /// Blends `fresh` into the entry for `key` (creating it if new),
+    /// stamps it with `now`, stores the clamped `window`, and returns the
+    /// blended pre-clamp value.
+    pub fn update(
+        &mut self,
+        key: Ipv4Prefix,
+        fresh: f64,
+        window: u32,
+        strategy: &HistoryStrategy,
+        now: SimTime,
+    ) -> f64 {
+        let entry = self.entries.entry(key).or_insert_with(|| FinalEntry {
+            window,
+            history: strategy.new_state(),
+            last_fresh: fresh,
+            last_updated: now,
+        });
+        let blended = strategy.blend(&mut entry.history, fresh);
+        entry.window = window;
+        entry.last_fresh = fresh;
+        entry.last_updated = now;
+        blended
+    }
+
+    /// The most recent fresh (pre-blend) value recorded for `key`.
+    pub fn last_fresh(&self, key: &Ipv4Prefix) -> Option<f64> {
+        self.entries.get(key).map(|e| e.last_fresh)
+    }
+
+    /// Records the final clamped window for `key` after blending (split
+    /// from [`FinalTable::update`] because the clamp depends on the
+    /// blended value).
+    pub fn set_window(&mut self, key: &Ipv4Prefix, window: u32) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.window = window;
+        }
+    }
+
+    /// Blends `fresh` through the history for `key` without committing a
+    /// window yet, creating the entry if needed.
+    pub fn blend(
+        &mut self,
+        key: Ipv4Prefix,
+        fresh: f64,
+        strategy: &HistoryStrategy,
+        now: SimTime,
+    ) -> f64 {
+        let entry = self.entries.entry(key).or_insert_with(|| FinalEntry {
+            window: 0,
+            history: strategy.new_state(),
+            last_fresh: fresh,
+            last_updated: now,
+        });
+        entry.last_updated = now;
+        let blended = strategy.blend(&mut entry.history, fresh);
+        entry.last_fresh = fresh;
+        blended
+    }
+
+    /// Removes and returns every key whose entry is older than `ttl` at
+    /// `now` — Algorithm 1's expiry step.
+    pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> Vec<Ipv4Prefix> {
+        let dead: Vec<Ipv4Prefix> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.saturating_since(e.last_updated) > ttl)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &dead {
+            self.entries.remove(k);
+        }
+        dead
+    }
+
+    /// Iterates live entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &FinalEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u8) -> Ipv4Prefix {
+        Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    #[test]
+    fn blend_then_set_window_round_trip() {
+        let strategy = HistoryStrategy::Ewma { alpha: 0.5 };
+        let mut t = FinalTable::new();
+        let b = t.blend(key(1), 60.0, &strategy, SimTime::from_secs(1));
+        assert_eq!(b, 60.0);
+        t.set_window(&key(1), 60);
+        assert_eq!(t.window(&key(1)), Some(60));
+        // Second observation blends 50/50.
+        let b = t.blend(key(1), 100.0, &strategy, SimTime::from_secs(2));
+        assert_eq!(b, 80.0);
+    }
+
+    #[test]
+    fn expire_removes_stale_entries_only() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::new();
+        t.blend(key(1), 50.0, &strategy, SimTime::from_secs(0));
+        t.blend(key(2), 50.0, &strategy, SimTime::from_secs(80));
+        let dead = t.expire(SimTime::from_secs(85), SimDuration::from_secs(90));
+        assert!(dead.is_empty(), "nothing older than 90s yet");
+        let dead = t.expire(SimTime::from_secs(95), SimDuration::from_secs(90));
+        assert_eq!(dead, vec![key(1)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn refresh_resets_ttl() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::new();
+        t.blend(key(1), 50.0, &strategy, SimTime::from_secs(0));
+        t.blend(key(1), 55.0, &strategy, SimTime::from_secs(60));
+        let dead = t.expire(SimTime::from_secs(100), SimDuration::from_secs(90));
+        assert!(dead.is_empty(), "refresh at t=60 keeps it alive at t=100");
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::new();
+        t.blend(key(9), 1.0, &strategy, SimTime::ZERO);
+        t.blend(key(1), 1.0, &strategy, SimTime::ZERO);
+        t.blend(key(5), 1.0, &strategy, SimTime::ZERO);
+        let keys: Vec<_> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![key(1), key(5), key(9)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trend-based damping (§V "Additional Algorithms").
+//!
+//! The paper: *"a significant decrease in congestion window over a short
+//! time may indicate the need to aggressively decrease the initial
+//! windows, beyond what is happening to existing connections."* The EWMA
+//! deliberately reacts slowly; this policy watches the *fresh* combined
+//! value per destination and, when it collapses between consecutive
+//! polls, overrides the blended value downward so new connections do not
+//! pile into a path that just degraded.
+
+/// Detects sharp per-destination window collapses and damps the
+/// installed value below what the history blend would give.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPolicy {
+    /// Fractional drop between consecutive fresh values that triggers
+    /// damping (e.g. `0.4` = a 40% collapse).
+    pub drop_fraction: f64,
+    /// Extra reduction applied on trigger: the installed value is capped
+    /// at `fresh × (1 − overshoot)`.
+    pub overshoot: f64,
+}
+
+impl Default for TrendPolicy {
+    fn default() -> Self {
+        TrendPolicy {
+            drop_fraction: 0.4,
+            overshoot: 0.5,
+        }
+    }
+}
+
+impl TrendPolicy {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if either fraction is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.drop_fraction) {
+            return Err(format!(
+                "drop_fraction must be in [0, 1), got {}",
+                self.drop_fraction
+            ));
+        }
+        if !(0.0..1.0).contains(&self.overshoot) {
+            return Err(format!(
+                "overshoot must be in [0, 1), got {}",
+                self.overshoot
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether a move from `previous_fresh` to `fresh` is a collapse.
+    pub fn triggers(&self, previous_fresh: f64, fresh: f64) -> bool {
+        fresh <= previous_fresh * (1.0 - self.drop_fraction)
+    }
+
+    /// Applies the policy: given the previous and current fresh combined
+    /// values and the history-blended value, returns the value to
+    /// install.
+    pub fn shape(&self, previous_fresh: Option<f64>, fresh: f64, blended: f64) -> f64 {
+        match previous_fresh {
+            Some(prev) if self.triggers(prev, fresh) => blended.min(fresh * (1.0 - self.overshoot)),
+            _ => blended,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_values_pass_through() {
+        let p = TrendPolicy::default();
+        assert_eq!(p.shape(Some(80.0), 78.0, 79.0), 79.0);
+        assert_eq!(p.shape(None, 80.0, 80.0), 80.0);
+    }
+
+    #[test]
+    fn collapse_overrides_the_slow_blend() {
+        let p = TrendPolicy::default();
+        // Fresh collapsed 80 -> 20 (75% drop); EWMA would still say 62.
+        assert!(p.triggers(80.0, 20.0));
+        let installed = p.shape(Some(80.0), 20.0, 62.0);
+        assert_eq!(installed, 10.0, "fresh x (1 - overshoot)");
+    }
+
+    #[test]
+    fn damping_never_raises() {
+        let p = TrendPolicy::default();
+        // Blended already below the damped value: keep the lower one.
+        let installed = p.shape(Some(100.0), 30.0, 10.0);
+        assert_eq!(installed, 10.0);
+    }
+
+    #[test]
+    fn threshold_edge() {
+        let p = TrendPolicy {
+            drop_fraction: 0.5,
+            overshoot: 0.5,
+        };
+        assert!(p.triggers(100.0, 50.0), "exactly at threshold triggers");
+        assert!(!p.triggers(100.0, 51.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TrendPolicy::default().validate().is_ok());
+        assert!(TrendPolicy {
+            drop_fraction: 1.0,
+            overshoot: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(TrendPolicy {
+            drop_fraction: 0.4,
+            overshoot: -0.1
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end tests of the `riptided` binary: feed it `ss`-format
+//! snapshots, check the `ip route` commands it prints.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_snapshot(name: &str, contents: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("riptided-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp snapshot");
+    f.write_all(contents.as_bytes()).expect("write snapshot");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_riptided"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+const SNAPSHOT_A: &str = "\
+ESTAB 10.0.0.1 10.0.9.1
+\t cubic cwnd:60 ssthresh:50 rtt:120.000 bytes_acked:1000000
+ESTAB 10.0.0.1 10.0.9.1
+\t cubic cwnd:100 rtt:118.000 bytes_acked:2000000
+SYN-SENT 10.0.0.1 10.0.8.1
+\t cubic cwnd:10 bytes_acked:0
+";
+
+#[test]
+fn single_snapshot_prints_the_learned_route() {
+    let snap = write_snapshot("single", SNAPSHOT_A);
+    let out = run(&["--no-history", snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.trim(),
+        "ip route replace 10.0.9.1 proto static initcwnd 80",
+        "average of 60 and 100; SYN-SENT socket ignored"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn ttl_expiry_emits_route_del() {
+    let snap = write_snapshot("expiry-a", SNAPSHOT_A);
+    let empty = write_snapshot("expiry-b", "");
+    // Interval 60s, ttl 60s: the second (empty) poll happens at t=120,
+    // 60s after the entry's refresh — past the TTL.
+    let out = run(&[
+        "--no-history",
+        "--interval",
+        "60",
+        "--ttl",
+        "60",
+        snap.to_str().unwrap(),
+        empty.to_str().unwrap(),
+        empty.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines[0],
+        "ip route replace 10.0.9.1 proto static initcwnd 80"
+    );
+    assert!(
+        lines.contains(&"ip route del 10.0.9.1"),
+        "expiry withdraws the route: {stdout}"
+    );
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(empty).ok();
+}
+
+#[test]
+fn cmax_clamps_output() {
+    let snap = write_snapshot("clamp", SNAPSHOT_A);
+    let out = run(&["--no-history", "--cmax", "50", snap.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("initcwnd 50"), "clamped: {stdout}");
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn prefix_granularity_installs_prefix_routes() {
+    let snap = write_snapshot("prefix", SNAPSHOT_A);
+    let out = run(&[
+        "--no-history",
+        "--granularity",
+        "/24",
+        snap.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("ip route replace 10.0.9.0/24"),
+        "PoP-wide route: {stdout}"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn max_combine_is_selectable() {
+    let snap = write_snapshot("max", SNAPSHOT_A);
+    let out = run(&["--no-history", "--combine", "max", snap.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("initcwnd 100"), "max of 60/100: {stdout}");
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn malformed_snapshot_fails_cleanly() {
+    let snap = write_snapshot("bad", "WAT 10.0.0.1\n");
+    let out = run(&[snap.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("riptided:"), "diagnostic printed: {stderr}");
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn no_snapshots_is_a_usage_error() {
+    let out = run(&["--cmax", "50"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = run(&["--frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn ewma_across_snapshots() {
+    // Two polls with different windows: with alpha 0.5 the second
+    // install is the midpoint.
+    let a = write_snapshot(
+        "ewma-a",
+        "ESTAB 10.0.0.1 10.0.9.1\n\t cubic cwnd:40 bytes_acked:1\n",
+    );
+    let b = write_snapshot(
+        "ewma-b",
+        "ESTAB 10.0.0.1 10.0.9.1\n\t cubic cwnd:80 bytes_acked:1\n",
+    );
+    let out = run(&["--alpha", "0.5", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines[0],
+        "ip route replace 10.0.9.1 proto static initcwnd 40"
+    );
+    assert_eq!(
+        lines[1],
+        "ip route replace 10.0.9.1 proto static initcwnd 60"
+    );
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn metrics_flag_prints_prometheus_counters() {
+    let snap = write_snapshot("metrics", SNAPSHOT_A);
+    let out = run(&["--no-history", "--metrics", snap.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("riptide_ticks_total 1"), "{stderr}");
+    assert!(stderr.contains("riptide_route_updates_total 1"), "{stderr}");
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn config_file_drives_the_agent() {
+    let conf = write_snapshot("conf", "history = none\ncmax = 70\ngranularity = /24\n");
+    let snap = write_snapshot("conf-snap", SNAPSHOT_A);
+    let out = run(&["--config", conf.to_str().unwrap(), snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.trim(),
+        "ip route replace 10.0.9.0/24 proto static initcwnd 70",
+        "prefix granularity and cmax=70 from the file"
+    );
+    std::fs::remove_file(conf).ok();
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn flags_override_config_file() {
+    let conf = write_snapshot("conf2", "history = none\ncmax = 70\n");
+    let snap = write_snapshot("conf2-snap", SNAPSHOT_A);
+    let out = run(&[
+        "--config",
+        conf.to_str().unwrap(),
+        "--cmax",
+        "50",
+        snap.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("initcwnd 50"), "flag wins: {stdout}");
+    std::fs::remove_file(conf).ok();
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn bad_config_file_fails_with_line_number() {
+    let conf = write_snapshot("badconf", "alpha = 0.5\nwormhole = on\n");
+    let out = run(&["--config", conf.to_str().unwrap(), "whatever.ss"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "{stderr}");
+    std::fs::remove_file(conf).ok();
+}
+
+#[test]
+fn trend_flag_damps_collapses() {
+    let a = write_snapshot(
+        "trend-a",
+        "ESTAB 10.0.0.1 10.0.9.1\n\t cubic cwnd:100 bytes_acked:1\n",
+    );
+    let b = write_snapshot(
+        "trend-b",
+        "ESTAB 10.0.0.1 10.0.9.1\n\t cubic cwnd:20 bytes_acked:1\n",
+    );
+    // Without trend, alpha 0.7 keeps the window high after a collapse.
+    let out = run(&["--alpha", "0.7", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let plain = String::from_utf8(out.stdout).unwrap();
+    let plain_last: u32 = plain
+        .lines()
+        .last()
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|w| w.parse().ok())
+        .expect("window printed");
+    // With trend damping the collapse is taken seriously.
+    let out = run(&[
+        "--alpha",
+        "0.7",
+        "--trend",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    let damped = String::from_utf8(out.stdout).unwrap();
+    let damped_last: u32 = damped
+        .lines()
+        .last()
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|w| w.parse().ok())
+        .expect("window printed");
+    assert!(
+        damped_last < plain_last,
+        "trend damping installs a lower window: {damped_last} vs {plain_last}"
+    );
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}

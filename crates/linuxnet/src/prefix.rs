@@ -1,0 +1,232 @@
+//! IPv4 prefixes (`addr/len`) with containment and parsing.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An error produced when parsing a prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError {
+    message: String,
+}
+
+impl ParsePrefixError {
+    fn new(message: impl Into<String>) -> Self {
+        ParsePrefixError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+/// An IPv4 prefix: a network address and a mask length.
+///
+/// Host bits below the mask are always stored zeroed, so two prefixes
+/// covering the same network compare equal regardless of how they were
+/// written.
+///
+/// # Examples
+///
+/// ```
+/// use riptide_linuxnet::prefix::Ipv4Prefix;
+/// use std::net::Ipv4Addr;
+///
+/// let p: Ipv4Prefix = "10.0.1.0/24".parse()?;
+/// assert!(p.contains(Ipv4Addr::new(10, 0, 1, 77)));
+/// assert!(!p.contains(Ipv4Addr::new(10, 0, 2, 1)));
+/// // A bare address parses as a /32 host route, as `ip route` accepts.
+/// let host: Ipv4Prefix = "10.0.0.127".parse()?;
+/// assert_eq!(host.len(), 32);
+/// # Ok::<(), riptide_linuxnet::prefix::ParsePrefixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, zeroing any host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let bits = u32::from(addr) & Self::mask(len);
+        Ipv4Prefix { bits, len }
+    }
+
+    /// A /32 host prefix.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Ipv4Prefix::new(addr, 32)
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub fn default_route() -> Self {
+        Ipv4Prefix::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The mask length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == self.bits
+    }
+
+    /// Whether `other` is fully covered by this prefix.
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.bits & Self::mask(self.len)) == self.bits
+    }
+
+    /// The value of the address bit at `depth` (0 = most significant).
+    /// Used by the route table's binary trie.
+    pub(crate) fn bit(&self, depth: u8) -> bool {
+        debug_assert!(depth < 32);
+        (self.bits >> (31 - depth)) & 1 == 1
+    }
+
+    /// The prefix obtained by truncating `addr` to `len` bits.
+    pub fn of_addr(addr: Ipv4Addr, len: u8) -> Self {
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 32 {
+            write!(f, "{}", self.network())
+        } else {
+            write!(f, "{}/{}", self.network(), self.len)
+        }
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => {
+                let addr: Ipv4Addr = s
+                    .parse()
+                    .map_err(|e| ParsePrefixError::new(format!("bad address {s:?}: {e}")))?;
+                Ok(Ipv4Prefix::host(addr))
+            }
+            Some((a, l)) => {
+                let addr: Ipv4Addr = a
+                    .parse()
+                    .map_err(|e| ParsePrefixError::new(format!("bad address {a:?}: {e}")))?;
+                let len: u8 = l
+                    .parse()
+                    .map_err(|e| ParsePrefixError::new(format!("bad length {l:?}: {e}")))?;
+                if len > 32 {
+                    return Err(ParsePrefixError::new(format!("length {len} > 32")));
+                }
+                Ok(Ipv4Prefix::new(addr, len))
+            }
+        }
+    }
+}
+
+impl From<Ipv4Addr> for Ipv4Prefix {
+    fn from(addr: Ipv4Addr) -> Self {
+        Ipv4Prefix::host(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_bits_are_normalized() {
+        let a = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 1, 200), 24);
+        let b = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 1, 0), 24);
+        assert_eq!(a, b);
+        assert_eq!(a.network(), Ipv4Addr::new(10, 0, 1, 0));
+    }
+
+    #[test]
+    fn contains_respects_mask() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16);
+        assert!(p.contains(Ipv4Addr::new(192, 168, 255, 255)));
+        assert!(!p.contains(Ipv4Addr::new(192, 169, 0, 0)));
+        assert!(Ipv4Prefix::default_route().contains(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn host_prefix_contains_only_itself() {
+        let p = Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 127));
+        assert!(p.contains(Ipv4Addr::new(10, 0, 0, 127)));
+        assert!(!p.contains(Ipv4Addr::new(10, 0, 0, 126)));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_hierarchical() {
+        let wide = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let narrow = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16);
+        assert!(wide.covers(&wide));
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["10.0.0.0/24", "0.0.0.0/0", "10.0.0.127", "192.168.1.0/30"] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0/24".parse::<Ipv4Prefix>().is_err());
+        assert!("hello".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn bit_extraction_msb_first() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(128, 0, 0, 0), 1);
+        assert!(p.bit(0));
+        let q = Ipv4Prefix::new(Ipv4Addr::new(64, 0, 0, 0), 2);
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "> 32")]
+    fn new_rejects_long_mask() {
+        let _ = Ipv4Prefix::new(Ipv4Addr::UNSPECIFIED, 33);
+    }
+}

@@ -1,0 +1,625 @@
+//! A Linux-style IPv4 routing table with longest-prefix-match lookup and
+//! per-route TCP attributes (`initcwnd`, `initrwnd`).
+//!
+//! This is the kernel structure Riptide manipulates: since Linux refuses a
+//! per-socket initial-congestion-window API (§III-C), the only sanctioned
+//! control point is a route attribute, and Riptide therefore installs one
+//! route per destination it has learned about. The table implements the
+//! semantics of `ip route add/replace/del` plus longest-prefix-match
+//! lookup, backed by a binary trie.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::prefix::Ipv4Prefix;
+
+/// Route origin, mirroring `ip route`'s `proto` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouteProto {
+    /// Installed by an administrator or tool (`proto static`) — what
+    /// Riptide uses.
+    #[default]
+    Static,
+    /// Installed by the kernel (`proto kernel`), e.g. connected subnets.
+    Kernel,
+    /// Installed at boot (`proto boot`).
+    Boot,
+}
+
+impl fmt::Display for RouteProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RouteProto::Static => "static",
+            RouteProto::Kernel => "kernel",
+            RouteProto::Boot => "boot",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Attributes carried by a route.
+///
+/// Only the attributes the paper's tool touches are modelled; `initcwnd`
+/// is the one Riptide exists to set, and §III-C requires `initrwnd` be
+/// raised alongside it on receivers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteAttrs {
+    /// Next hop (`via`).
+    pub via: Option<Ipv4Addr>,
+    /// Output device (`dev`).
+    pub dev: Option<String>,
+    /// Route origin (`proto`).
+    pub proto: RouteProto,
+    /// Initial congestion window for new connections over this route, in
+    /// segments.
+    pub initcwnd: Option<u32>,
+    /// Initial receive window advertised for connections over this route,
+    /// in segments.
+    pub initrwnd: Option<u32>,
+}
+
+impl RouteAttrs {
+    /// Attributes for a Riptide-style static route with the given
+    /// initcwnd.
+    pub fn initcwnd(window: u32) -> Self {
+        RouteAttrs {
+            initcwnd: Some(window),
+            ..RouteAttrs::default()
+        }
+    }
+}
+
+/// One routing-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Attributes.
+    pub attrs: RouteAttrs,
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix)?;
+        if let Some(dev) = &self.attrs.dev {
+            write!(f, " dev {dev}")?;
+        }
+        write!(f, " proto {}", self.attrs.proto)?;
+        if let Some(w) = self.attrs.initcwnd {
+            write!(f, " initcwnd {w}")?;
+        }
+        if let Some(w) = self.attrs.initrwnd {
+            write!(f, " initrwnd {w}")?;
+        }
+        if let Some(via) = self.attrs.via {
+            write!(f, " via {via}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An error produced when parsing a route line from `ip route show`
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRouteError {
+    message: String,
+}
+
+impl ParseRouteError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseRouteError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid route line: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRouteError {}
+
+impl std::str::FromStr for Route {
+    type Err = ParseRouteError;
+
+    /// Parses one `ip route show` line, e.g.
+    /// `10.0.0.127 dev eth0 proto static initcwnd 80 via 10.0.0.1`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut toks = s.split_whitespace();
+        let prefix_tok = toks
+            .next()
+            .ok_or_else(|| ParseRouteError::new("empty line"))?;
+        let prefix: crate::prefix::Ipv4Prefix = prefix_tok
+            .parse()
+            .map_err(|e| ParseRouteError::new(format!("{e}")))?;
+        let mut attrs = RouteAttrs::default();
+        while let Some(key) = toks.next() {
+            let mut value = |k: &str| {
+                toks.next()
+                    .ok_or_else(|| ParseRouteError::new(format!("{k} needs a value")))
+            };
+            match key {
+                "dev" => attrs.dev = Some(value("dev")?.to_string()),
+                "via" => {
+                    let v = value("via")?;
+                    attrs.via = Some(
+                        v.parse()
+                            .map_err(|e| ParseRouteError::new(format!("bad via {v:?}: {e}")))?,
+                    );
+                }
+                "proto" => {
+                    attrs.proto = match value("proto")? {
+                        "static" => RouteProto::Static,
+                        "kernel" => RouteProto::Kernel,
+                        "boot" => RouteProto::Boot,
+                        other => {
+                            return Err(ParseRouteError::new(format!("unknown proto {other:?}")))
+                        }
+                    };
+                }
+                "initcwnd" => {
+                    let v = value("initcwnd")?;
+                    attrs.initcwnd =
+                        Some(v.parse().map_err(|e| {
+                            ParseRouteError::new(format!("bad initcwnd {v:?}: {e}"))
+                        })?);
+                }
+                "initrwnd" => {
+                    let v = value("initrwnd")?;
+                    attrs.initrwnd =
+                        Some(v.parse().map_err(|e| {
+                            ParseRouteError::new(format!("bad initrwnd {v:?}: {e}"))
+                        })?);
+                }
+                other => return Err(ParseRouteError::new(format!("unknown attribute {other:?}"))),
+            }
+        }
+        Ok(Route { prefix, attrs })
+    }
+}
+
+/// Errors from route-table mutations, matching the errno surface of the
+/// real `ip` tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// `ip route add` on an existing prefix (`EEXIST: File exists`).
+    AlreadyExists(Ipv4Prefix),
+    /// `ip route del` on a missing prefix (`ESRCH: No such process`).
+    NotFound(Ipv4Prefix),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::AlreadyExists(p) => write!(f, "route to {p} already exists"),
+            RouteError::NotFound(p) => write!(f, "no route to {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Binary-trie node. Children are indexed by the next address bit.
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    /// Route index into `RouteTable::routes`, if a route terminates here.
+    route: Option<usize>,
+}
+
+/// An IPv4 routing table with longest-prefix-match lookup.
+///
+/// # Examples
+///
+/// ```
+/// use riptide_linuxnet::route::{RouteAttrs, RouteTable};
+/// use riptide_linuxnet::prefix::Ipv4Prefix;
+/// use std::net::Ipv4Addr;
+///
+/// let mut table = RouteTable::new();
+/// table.add(Ipv4Prefix::default_route(), RouteAttrs::default())?;
+/// table.add("10.0.1.0/24".parse()?, RouteAttrs::initcwnd(80))?;
+///
+/// // LPM: the /24 wins over the default route.
+/// let route = table.lookup(Ipv4Addr::new(10, 0, 1, 9)).unwrap();
+/// assert_eq!(route.attrs.initcwnd, Some(80));
+/// assert_eq!(table.initcwnd_for(Ipv4Addr::new(10, 9, 9, 9)), None);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    root: TrieNode,
+    routes: Vec<Option<Route>>,
+    len: usize,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// Number of installed routes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node_for(&mut self, prefix: Ipv4Prefix) -> &mut TrieNode {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        node
+    }
+
+    fn find_node(&self, prefix: Ipv4Prefix) -> Option<&TrieNode> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        Some(node)
+    }
+
+    /// Installs a new route (`ip route add`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::AlreadyExists`] if a route to exactly this
+    /// prefix is present, as the real tool does.
+    pub fn add(&mut self, prefix: Ipv4Prefix, attrs: RouteAttrs) -> Result<(), RouteError> {
+        if self.find_node(prefix).is_some_and(|n| n.route.is_some()) {
+            return Err(RouteError::AlreadyExists(prefix));
+        }
+        let idx = self.routes.len();
+        self.routes.push(Some(Route { prefix, attrs }));
+        self.node_for(prefix).route = Some(idx);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Installs or overwrites a route (`ip route replace`). Returns the
+    /// previous route if one existed.
+    pub fn replace(&mut self, prefix: Ipv4Prefix, attrs: RouteAttrs) -> Option<Route> {
+        let idx = self.routes.len();
+        self.routes.push(Some(Route { prefix, attrs }));
+        let node = self.node_for(prefix);
+        let old = node.route.replace(idx);
+        match old {
+            Some(old_idx) => self.routes[old_idx].take(),
+            None => {
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes the route to exactly `prefix` (`ip route del`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::NotFound`] if no such route exists.
+    pub fn del(&mut self, prefix: Ipv4Prefix) -> Result<Route, RouteError> {
+        let node = self.node_for(prefix);
+        match node.route.take() {
+            Some(idx) => {
+                self.len -= 1;
+                Ok(self.routes[idx].take().expect("route slot populated"))
+            }
+            None => Err(RouteError::NotFound(prefix)),
+        }
+    }
+
+    /// Returns the route to exactly `prefix`, if installed.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&Route> {
+        let idx = self.find_node(prefix)?.route?;
+        self.routes[idx].as_ref()
+    }
+
+    /// Longest-prefix-match lookup: the most specific route covering
+    /// `addr`.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&Route> {
+        let host = Ipv4Prefix::host(addr);
+        let mut best = self.root.route;
+        let mut node = &self.root;
+        for depth in 0..32 {
+            let b = host.bit(depth) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    if child.route.is_some() {
+                        best = child.route;
+                    }
+                    node = child;
+                }
+                None => break,
+            }
+        }
+        best.and_then(|idx| self.routes[idx].as_ref())
+    }
+
+    /// The effective initial congestion window for new connections to
+    /// `addr`: the `initcwnd` attribute of its longest-prefix-match route,
+    /// if any. This is the exact question the kernel asks at connect time.
+    pub fn initcwnd_for(&self, addr: Ipv4Addr) -> Option<u32> {
+        self.lookup(addr).and_then(|r| r.attrs.initcwnd)
+    }
+
+    /// Iterates installed routes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.iter().filter_map(|r| r.as_ref())
+    }
+
+    /// Removes every route of the given protocol, returning them —
+    /// `ip route flush proto <p>`. The operational tool for a restarting
+    /// agent to clear whatever its dead predecessor installed.
+    pub fn flush_proto(&mut self, proto: RouteProto) -> Vec<Route> {
+        let prefixes: Vec<Ipv4Prefix> = self
+            .iter()
+            .filter(|r| r.attrs.proto == proto)
+            .map(|r| r.prefix)
+            .collect();
+        prefixes
+            .into_iter()
+            .map(|p| self.del(p).expect("route listed a moment ago"))
+            .collect()
+    }
+
+    /// Renders the table in `ip route show` style, one route per line,
+    /// in insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in self.iter() {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses `ip route show`-style text into a table — how a real agent
+    /// would ingest the current kernel state at startup before
+    /// recovering stale routes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first line's parse failure, or an
+    /// [`RouteError::AlreadyExists`]-derived parse error on duplicate
+    /// prefixes.
+    pub fn parse(text: &str) -> Result<Self, ParseRouteError> {
+        let mut table = RouteTable::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let route: Route = line.parse()?;
+            table
+                .add(route.prefix, route.attrs)
+                .map_err(|e| ParseRouteError::new(e.to_string()))?;
+        }
+        Ok(table)
+    }
+}
+
+impl<'a> IntoIterator for &'a RouteTable {
+    type Item = &'a Route;
+    type IntoIter = Box<dyn Iterator<Item = &'a Route> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn add_get_del_round_trip() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.127"), RouteAttrs::initcwnd(80)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.127")).unwrap().attrs.initcwnd, Some(80));
+        let removed = t.del(p("10.0.0.127")).unwrap();
+        assert_eq!(removed.attrs.initcwnd, Some(80));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn add_duplicate_fails_like_ip() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.0/24"), RouteAttrs::default()).unwrap();
+        let err = t.add(p("10.0.0.99/24"), RouteAttrs::default()).unwrap_err();
+        assert_eq!(err, RouteError::AlreadyExists(p("10.0.0.0/24")));
+    }
+
+    #[test]
+    fn del_missing_fails_like_ip() {
+        let mut t = RouteTable::new();
+        assert_eq!(
+            t.del(p("10.0.0.0/24")).unwrap_err(),
+            RouteError::NotFound(p("10.0.0.0/24"))
+        );
+    }
+
+    #[test]
+    fn replace_overwrites_and_reports_old() {
+        let mut t = RouteTable::new();
+        assert!(t.replace(p("10.0.0.1"), RouteAttrs::initcwnd(50)).is_none());
+        let old = t.replace(p("10.0.0.1"), RouteAttrs::initcwnd(90)).unwrap();
+        assert_eq!(old.attrs.initcwnd, Some(50));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.initcwnd_for(ip("10.0.0.1")), Some(90));
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = RouteTable::new();
+        t.add(Ipv4Prefix::default_route(), RouteAttrs::initcwnd(10))
+            .unwrap();
+        t.add(p("10.0.0.0/8"), RouteAttrs::initcwnd(20)).unwrap();
+        t.add(p("10.1.0.0/16"), RouteAttrs::initcwnd(40)).unwrap();
+        t.add(p("10.1.2.0/24"), RouteAttrs::initcwnd(80)).unwrap();
+        t.add(p("10.1.2.3"), RouteAttrs::initcwnd(160)).unwrap();
+
+        assert_eq!(t.initcwnd_for(ip("10.1.2.3")), Some(160));
+        assert_eq!(t.initcwnd_for(ip("10.1.2.4")), Some(80));
+        assert_eq!(t.initcwnd_for(ip("10.1.3.1")), Some(40));
+        assert_eq!(t.initcwnd_for(ip("10.2.0.1")), Some(20));
+        assert_eq!(t.initcwnd_for(ip("11.0.0.1")), Some(10));
+    }
+
+    #[test]
+    fn lookup_without_default_route_can_miss() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.0/24"), RouteAttrs::initcwnd(44)).unwrap();
+        assert!(t.lookup(ip("192.168.0.1")).is_none());
+        assert_eq!(t.initcwnd_for(ip("192.168.0.1")), None);
+    }
+
+    #[test]
+    fn route_without_initcwnd_yields_none() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.0/24"), RouteAttrs::default()).unwrap();
+        assert!(t.lookup(ip("10.0.0.5")).is_some());
+        assert_eq!(t.initcwnd_for(ip("10.0.0.5")), None);
+    }
+
+    #[test]
+    fn deleting_specific_falls_back_to_covering() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.0/16"), RouteAttrs::initcwnd(30)).unwrap();
+        t.add(p("10.0.1.0/24"), RouteAttrs::initcwnd(99)).unwrap();
+        assert_eq!(t.initcwnd_for(ip("10.0.1.1")), Some(99));
+        t.del(p("10.0.1.0/24")).unwrap();
+        assert_eq!(t.initcwnd_for(ip("10.0.1.1")), Some(30));
+    }
+
+    #[test]
+    fn iter_yields_live_routes_only() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.1"), RouteAttrs::initcwnd(1)).unwrap();
+        t.add(p("10.0.0.2"), RouteAttrs::initcwnd(2)).unwrap();
+        t.del(p("10.0.0.1")).unwrap();
+        let prefixes: Vec<String> = t.iter().map(|r| r.prefix.to_string()).collect();
+        assert_eq!(prefixes, vec!["10.0.0.2"]);
+    }
+
+    #[test]
+    fn display_matches_ip_route_style() {
+        let r = Route {
+            prefix: p("10.0.0.127"),
+            attrs: RouteAttrs {
+                via: Some(ip("10.0.0.1")),
+                dev: Some("eth0".into()),
+                proto: RouteProto::Static,
+                initcwnd: Some(80),
+                initrwnd: None,
+            },
+        };
+        assert_eq!(
+            r.to_string(),
+            "10.0.0.127 dev eth0 proto static initcwnd 80 via 10.0.0.1"
+        );
+    }
+
+    #[test]
+    fn flush_proto_clears_only_that_protocol() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.0.0/24"), RouteAttrs::default()).unwrap(); // static
+        t.add(
+            p("10.0.1.0/24"),
+            RouteAttrs {
+                proto: RouteProto::Kernel,
+                ..RouteAttrs::default()
+            },
+        )
+        .unwrap();
+        t.add(p("10.0.2.1"), RouteAttrs::initcwnd(80)).unwrap(); // static
+        let flushed = t.flush_proto(RouteProto::Static);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(p("10.0.1.0/24")).is_some(), "kernel route survives");
+    }
+
+    #[test]
+    fn render_is_ip_route_show_shaped() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.2.1"), RouteAttrs::initcwnd(80)).unwrap();
+        assert_eq!(t.render(), "10.0.2.1 proto static initcwnd 80\n");
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut t = RouteTable::new();
+        t.add(
+            p("10.0.0.127"),
+            RouteAttrs {
+                via: Some(ip("10.0.0.1")),
+                dev: Some("eth0".into()),
+                proto: RouteProto::Static,
+                initcwnd: Some(80),
+                initrwnd: Some(200),
+            },
+        )
+        .unwrap();
+        t.add(
+            p("10.9.0.0/16"),
+            RouteAttrs {
+                proto: RouteProto::Kernel,
+                ..RouteAttrs::default()
+            },
+        )
+        .unwrap();
+        let parsed = RouteTable::parse(&t.render()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.initcwnd_for(ip("10.0.0.127")), Some(80));
+        assert_eq!(
+            parsed.get(p("10.0.0.127")).unwrap().attrs,
+            t.get(p("10.0.0.127")).unwrap().attrs
+        );
+        assert_eq!(parsed.render(), t.render());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_lines() {
+        assert!(RouteTable::parse("10.0.0.1 proto warp\n").is_err());
+        assert!(RouteTable::parse("notanip proto static\n").is_err());
+        assert!(RouteTable::parse("10.0.0.1 initcwnd\n").is_err());
+        // Duplicate prefixes in show output would be a kernel bug; we
+        // reject them.
+        let dup = "10.0.0.1 proto static\n10.0.0.1 proto static\n";
+        assert!(RouteTable::parse(dup).is_err());
+        // Blank lines are tolerated.
+        assert_eq!(RouteTable::parse("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn many_routes_scale() {
+        let mut t = RouteTable::new();
+        for i in 0..1000u32 {
+            let addr = Ipv4Addr::from(0x0a00_0000 + i);
+            t.add(Ipv4Prefix::host(addr), RouteAttrs::initcwnd(i % 200 + 1))
+                .unwrap();
+        }
+        assert_eq!(t.len(), 1000);
+        for i in (0..1000u32).step_by(97) {
+            let addr = Ipv4Addr::from(0x0a00_0000 + i);
+            assert_eq!(t.initcwnd_for(addr), Some(i % 200 + 1));
+        }
+    }
+}

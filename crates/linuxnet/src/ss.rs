@@ -1,0 +1,356 @@
+//! An `ss -i`-shaped socket-statistics view.
+//!
+//! Riptide's only *input* is the output of the `ss` utility: one row per
+//! TCP socket with the extended-info line carrying `cwnd`, `rtt` and
+//! `bytes_acked`. This module provides that table as a data structure
+//! ([`SockTable`]) plus a text renderer and parser matching the utility's
+//! format closely enough that the agent can be driven from either a live
+//! table or captured text — the same dual a real deployment has (library
+//! vs. shelling out).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// TCP socket state (only the states `ss -t` shows for data sockets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SockState {
+    /// Established and usable.
+    #[default]
+    Established,
+    /// Handshake in progress.
+    SynSent,
+    /// Half-closed.
+    CloseWait,
+}
+
+impl fmt::Display for SockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SockState::Established => "ESTAB",
+            SockState::SynSent => "SYN-SENT",
+            SockState::CloseWait => "CLOSE-WAIT",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for SockState {
+    type Err = ParseSsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ESTAB" => Ok(SockState::Established),
+            "SYN-SENT" => Ok(SockState::SynSent),
+            "CLOSE-WAIT" => Ok(SockState::CloseWait),
+            other => Err(ParseSsError::new(format!("unknown socket state {other:?}"))),
+        }
+    }
+}
+
+/// One socket row: the fields of `ss -i` output that Riptide consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SockEntry {
+    /// Local address.
+    pub src: Ipv4Addr,
+    /// Peer address — the key Riptide groups on.
+    pub dst: Ipv4Addr,
+    /// Socket state.
+    pub state: SockState,
+    /// Congestion-control algorithm name (`cubic`, `reno`, …).
+    pub cc: String,
+    /// Current congestion window, in segments.
+    pub cwnd: u32,
+    /// Slow-start threshold, in segments, if set.
+    pub ssthresh: Option<u32>,
+    /// Smoothed RTT in milliseconds, if measured.
+    pub rtt_ms: Option<f64>,
+    /// Bytes acknowledged over the socket's lifetime.
+    pub bytes_acked: u64,
+}
+
+/// Error from parsing rendered `ss` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSsError {
+    message: String,
+}
+
+impl ParseSsError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseSsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ss output: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseSsError {}
+
+/// A snapshot of all sockets on a host, in `ss` row order.
+///
+/// # Examples
+///
+/// ```
+/// use riptide_linuxnet::ss::{SockEntry, SockState, SockTable};
+/// use std::net::Ipv4Addr;
+///
+/// let mut table = SockTable::new();
+/// table.push(SockEntry {
+///     src: Ipv4Addr::new(10, 0, 0, 1),
+///     dst: Ipv4Addr::new(10, 0, 1, 1),
+///     state: SockState::Established,
+///     cc: "cubic".into(),
+///     cwnd: 80,
+///     ssthresh: None,
+///     rtt_ms: Some(120.0),
+///     bytes_acked: 1_000_000,
+/// });
+/// let text = table.render();
+/// let parsed = SockTable::parse(&text)?;
+/// assert_eq!(parsed, table);
+/// # Ok::<(), riptide_linuxnet::ss::ParseSsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SockTable {
+    entries: Vec<SockEntry>,
+}
+
+impl SockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SockTable::default()
+    }
+
+    /// Appends a socket row.
+    pub fn push(&mut self, entry: SockEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All rows, in order.
+    pub fn entries(&self) -> &[SockEntry] {
+        &self.entries
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rows in `Established` state — the ones whose windows mean anything.
+    pub fn established(&self) -> impl Iterator<Item = &SockEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == SockState::Established)
+    }
+
+    /// Renders in an `ss -i`-like two-lines-per-socket format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{} {} {}\n", e.state, e.src, e.dst));
+            out.push_str(&format!("\t {} cwnd:{}", e.cc, e.cwnd));
+            if let Some(ss) = e.ssthresh {
+                out.push_str(&format!(" ssthresh:{ss}"));
+            }
+            if let Some(rtt) = e.rtt_ms {
+                out.push_str(&format!(" rtt:{rtt:.3}"));
+            }
+            out.push_str(&format!(" bytes_acked:{}\n", e.bytes_acked));
+        }
+        out
+    }
+
+    /// Parses text produced by [`SockTable::render`] (tolerant of extra
+    /// whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSsError`] on malformed rows, unknown states, or an
+    /// info line without its preceding socket line.
+    pub fn parse(text: &str) -> Result<Self, ParseSsError> {
+        let mut table = SockTable::new();
+        let mut pending: Option<(SockState, Ipv4Addr, Ipv4Addr)> = None;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let indented = line.starts_with(['\t', ' ']);
+            if !indented {
+                if pending.is_some() {
+                    return Err(ParseSsError::new("socket line without info line"));
+                }
+                let mut parts = line.split_whitespace();
+                let state: SockState = parts
+                    .next()
+                    .ok_or_else(|| ParseSsError::new("empty socket line"))?
+                    .parse()?;
+                let src = parse_addr(parts.next())?;
+                let dst = parse_addr(parts.next())?;
+                pending = Some((state, src, dst));
+            } else {
+                let (state, src, dst) = pending
+                    .take()
+                    .ok_or_else(|| ParseSsError::new("info line without socket line"))?;
+                let mut cc = String::new();
+                let mut cwnd = None;
+                let mut ssthresh = None;
+                let mut rtt_ms = None;
+                let mut bytes_acked = 0;
+                for tok in line.split_whitespace() {
+                    match tok.split_once(':') {
+                        None => cc = tok.to_string(),
+                        Some(("cwnd", v)) => cwnd = Some(parse_num(v)?),
+                        Some(("ssthresh", v)) => ssthresh = Some(parse_num(v)?),
+                        Some(("rtt", v)) => {
+                            rtt_ms =
+                                Some(v.parse::<f64>().map_err(|e| {
+                                    ParseSsError::new(format!("bad rtt {v:?}: {e}"))
+                                })?)
+                        }
+                        Some(("bytes_acked", v)) => {
+                            bytes_acked = v.parse::<u64>().map_err(|e| {
+                                ParseSsError::new(format!("bad bytes_acked {v:?}: {e}"))
+                            })?
+                        }
+                        Some(_) => {} // unknown key: ignore, like real parsers must
+                    }
+                }
+                table.push(SockEntry {
+                    src,
+                    dst,
+                    state,
+                    cc,
+                    cwnd: cwnd.ok_or_else(|| ParseSsError::new("info line missing cwnd"))?,
+                    ssthresh,
+                    rtt_ms,
+                    bytes_acked,
+                });
+            }
+        }
+        if pending.is_some() {
+            return Err(ParseSsError::new("trailing socket line without info line"));
+        }
+        Ok(table)
+    }
+}
+
+impl FromIterator<SockEntry> for SockTable {
+    fn from_iter<I: IntoIterator<Item = SockEntry>>(iter: I) -> Self {
+        SockTable {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<SockEntry> for SockTable {
+    fn extend<I: IntoIterator<Item = SockEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+fn parse_addr(tok: Option<&str>) -> Result<Ipv4Addr, ParseSsError> {
+    let tok = tok.ok_or_else(|| ParseSsError::new("socket line missing address"))?;
+    tok.parse()
+        .map_err(|e| ParseSsError::new(format!("bad address {tok:?}: {e}")))
+}
+
+fn parse_num(v: &str) -> Result<u32, ParseSsError> {
+    v.parse()
+        .map_err(|e| ParseSsError::new(format!("bad number {v:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dst: [u8; 4], cwnd: u32) -> SockEntry {
+        SockEntry {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::from(dst),
+            state: SockState::Established,
+            cc: "cubic".into(),
+            cwnd,
+            ssthresh: Some(64),
+            rtt_ms: Some(118.25),
+            bytes_acked: 42_000,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let table: SockTable = vec![entry([10, 0, 1, 1], 80), entry([10, 0, 2, 1], 12)]
+            .into_iter()
+            .collect();
+        let text = table.render();
+        assert_eq!(SockTable::parse(&text).unwrap(), table);
+    }
+
+    #[test]
+    fn render_shape_is_ss_like() {
+        let table: SockTable = vec![entry([10, 0, 1, 1], 80)].into_iter().collect();
+        let text = table.render();
+        assert!(text.starts_with("ESTAB 10.0.0.1 10.0.1.1\n"));
+        assert!(text.contains("cubic cwnd:80 ssthresh:64 rtt:118.250 bytes_acked:42000"));
+    }
+
+    #[test]
+    fn optional_fields_can_be_absent() {
+        let mut e = entry([10, 0, 1, 1], 80);
+        e.ssthresh = None;
+        e.rtt_ms = None;
+        let table: SockTable = vec![e].into_iter().collect();
+        let parsed = SockTable::parse(&table.render()).unwrap();
+        assert_eq!(parsed.entries()[0].ssthresh, None);
+        assert_eq!(parsed.entries()[0].rtt_ms, None);
+    }
+
+    #[test]
+    fn established_filter() {
+        let mut syn = entry([10, 0, 3, 1], 10);
+        syn.state = SockState::SynSent;
+        let table: SockTable = vec![entry([10, 0, 1, 1], 80), syn].into_iter().collect();
+        assert_eq!(table.established().count(), 1);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_orphan_info_line() {
+        assert!(SockTable::parse("\t cubic cwnd:10 bytes_acked:0\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_cwnd() {
+        let text = "ESTAB 10.0.0.1 10.0.1.1\n\t cubic bytes_acked:0\n";
+        assert!(SockTable::parse(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_state() {
+        let text = "WAT 10.0.0.1 10.0.1.1\n\t cubic cwnd:10 bytes_acked:0\n";
+        assert!(SockTable::parse(text).is_err());
+    }
+
+    #[test]
+    fn parse_ignores_unknown_keys() {
+        let text = "ESTAB 10.0.0.1 10.0.1.1\n\t cubic wscale:7,7 cwnd:33 mss:1448 bytes_acked:5\n";
+        let t = SockTable::parse(text).unwrap();
+        assert_eq!(t.entries()[0].cwnd, 33);
+        assert_eq!(t.entries()[0].bytes_acked, 5);
+    }
+
+    #[test]
+    fn parse_empty_is_empty() {
+        assert!(SockTable::parse("").unwrap().is_empty());
+        assert!(SockTable::parse("\n\n").unwrap().is_empty());
+    }
+}

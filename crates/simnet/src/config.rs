@@ -1,0 +1,240 @@
+//! TCP stack configuration for simulated hosts.
+
+use crate::time::SimDuration;
+
+/// Which congestion-control algorithm a sender runs after the initial
+/// window is consumed.
+///
+/// The paper's deployment uses Linux's default CUBIC; Reno is provided as
+/// the classical baseline and for differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CcAlgorithm {
+    /// TCP CUBIC window growth (Linux default since 2.6.19).
+    #[default]
+    Cubic,
+    /// Classic AIMD Reno/NewReno growth.
+    Reno,
+}
+
+/// Host-wide TCP parameters, mirroring the Linux sysctls relevant to the
+/// paper.
+///
+/// Construct with [`TcpConfig::default`] and adjust fields; all fields are
+/// public plain data in the C-struct spirit.
+///
+/// # Examples
+///
+/// ```
+/// use riptide_simnet::config::TcpConfig;
+///
+/// let mut cfg = TcpConfig::default();
+/// cfg.initial_cwnd = 10;     // the Linux default the paper works around
+/// cfg.initial_rwnd = 1000;   // raised so initcwnd bursts are never rwnd-bound
+/// assert!(cfg.initial_rwnd >= cfg.initial_cwnd);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment size in payload bytes (1448 for 1500-byte MTU
+    /// Ethernet with timestamps, the figure the paper's 15 KB ≈ 10-segment
+    /// arithmetic implies).
+    pub mss: u32,
+    /// Per-segment wire overhead (IP + TCP headers), bytes.
+    pub header_bytes: u32,
+    /// Default initial congestion window in segments when no route
+    /// attribute overrides it (`10` per RFC 6928 / the paper).
+    pub initial_cwnd: u32,
+    /// Initial receive window advertised by receivers, in segments.
+    ///
+    /// §III-C: this must be at least the largest initcwnd a Riptide sender
+    /// may use (`c_max`), otherwise the first burst stalls on flow control.
+    pub initial_rwnd: u32,
+    /// Cap on the receive window as autotuning grows it, in segments.
+    pub max_rwnd: u32,
+    /// Initial slow-start threshold, in segments (effectively "infinite" by
+    /// default, as in Linux without metric caching).
+    pub initial_ssthresh: u32,
+    /// Lower bound on the retransmission timeout (Linux: 200 ms).
+    pub rto_min: SimDuration,
+    /// Upper bound on the retransmission timeout.
+    pub rto_max: SimDuration,
+    /// RTO to use before any RTT sample exists (RFC 6298: 1 s).
+    pub rto_initial: SimDuration,
+    /// Congestion-control algorithm.
+    pub cc: CcAlgorithm,
+    /// If `true`, receivers delay ACKs: every second full segment is
+    /// acknowledged immediately, a lone segment only after
+    /// [`TcpConfig::delayed_ack_timeout`] (RFC 1122 §4.2.3.2, Linux
+    /// "quickack off" steady state). Out-of-order and duplicate segments
+    /// are always acknowledged immediately. The paper's §II-B model
+    /// assumes this off; the ablation bench quantifies the difference.
+    pub delayed_ack: bool,
+    /// How long a receiver holds a lone unacknowledged segment before
+    /// acking anyway (Linux: 40 ms).
+    pub delayed_ack_timeout: SimDuration,
+    /// If `true`, receivers attach RFC 2018 selective-acknowledgement
+    /// blocks to their ACKs and senders run SACK-based loss recovery
+    /// (simplified RFC 6675 hole-filling) instead of NewReno. Off by
+    /// default so the baseline reproduction matches the NewReno model
+    /// documented in DESIGN.md; the ablation harness flips it.
+    pub sack: bool,
+    /// If `true`, each host caches the slow-start threshold recorded at
+    /// loss events per destination and seeds new connections with it —
+    /// Linux's `tcp_metrics` (default `tcp_no_metrics_save=0`). This is
+    /// the mechanism that keeps production windows from re-probing the
+    /// whole path capacity on every connection, and it moderates the
+    /// window distributions of the paper's Fig. 10/11.
+    pub metrics_cache: bool,
+    /// If `true`, an idle period longer than one RTO collapses cwnd back to
+    /// the initial window (Linux `tcp_slow_start_after_idle=1`).
+    ///
+    /// The paper's premise — reused connections retain their learned window
+    /// — corresponds to CDN practice of disabling this; the default here is
+    /// therefore `false`, and the control/ablation experiments flip it.
+    pub slow_start_after_idle: bool,
+    /// Multiplicative window reduction applied on a fast-retransmit loss
+    /// event (0.7 for CUBIC, 0.5 for Reno). Set automatically from `cc` by
+    /// [`TcpConfig::default`]; override for ablations.
+    pub loss_beta: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            header_bytes: 52,
+            initial_cwnd: 10,
+            initial_rwnd: 1000,
+            max_rwnd: 4096,
+            initial_ssthresh: u32::MAX,
+            delayed_ack: false,
+            delayed_ack_timeout: SimDuration::from_millis(40),
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(120),
+            rto_initial: SimDuration::from_secs(1),
+            cc: CcAlgorithm::Cubic,
+            sack: false,
+            metrics_cache: true,
+            slow_start_after_idle: false,
+            loss_beta: 0.7,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A config running Reno with its classical halving on loss.
+    pub fn reno() -> Self {
+        TcpConfig {
+            cc: CcAlgorithm::Reno,
+            loss_beta: 0.5,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Bytes a segment occupies on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        self.mss + self.header_bytes
+    }
+
+    /// Number of MSS-sized segments needed to carry `bytes` of payload.
+    pub fn segments_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mss as u64)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency
+    /// found (zero MSS, rwnd smaller than cwnd, inverted RTO bounds, or a
+    /// `loss_beta` outside `(0, 1)`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.initial_cwnd == 0 {
+            return Err("initial_cwnd must be positive".into());
+        }
+        if self.initial_rwnd < self.initial_cwnd {
+            return Err(format!(
+                "initial_rwnd ({}) must be >= initial_cwnd ({}) or first bursts stall",
+                self.initial_rwnd, self.initial_cwnd
+            ));
+        }
+        if self.max_rwnd < self.initial_rwnd {
+            return Err("max_rwnd must be >= initial_rwnd".into());
+        }
+        if self.rto_min > self.rto_max {
+            return Err("rto_min must be <= rto_max".into());
+        }
+        if !(self.loss_beta > 0.0 && self.loss_beta < 1.0) {
+            return Err(format!(
+                "loss_beta must be in (0, 1), got {}",
+                self.loss_beta
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_linux_like() {
+        let cfg = TcpConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.initial_cwnd, 10);
+        assert_eq!(cfg.cc, CcAlgorithm::Cubic);
+        assert!((cfg.loss_beta - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reno_preset() {
+        let cfg = TcpConfig::reno();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.cc, CcAlgorithm::Reno);
+        assert!((cfg.loss_beta - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_for_rounds_up() {
+        let cfg = TcpConfig::default();
+        assert_eq!(cfg.segments_for(0), 0);
+        assert_eq!(cfg.segments_for(1), 1);
+        assert_eq!(cfg.segments_for(1448), 1);
+        assert_eq!(cfg.segments_for(1449), 2);
+        // The paper's "15KB fits in 10 segments" arithmetic.
+        assert!(cfg.segments_for(15 * 1000) <= 11);
+        assert_eq!(cfg.segments_for(100 * 1000), 70);
+    }
+
+    #[test]
+    fn validation_catches_rwnd_smaller_than_cwnd() {
+        let cfg = TcpConfig {
+            initial_cwnd: 100,
+            initial_rwnd: 10,
+            ..TcpConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("initial_rwnd"));
+    }
+
+    #[test]
+    fn validation_catches_bad_beta() {
+        let cfg = TcpConfig {
+            loss_beta: 1.0,
+            ..TcpConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_mss() {
+        let cfg = TcpConfig {
+            mss: 0,
+            ..TcpConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Connection state: a sender/receiver pair plus transfer bookkeeping.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use crate::config::TcpConfig;
+use crate::ids::{ConnId, HostId, PopId, TransferId};
+use crate::packet::SegIndex;
+use crate::tcp::{Receiver, Sender};
+use crate::time::SimTime;
+
+/// Lifecycle of a simulated connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// SYN sent, waiting for the handshake to complete.
+    Connecting,
+    /// Handshake done; data may flow.
+    Established,
+    /// Closed by the application; no further activity.
+    Closed,
+}
+
+/// A transfer the application requested before the handshake finished.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingTransfer {
+    pub id: TransferId,
+    pub bytes: u64,
+    pub requested_at: SimTime,
+}
+
+/// A transfer currently riding the connection's byte stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ActiveTransfer {
+    pub id: TransferId,
+    pub bytes: u64,
+    /// Stream position (in segments) at which this transfer is complete.
+    pub end_seq: SegIndex,
+    pub requested_at: SimTime,
+    pub started_at: SimTime,
+    /// Whether the connection was opened for this transfer (no reuse).
+    pub fresh_connection: bool,
+}
+
+/// One TCP connection between two simulated hosts.
+///
+/// Owned and driven by the [`crate::world::World`]; user code refers to it
+/// by [`ConnId`] and observes it through
+/// [`crate::stats::ConnStats`].
+#[derive(Debug)]
+pub struct Connection {
+    pub(crate) id: ConnId,
+    pub(crate) src: HostId,
+    pub(crate) dst: HostId,
+    pub(crate) src_pop: PopId,
+    pub(crate) dst_pop: PopId,
+    pub(crate) src_addr: Ipv4Addr,
+    pub(crate) dst_addr: Ipv4Addr,
+    pub(crate) state: ConnState,
+    pub(crate) opened_at: SimTime,
+    pub(crate) established_at: Option<SimTime>,
+    pub(crate) sender: Sender,
+    pub(crate) receiver: Receiver,
+    pub(crate) pending: VecDeque<PendingTransfer>,
+    pub(crate) active: VecDeque<ActiveTransfer>,
+    pub(crate) initial_cwnd: u32,
+}
+
+impl Connection {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the wire 5-tuple + policy
+    pub(crate) fn new(
+        id: ConnId,
+        src: HostId,
+        dst: HostId,
+        src_pop: PopId,
+        dst_pop: PopId,
+        src_addr: Ipv4Addr,
+        dst_addr: Ipv4Addr,
+        initial_cwnd: u32,
+        initial_ssthresh: u32,
+        cfg: &TcpConfig,
+        now: SimTime,
+    ) -> Self {
+        Connection {
+            id,
+            src,
+            dst,
+            src_pop,
+            dst_pop,
+            src_addr,
+            dst_addr,
+            state: ConnState::Connecting,
+            opened_at: now,
+            established_at: None,
+            sender: Sender::with_ssthresh(cfg, initial_cwnd, initial_ssthresh, now),
+            receiver: Receiver::new(id, cfg),
+            pending: VecDeque::new(),
+            active: VecDeque::new(),
+            initial_cwnd,
+        }
+    }
+
+    /// Whether the connection is established with nothing queued or in
+    /// flight — i.e. reusable for a new transfer without waiting.
+    pub fn is_idle(&self) -> bool {
+        self.state == ConnState::Established
+            && self.sender.all_acked()
+            && self.pending.is_empty()
+            && self.active.is_empty()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+}

@@ -1,0 +1,86 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Each entity family gets its own index newtype so a `HostId` can never be
+//! passed where a `ConnId` is expected. All ids are dense indices assigned
+//! by the [`crate::world::World`] in creation order, which keeps lookups
+//! `O(1)` vec indexing and runs reproducible.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name($repr);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn from_index(index: $repr) -> Self {
+                $name(index)
+            }
+
+            /// The raw dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A simulated machine (one IP address, one TCP stack).
+    HostId,
+    u32,
+    "host"
+);
+id_type!(
+    /// A point of presence: a group of co-located hosts.
+    PopId,
+    u32,
+    "pop"
+);
+id_type!(
+    /// A unidirectional network path between two PoPs.
+    PathId,
+    u32,
+    "path"
+);
+id_type!(
+    /// A TCP connection between two hosts.
+    ConnId,
+    u64,
+    "conn"
+);
+id_type!(
+    /// One application-level transfer riding a connection.
+    TransferId,
+    u64,
+    "xfer"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let h = HostId::from_index(3);
+        assert_eq!(h.index(), 3);
+        assert_eq!(h.to_string(), "host3");
+        assert_eq!(ConnId::from_index(9).to_string(), "conn9");
+        assert_eq!(PathId::from_index(1).to_string(), "path1");
+        assert_eq!(PopId::from_index(0).to_string(), "pop0");
+        assert_eq!(TransferId::from_index(12).to_string(), "xfer12");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(HostId::from_index(1) < HostId::from_index(2));
+    }
+}

@@ -1,0 +1,405 @@
+//! Unidirectional network paths with netem-style impairments.
+//!
+//! A [`Path`] models everything between two PoPs in one direction: a
+//! serialization rate, a finite drop-tail queue, fixed propagation delay,
+//! optional uniform jitter, and random packet loss. These are exactly the
+//! knobs a `tc netem` + `tbf` testbed exposes, which is what a hardware
+//! reproduction of the paper would use.
+//!
+//! Delivery is FIFO: jitter never reorders packets (arrival times are
+//! clamped to be non-decreasing), matching netem without its `reorder`
+//! option.
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static configuration of a unidirectional path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathConfig {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Maximum extra uniform delay added per packet.
+    pub jitter: SimDuration,
+    /// Independent per-packet drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Serialization rate in bits per second.
+    pub rate_bps: u64,
+    /// Drop-tail queue capacity in bytes (backlog beyond the packet
+    /// currently serializing).
+    pub queue_bytes: u64,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig {
+            delay: SimDuration::from_millis(25),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            rate_bps: 1_000_000_000, // 1 Gbit/s
+            queue_bytes: 512 * 1024,
+        }
+    }
+}
+
+impl PathConfig {
+    /// A path with the given one-way delay and defaults elsewhere.
+    pub fn with_delay(delay: SimDuration) -> Self {
+        PathConfig {
+            delay,
+            ..PathConfig::default()
+        }
+    }
+
+    /// Sets the random loss probability (builder-style).
+    pub fn loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Sets the serialization rate (builder-style).
+    pub fn rate_bps(mut self, bps: u64) -> Self {
+        self.rate_bps = bps;
+        self
+    }
+
+    /// Sets the queue capacity (builder-style).
+    pub fn queue_bytes(mut self, bytes: u64) -> Self {
+        self.queue_bytes = bytes;
+        self
+    }
+
+    /// Sets the jitter bound (builder-style).
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The round-trip time of a symmetric path pair with this one-way
+    /// delay (ignores jitter and queueing).
+    pub fn base_rtt(&self) -> SimDuration {
+        self.delay * 2
+    }
+
+    /// Time to serialize `bytes` at this path's rate.
+    pub fn serialization_time(&self, bytes: u32) -> SimDuration {
+        let ns = (bytes as u128 * 8 * 1_000_000_000) / self.rate_bps as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if loss is outside `[0, 1]` or
+    /// the rate is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("loss must be in [0, 1], got {}", self.loss));
+        }
+        if self.rate_bps == 0 {
+            return Err("rate_bps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The verdict for a packet offered to a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The packet will be delivered at the given instant.
+    Deliver {
+        /// Arrival time at the far end.
+        arrival: SimTime,
+    },
+    /// Dropped by random loss.
+    LostRandom,
+    /// Dropped because the queue was full.
+    LostOverflow,
+}
+
+/// Counters a path accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Packets offered to the path.
+    pub offered: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped by random loss.
+    pub lost_random: u64,
+    /// Packets dropped by queue overflow.
+    pub lost_overflow: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl PathStats {
+    /// Overall drop fraction, or 0 if nothing was offered.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.lost_random + self.lost_overflow) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Runtime state of a unidirectional path.
+#[derive(Debug, Clone)]
+pub struct Path {
+    config: PathConfig,
+    rng: DetRng,
+    /// When the transmitter finishes serializing the last admitted packet.
+    busy_until: SimTime,
+    /// Arrival time of the most recently admitted packet (FIFO clamp).
+    last_arrival: SimTime,
+    stats: PathStats,
+}
+
+impl Path {
+    /// Creates a path with its own random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PathConfig::validate`].
+    pub fn new(config: PathConfig, rng: DetRng) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid path config: {e}");
+        }
+        Path {
+            config,
+            rng,
+            busy_until: SimTime::ZERO,
+            last_arrival: SimTime::ZERO,
+            stats: PathStats::default(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &PathConfig {
+        &self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> PathStats {
+        self.stats
+    }
+
+    /// Replaces the impairment configuration mid-run (e.g. to congest a
+    /// link for a scenario). Queue backlog and counters carry over.
+    pub fn reconfigure(&mut self, config: PathConfig) {
+        assert!(config.validate().is_ok(), "invalid path config");
+        self.config = config;
+    }
+
+    /// Current queueing backlog, expressed as time until the transmitter
+    /// would go idle.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Offers a queue-occupying packet of `wire_bytes` to the path at
+    /// `now`, returning whether and when it arrives.
+    pub fn admit(&mut self, now: SimTime, wire_bytes: u32) -> Admission {
+        self.stats.offered += 1;
+        // Drop-tail: reject if the backlog (bytes not yet serialized)
+        // already exceeds the queue capacity.
+        let backlog = self.busy_until.saturating_since(now);
+        let backlog_bytes =
+            (backlog.as_secs_f64() * self.config.rate_bps as f64 / 8.0).round() as u64;
+        if backlog_bytes + wire_bytes as u64 > self.config.queue_bytes {
+            self.stats.lost_overflow += 1;
+            return Admission::LostOverflow;
+        }
+        if self.rng.chance(self.config.loss) {
+            self.stats.lost_random += 1;
+            return Admission::LostRandom;
+        }
+        let start = self.busy_until.max(now);
+        let departure = start + self.config.serialization_time(wire_bytes);
+        self.busy_until = departure;
+        let mut arrival = departure + self.config.delay + self.rng.jitter(self.config.jitter);
+        // FIFO: never deliver before a previously admitted packet.
+        if arrival < self.last_arrival {
+            arrival = self.last_arrival;
+        }
+        self.last_arrival = arrival;
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += wire_bytes as u64;
+        Admission::Deliver { arrival }
+    }
+
+    /// Offers a control packet (SYN/ACK-sized) that experiences delay and
+    /// random loss but never queues. Returns its arrival time, or `None`
+    /// if lost.
+    pub fn admit_control(&mut self, now: SimTime, lossy: bool) -> Option<SimTime> {
+        if lossy && self.rng.chance(self.config.loss) {
+            return None;
+        }
+        let mut arrival = now + self.config.delay + self.rng.jitter(self.config.jitter);
+        if arrival < self.last_arrival {
+            arrival = self.last_arrival;
+        }
+        self.last_arrival = arrival;
+        Some(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(config: PathConfig) -> Path {
+        Path::new(config, DetRng::from_seed(99))
+    }
+
+    #[test]
+    fn lossless_path_delivers_after_delay_and_serialization() {
+        let cfg = PathConfig {
+            delay: SimDuration::from_millis(10),
+            rate_bps: 8_000_000, // 1 byte/us
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        match p.admit(SimTime::ZERO, 1000) {
+            Admission::Deliver { arrival } => {
+                // 1000 bytes at 1 byte/us = 1 ms serialization + 10 ms delay.
+                assert_eq!(arrival, SimTime::from_millis(11));
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serialization_serializes_back_to_back() {
+        let cfg = PathConfig {
+            delay: SimDuration::ZERO,
+            rate_bps: 8_000_000,
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        let a1 = p.admit(SimTime::ZERO, 1000);
+        let a2 = p.admit(SimTime::ZERO, 1000);
+        let (t1, t2) = match (a1, a2) {
+            (Admission::Deliver { arrival: t1 }, Admission::Deliver { arrival: t2 }) => (t1, t2),
+            other => panic!("expected deliveries, got {other:?}"),
+        };
+        assert_eq!(t2 - t1, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn queue_overflows_drop_tail() {
+        let cfg = PathConfig {
+            delay: SimDuration::ZERO,
+            rate_bps: 8_000, // 1 byte/ms: glacial
+            queue_bytes: 3000,
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        let mut delivered = 0;
+        let mut overflowed = 0;
+        for _ in 0..10 {
+            match p.admit(SimTime::ZERO, 1000) {
+                Admission::Deliver { .. } => delivered += 1,
+                Admission::LostOverflow => overflowed += 1,
+                Admission::LostRandom => panic!("no random loss configured"),
+            }
+        }
+        assert!(delivered >= 3, "capacity admits at least queue/packet");
+        assert!(overflowed >= 6, "the rest overflow");
+        assert_eq!(p.stats().lost_overflow, overflowed as u64);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let cfg = PathConfig {
+            delay: SimDuration::ZERO,
+            rate_bps: 8_000_000,
+            queue_bytes: 2000,
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        for _ in 0..2 {
+            assert!(matches!(
+                p.admit(SimTime::ZERO, 1000),
+                Admission::Deliver { .. }
+            ));
+        }
+        assert!(matches!(
+            p.admit(SimTime::ZERO, 1000),
+            Admission::LostOverflow
+        ));
+        // After the backlog serializes, admission succeeds again.
+        let later = SimTime::from_millis(5);
+        assert!(matches!(p.admit(later, 1000), Admission::Deliver { .. }));
+    }
+
+    #[test]
+    fn random_loss_rate_is_respected() {
+        let cfg = PathConfig {
+            loss: 0.2,
+            rate_bps: 1_000_000_000_000, // effectively instant
+            queue_bytes: u64::MAX,
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        let mut lost = 0;
+        let n = 20_000;
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now += SimDuration::from_micros(10);
+            if matches!(p.admit(now, 1500), Admission::LostRandom) {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "loss rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn jitter_never_reorders() {
+        let cfg = PathConfig {
+            delay: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            rate_bps: 1_000_000_000,
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        let mut last = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for _ in 0..500 {
+            now += SimDuration::from_micros(50);
+            if let Admission::Deliver { arrival } = p.admit(now, 1500) {
+                assert!(arrival >= last, "FIFO violated");
+                last = arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn control_packets_skip_the_queue() {
+        let cfg = PathConfig {
+            delay: SimDuration::from_millis(50),
+            rate_bps: 8_000, // 1 byte/ms — queue would be hopeless
+            ..PathConfig::default()
+        };
+        let mut p = path(cfg);
+        let arrival = p.admit_control(SimTime::ZERO, false).unwrap();
+        assert_eq!(arrival, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn stats_drop_rate() {
+        let mut s = PathStats::default();
+        assert_eq!(s.drop_rate(), 0.0);
+        s.offered = 10;
+        s.lost_random = 1;
+        s.lost_overflow = 1;
+        assert!((s.drop_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid path config")]
+    fn invalid_loss_panics() {
+        let _ = path(PathConfig::default().loss(1.5));
+    }
+}

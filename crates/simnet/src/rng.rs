@@ -1,0 +1,234 @@
+//! Seeded, deterministic randomness for simulations and workloads.
+//!
+//! Wraps [`rand::rngs::SmallRng`] and adds the handful of distributions the
+//! testbed needs (Bernoulli losses, uniform jitter, exponential
+//! inter-arrivals, normal/lognormal sizes) without pulling in `rand_distr`.
+//! Normal variates use the Box–Muller transform.
+//!
+//! Every component that needs randomness derives its own stream from a
+//! master seed with [`DetRng::fork`], so adding a consumer never perturbs
+//! the draws seen by existing ones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random-number generator for simulation components.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream labelled by `stream`.
+    ///
+    /// Forking with distinct labels yields streams that do not share draws
+    /// with the parent or with each other, so per-link / per-workload
+    /// consumers stay decoupled.
+    pub fn fork(&self, stream: u64) -> DetRng {
+        // SplitMix64-style mixing of (parent seed material, stream label).
+        let mut z = self
+            .seed_material()
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DetRng::from_seed(z)
+    }
+
+    fn seed_material(&self) -> u64 {
+        // Clone so forking is a pure function of current state without
+        // advancing the parent stream.
+        let mut probe = self.inner.clone();
+        probe.gen::<u64>()
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds out of order: {lo} > {hi}");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli trial that succeeds with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// A standard normal variate (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by drawing u1 from (0, 1].
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A lognormal variate: `exp(N(mu, sigma))`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// An exponential variate with the given rate (events per unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        let u = 1.0 - self.unit();
+        -u.ln() / rate
+    }
+
+    /// A duration drawn uniformly from `[0, max]`; `ZERO` if `max` is zero.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.inner.gen_range(0..=max.as_nanos()))
+        }
+    }
+
+    /// An exponentially distributed duration with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is zero.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        assert!(!mean.is_zero(), "mean inter-arrival must be non-zero");
+        let secs = self.exponential(1.0 / mean.as_secs_f64());
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::from_seed(42);
+        let mut b = DetRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn forks_are_decoupled() {
+        let parent = DetRng::from_seed(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let s1: Vec<f64> = (0..8).map(|_| c1.unit()).collect();
+        let s2: Vec<f64> = (0..8).map(|_| c2.unit()).collect();
+        assert_ne!(s1, s2);
+        // Forking again with the same label reproduces the stream.
+        let mut c1b = parent.fork(1);
+        let s1b: Vec<f64> = (0..8).map(|_| c1b.unit()).collect();
+        assert_eq!(s1, s1b);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::from_seed(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches_p() {
+        let mut rng = DetRng::from_seed(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::from_seed(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = DetRng::from_seed(9);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = DetRng::from_seed(3);
+        let max = SimDuration::from_millis(2);
+        for _ in 0..1000 {
+            assert!(rng.jitter(max) <= max);
+        }
+        assert_eq!(rng.jitter(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = DetRng::from_seed(13);
+        for _ in 0..1000 {
+            assert!(rng.lognormal(9.8, 1.9) > 0.0);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = DetRng::from_seed(17);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.below(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,126 @@
+//! Observable outputs of a simulation: per-connection snapshots (the
+//! simulated analogue of `ss -i` rows) and completed-transfer records.
+
+use std::net::Ipv4Addr;
+
+use crate::conn::ConnState;
+use crate::ids::{ConnId, HostId, PopId, TransferId};
+use crate::time::{SimDuration, SimTime};
+
+/// A point-in-time snapshot of one connection, shaped like the fields
+/// Riptide reads from `ss -i`: destination, current congestion window,
+/// smoothed RTT and bytes acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnStats {
+    /// Connection identity.
+    pub conn: ConnId,
+    /// Originating host.
+    pub src: HostId,
+    /// Remote host.
+    pub dst: HostId,
+    /// Local address.
+    pub src_addr: Ipv4Addr,
+    /// Remote address — the key Riptide groups on.
+    pub dst_addr: Ipv4Addr,
+    /// Lifecycle state.
+    pub state: ConnState,
+    /// Congestion window in segments, as `ss` reports (`cwnd:`).
+    pub cwnd: u32,
+    /// Slow-start threshold in segments (`ssthresh:`; `u32::MAX` = unset).
+    pub ssthresh: u32,
+    /// Smoothed RTT, once measured (`rtt:`).
+    pub srtt: Option<SimDuration>,
+    /// Approximate bytes acknowledged so far (`bytes_acked:`).
+    pub bytes_acked: u64,
+    /// The initial congestion window the connection started with.
+    pub initial_cwnd: u32,
+    /// When the connection was opened.
+    pub opened_at: SimTime,
+    /// When the handshake completed, if it has.
+    pub established_at: Option<SimTime>,
+}
+
+/// The outcome of one completed application transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Transfer identity.
+    pub transfer: TransferId,
+    /// Connection that carried it.
+    pub conn: ConnId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Sending PoP.
+    pub src_pop: PopId,
+    /// Receiving PoP.
+    pub dst_pop: PopId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// When the application asked for the transfer.
+    pub requested_at: SimTime,
+    /// When data first entered the send buffer (after any handshake wait).
+    pub started_at: SimTime,
+    /// When the final byte was acknowledged.
+    pub completed_at: SimTime,
+    /// Whether a new connection (with handshake) was opened for this
+    /// transfer, as opposed to reusing an idle one.
+    pub fresh_connection: bool,
+    /// The initial congestion window of the carrying connection.
+    pub initial_cwnd: u32,
+}
+
+impl TransferRecord {
+    /// End-to-end completion time as the application experienced it
+    /// (includes handshake wait for fresh connections) — the quantity the
+    /// paper's probe figures plot.
+    pub fn completion_time(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.requested_at)
+    }
+
+    /// Time spent moving data only (excludes handshake wait).
+    pub fn data_time(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.started_at)
+    }
+}
+
+/// World-wide counters, useful for throughput benchmarks and sanity
+/// assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Events processed by the loop.
+    pub events_processed: u64,
+    /// Data segments delivered to receivers.
+    pub segments_delivered: u64,
+    /// ACKs delivered to senders.
+    pub acks_delivered: u64,
+    /// Connections opened.
+    pub connections_opened: u64,
+    /// Transfers completed.
+    pub transfers_completed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_and_data_time() {
+        let r = TransferRecord {
+            transfer: TransferId::from_index(0),
+            conn: ConnId::from_index(0),
+            src: HostId::from_index(0),
+            dst: HostId::from_index(1),
+            src_pop: PopId::from_index(0),
+            dst_pop: PopId::from_index(1),
+            bytes: 50_000,
+            requested_at: SimTime::from_millis(0),
+            started_at: SimTime::from_millis(100),
+            completed_at: SimTime::from_millis(350),
+            fresh_connection: true,
+            initial_cwnd: 10,
+        };
+        assert_eq!(r.completion_time(), SimDuration::from_millis(350));
+        assert_eq!(r.data_time(), SimDuration::from_millis(250));
+    }
+}

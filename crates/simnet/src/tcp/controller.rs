@@ -1,0 +1,360 @@
+//! Congestion-control algorithms: the window-growth side of TCP.
+//!
+//! The sender state machine ([`crate::tcp::sender::Sender`]) handles loss
+//! detection, retransmission and pacing; it delegates *how fast the window
+//! grows and shrinks* to a [`CongestionControl`] implementation. Two are
+//! provided, matching the paper's setting (Linux default CUBIC) and the
+//! classical baseline (Reno).
+//!
+//! Riptide never changes these algorithms — it only chooses the *initial*
+//! window they start from, exactly as §III-B emphasizes.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Window-growth policy for one connection.
+///
+/// Windows are expressed in segments as `f64` so sub-segment growth in
+/// congestion avoidance accumulates exactly; the sender floors the value
+/// when deciding how many segments may be in flight.
+pub trait CongestionControl: fmt::Debug {
+    /// Current congestion window, in segments (≥ 1).
+    fn cwnd(&self) -> f64;
+
+    /// Current slow-start threshold, in segments.
+    fn ssthresh(&self) -> f64;
+
+    /// Whether the window is still in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+
+    /// Called when `newly_acked` segments are cumulatively acknowledged.
+    fn on_ack(&mut self, newly_acked: u64, now: SimTime, srtt: Option<SimDuration>);
+
+    /// Called once when loss is detected by triple duplicate ACK
+    /// (multiplicative decrease; the sender then enters fast recovery).
+    fn on_loss(&mut self, now: SimTime);
+
+    /// Called on retransmission timeout (collapse to one segment).
+    fn on_timeout(&mut self, now: SimTime);
+
+    /// Called when a long idle period requires restarting from the initial
+    /// window (`tcp_slow_start_after_idle`).
+    fn on_idle_restart(&mut self, initial_cwnd: u32);
+
+    /// The algorithm's short name (`"reno"` / `"cubic"`), as `ss` prints.
+    fn name(&self) -> &'static str;
+}
+
+/// Classic Reno/NewReno AIMD.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// Creates a Reno controller starting from `initial_cwnd` segments.
+    pub fn new(initial_cwnd: u32, initial_ssthresh: u32) -> Self {
+        Reno {
+            cwnd: initial_cwnd.max(1) as f64,
+            ssthresh: initial_ssthresh as f64,
+        }
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, _now: SimTime, _srtt: Option<SimDuration>) {
+        let mut remaining = newly_acked as f64;
+        // Slow start consumes acks one segment per segment until ssthresh.
+        if self.cwnd < self.ssthresh {
+            let ss_room = (self.ssthresh - self.cwnd).min(remaining);
+            self.cwnd += ss_room;
+            remaining -= ss_room;
+        }
+        // Congestion avoidance: +1/cwnd per acked segment.
+        if remaining > 0.0 {
+            self.cwnd += remaining / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd * 0.5).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd * 0.5).max(2.0);
+        self.cwnd = 1.0;
+    }
+
+    fn on_idle_restart(&mut self, initial_cwnd: u32) {
+        self.cwnd = self.cwnd.min(initial_cwnd.max(1) as f64);
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+/// TCP CUBIC (RFC 8312-style window growth, without the TCP-friendliness
+/// fallback region, which never binds on the high-BDP inter-DC paths this
+/// simulator targets).
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window size just before the last reduction.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Multiplicative decrease factor (0.7 per RFC 8312).
+    beta: f64,
+    /// CUBIC aggressiveness constant.
+    c: f64,
+}
+
+impl Cubic {
+    /// Creates a CUBIC controller starting from `initial_cwnd` segments.
+    pub fn new(initial_cwnd: u32, initial_ssthresh: u32) -> Self {
+        Cubic::with_beta(initial_cwnd, initial_ssthresh, 0.7)
+    }
+
+    /// Creates a CUBIC controller with a custom decrease factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` lies in `(0, 1)`.
+    pub fn with_beta(initial_cwnd: u32, initial_ssthresh: u32, beta: f64) -> Self {
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "beta must be in (0,1), got {beta}"
+        );
+        Cubic {
+            cwnd: initial_cwnd.max(1) as f64,
+            ssthresh: initial_ssthresh as f64,
+            w_max: 0.0,
+            epoch_start: None,
+            beta,
+            c: 0.4,
+        }
+    }
+
+    /// The cubic target window at time `t` seconds into the epoch.
+    fn target(&self, t: f64) -> f64 {
+        let k = (self.w_max * (1.0 - self.beta) / self.c).cbrt();
+        self.w_max + self.c * (t - k).powi(3)
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, now: SimTime, _srtt: Option<SimDuration>) {
+        let mut remaining = newly_acked as f64;
+        if self.cwnd < self.ssthresh {
+            let ss_room = (self.ssthresh - self.cwnd).min(remaining);
+            self.cwnd += ss_room;
+            remaining -= ss_room;
+            if remaining <= 0.0 {
+                return;
+            }
+        }
+        // Congestion avoidance: chase the cubic target.
+        let epoch_start = *self.epoch_start.get_or_insert_with(|| {
+            // Fresh epoch without a prior loss (e.g. ssthresh hit from
+            // metric): treat the current window as the plateau.
+            if self.w_max < self.cwnd {
+                self.w_max = self.cwnd;
+            }
+            now
+        });
+        let t = (now.saturating_since(epoch_start)).as_secs_f64();
+        // RFC 8312 §4.1: the target is clamped to 1.5·cwnd per RTT so a
+        // long quiet epoch cannot explode the window in one burst.
+        let target = self.target(t).min(self.cwnd * 1.5);
+        if target > self.cwnd {
+            // Move a fraction of the gap per acked segment, as Linux does.
+            self.cwnd += remaining * (target - self.cwnd) / self.cwnd;
+        } else {
+            // Concave plateau: creep forward very slowly.
+            self.cwnd += remaining * 0.01 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * self.beta).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.epoch_start = Some(now);
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * self.beta).max(2.0);
+        self.cwnd = 1.0;
+        self.epoch_start = Some(now);
+    }
+
+    fn on_idle_restart(&mut self, initial_cwnd: u32) {
+        self.cwnd = self.cwnd.min(initial_cwnd.max(1) as f64);
+        self.epoch_start = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+/// Builds the controller named by `algo`, starting from `initial_cwnd`.
+pub fn build(
+    algo: crate::config::CcAlgorithm,
+    initial_cwnd: u32,
+    initial_ssthresh: u32,
+) -> Box<dyn CongestionControl> {
+    match algo {
+        crate::config::CcAlgorithm::Reno => Box::new(Reno::new(initial_cwnd, initial_ssthresh)),
+        crate::config::CcAlgorithm::Cubic => Box::new(Cubic::new(initial_cwnd, initial_ssthresh)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_slow_start_doubles_per_round() {
+        let mut cc = Reno::new(10, u32::MAX);
+        // Acking a full window in slow start doubles it.
+        cc.on_ack(10, SimTime::ZERO, None);
+        assert_eq!(cc.cwnd(), 20.0);
+        cc.on_ack(20, SimTime::ZERO, None);
+        assert_eq!(cc.cwnd(), 40.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_is_linear() {
+        let mut cc = Reno::new(10, 10);
+        assert!(!cc.in_slow_start());
+        // One full window of acks grows cwnd by ~1.
+        let before = cc.cwnd();
+        cc.on_ack(10, SimTime::ZERO, None);
+        assert!((cc.cwnd() - before - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reno_crosses_ssthresh_exactly() {
+        let mut cc = Reno::new(8, 12);
+        cc.on_ack(8, SimTime::ZERO, None);
+        // 4 acks exhaust slow start (8 -> 12), 4 land in CA.
+        assert!(cc.cwnd() > 12.0 && cc.cwnd() < 13.0, "cwnd {}", cc.cwnd());
+    }
+
+    #[test]
+    fn reno_loss_halves() {
+        let mut cc = Reno::new(100, u32::MAX);
+        cc.on_loss(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), 50.0);
+        assert_eq!(cc.ssthresh(), 50.0);
+    }
+
+    #[test]
+    fn reno_timeout_collapses_to_one() {
+        let mut cc = Reno::new(100, u32::MAX);
+        cc.on_timeout(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), 1.0);
+        assert_eq!(cc.ssthresh(), 50.0);
+    }
+
+    #[test]
+    fn reno_floor_at_two() {
+        let mut cc = Reno::new(1, u32::MAX);
+        cc.on_loss(SimTime::ZERO);
+        assert_eq!(cc.ssthresh(), 2.0);
+    }
+
+    #[test]
+    fn cubic_slow_start_matches_reno() {
+        let mut cc = Cubic::new(10, u32::MAX);
+        cc.on_ack(10, SimTime::ZERO, None);
+        assert_eq!(cc.cwnd(), 20.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn cubic_loss_scales_by_beta() {
+        let mut cc = Cubic::new(100, u32::MAX);
+        cc.on_loss(SimTime::ZERO);
+        assert!((cc.cwnd() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_recovers_toward_w_max() {
+        let mut cc = Cubic::new(100, u32::MAX);
+        cc.on_loss(SimTime::ZERO);
+        let floor = cc.cwnd();
+        // Ack steadily for 20 simulated seconds.
+        let mut now = SimTime::ZERO;
+        for _ in 0..2000 {
+            now += SimDuration::from_millis(10);
+            cc.on_ack(5, now, None);
+        }
+        assert!(cc.cwnd() > floor, "cubic should grow after loss");
+        assert!(
+            cc.cwnd() > 95.0,
+            "cubic should approach w_max=100 after a long epoch, got {}",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_plateau() {
+        let mut cc = Cubic::new(100, u32::MAX);
+        cc.on_loss(SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        // Run long enough to pass K and enter the convex region.
+        for _ in 0..6000 {
+            now += SimDuration::from_millis(10);
+            cc.on_ack(5, now, None);
+        }
+        assert!(cc.cwnd() > 100.0, "past plateau cwnd {}", cc.cwnd());
+    }
+
+    #[test]
+    fn cubic_idle_restart_caps_at_initial() {
+        let mut cc = Cubic::new(10, u32::MAX);
+        cc.on_ack(50, SimTime::ZERO, None);
+        cc.on_idle_restart(10);
+        assert_eq!(cc.cwnd(), 10.0);
+    }
+
+    #[test]
+    fn build_dispatches_on_algorithm() {
+        use crate::config::CcAlgorithm;
+        assert_eq!(build(CcAlgorithm::Reno, 10, 100).name(), "reno");
+        assert_eq!(build(CcAlgorithm::Cubic, 10, 100).name(), "cubic");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn cubic_rejects_bad_beta() {
+        let _ = Cubic::with_beta(10, 100, 1.5);
+    }
+}

@@ -1,0 +1,20 @@
+//! Simulated TCP: RTT estimation, congestion control, sender and receiver
+//! state machines.
+//!
+//! The split mirrors a real stack: [`sender::Sender`] owns reliability and
+//! loss recovery, [`controller`] owns window growth (Reno / CUBIC),
+//! [`rtt::RttEstimator`] owns RFC 6298 timing, and [`receiver::Receiver`]
+//! owns reassembly and the advertised window. The piece Riptide touches —
+//! the *initial* congestion window — is a constructor parameter of
+//! [`sender::Sender::new`], exactly as in Linux it is a route attribute
+//! consumed at connection establishment.
+
+pub mod controller;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+
+pub use controller::{CongestionControl, Cubic, Reno};
+pub use receiver::Receiver;
+pub use rtt::RttEstimator;
+pub use sender::{Outgoing, Sender, SenderPhase, TimerRequest};

@@ -1,0 +1,378 @@
+//! The receiving half of a simulated TCP connection.
+//!
+//! Tracks the cumulative in-order frontier plus an out-of-order set, and
+//! answers data segments with cumulative ACKs carrying the current
+//! advertised receive window. The receive window starts at the configured
+//! `initrwnd` and autotunes upward with received traffic — faster than the
+//! sender's window can grow, as §III-C describes, unless an experiment
+//! deliberately configures it small.
+//!
+//! With [`TcpConfig::delayed_ack`] set, the receiver follows RFC 1122
+//! delayed acknowledgements: every second in-order segment is acked
+//! immediately, a lone segment only when the delayed-ack timer fires;
+//! out-of-order and duplicate segments always trigger an immediate ACK
+//! (they carry loss signals the sender needs now).
+
+use std::collections::BTreeSet;
+
+use crate::config::TcpConfig;
+use crate::ids::ConnId;
+use crate::packet::{Ack, SackBlocks, SegIndex};
+
+/// What the receiver wants done after accepting a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckDecision {
+    /// Send this acknowledgement now.
+    Immediate(Ack),
+    /// Hold the acknowledgement; fire the delayed-ack timer at the
+    /// transport's configured timeout with this epoch.
+    Deferred {
+        /// Epoch the timer must present to [`Receiver::on_delack_timer`].
+        epoch: u64,
+    },
+}
+
+/// The receiving half of one TCP connection.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    conn: ConnId,
+    /// Every segment with index `< cum` has been received.
+    cum: SegIndex,
+    /// Received segments above the frontier (holes below them).
+    out_of_order: BTreeSet<SegIndex>,
+    /// Currently advertised window, in segments.
+    rwnd: u32,
+    max_rwnd: u32,
+    delayed_ack: bool,
+    sack: bool,
+    /// In-order segments accepted since the last ACK left.
+    unacked: u32,
+    /// Whether an ACK is being withheld.
+    pending: bool,
+    /// Invalidates stale delayed-ack timers.
+    epoch: u64,
+    segments_received: u64,
+    duplicates_received: u64,
+}
+
+impl Receiver {
+    /// Creates a receiver advertising `cfg.initial_rwnd`.
+    pub fn new(conn: ConnId, cfg: &TcpConfig) -> Self {
+        Receiver {
+            conn,
+            cum: 0,
+            out_of_order: BTreeSet::new(),
+            rwnd: cfg.initial_rwnd,
+            max_rwnd: cfg.max_rwnd,
+            delayed_ack: cfg.delayed_ack,
+            sack: cfg.sack,
+            unacked: 0,
+            pending: false,
+            epoch: 0,
+            segments_received: 0,
+            duplicates_received: 0,
+        }
+    }
+
+    /// The in-order frontier: every segment below this is held.
+    pub fn cum_received(&self) -> SegIndex {
+        self.cum
+    }
+
+    /// The currently advertised receive window, in segments.
+    pub fn rwnd(&self) -> u32 {
+        self.rwnd
+    }
+
+    /// Count of segments that arrived already-held (go-back-N duplicates).
+    pub fn duplicates_received(&self) -> u64 {
+        self.duplicates_received
+    }
+
+    /// Whether an acknowledgement is currently withheld.
+    pub fn has_pending_ack(&self) -> bool {
+        self.pending
+    }
+
+    fn current_ack(&self) -> Ack {
+        Ack {
+            conn: self.conn,
+            cum_ack: self.cum,
+            rwnd: self.rwnd,
+            sack: self.sack_blocks(),
+        }
+    }
+
+    /// Coalesces the out-of-order set into SACK ranges, highest (most
+    /// recently useful) first, capped at the option-space limit.
+    fn sack_blocks(&self) -> SackBlocks {
+        let mut blocks = SackBlocks::EMPTY;
+        if !self.sack || self.out_of_order.is_empty() {
+            return blocks;
+        }
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &seq in &self.out_of_order {
+            match ranges.last_mut() {
+                Some((_, end)) if *end == seq => *end = seq + 1,
+                _ => ranges.push((seq, seq + 1)),
+            }
+        }
+        for &(start, end) in ranges.iter().rev().take(crate::packet::MAX_SACK_BLOCKS) {
+            blocks.push(start, end);
+        }
+        blocks
+    }
+
+    fn emit_now(&mut self) -> AckDecision {
+        self.pending = false;
+        self.unacked = 0;
+        self.epoch += 1; // cancel any armed delayed-ack timer
+        AckDecision::Immediate(self.current_ack())
+    }
+
+    /// Accepts a data segment and decides how to acknowledge it.
+    pub fn on_segment(&mut self, seq: SegIndex) -> AckDecision {
+        let duplicate = seq < self.cum || self.out_of_order.contains(&seq);
+        if duplicate {
+            self.duplicates_received += 1;
+            // Duplicates signal spurious retransmission — ack immediately.
+            return self.emit_now();
+        }
+        self.segments_received += 1;
+        self.out_of_order.insert(seq);
+        // Advance the frontier through any now-contiguous run.
+        while self.out_of_order.remove(&self.cum) {
+            self.cum += 1;
+        }
+        // Receive-window autotuning: grow with received traffic, two
+        // segments per segment, so it outpaces the sender's window.
+        self.rwnd = self.rwnd.saturating_add(2).min(self.max_rwnd);
+
+        let gap = !self.out_of_order.is_empty();
+        if gap {
+            // A hole exists: the sender needs dup-acks immediately
+            // (RFC 5681 §4.2).
+            return self.emit_now();
+        }
+        self.unacked += 1;
+        if !self.delayed_ack || self.unacked >= 2 {
+            return self.emit_now();
+        }
+        self.pending = true;
+        AckDecision::Deferred { epoch: self.epoch }
+    }
+
+    /// Handles a delayed-ack timer firing. Returns the withheld ACK if
+    /// the timer is still current and an ACK is still pending.
+    pub fn on_delack_timer(&mut self, epoch: u64) -> Option<Ack> {
+        if !self.pending || epoch != self.epoch {
+            return None;
+        }
+        self.pending = false;
+        self.unacked = 0;
+        self.epoch += 1;
+        Some(self.current_ack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx() -> Receiver {
+        Receiver::new(ConnId::from_index(0), &TcpConfig::default())
+    }
+
+    fn rx_delack() -> Receiver {
+        let cfg = TcpConfig {
+            delayed_ack: true,
+            ..TcpConfig::default()
+        };
+        Receiver::new(ConnId::from_index(0), &cfg)
+    }
+
+    /// Unwraps an immediate decision (quickack mode always acks now).
+    fn imm(d: AckDecision) -> Ack {
+        match d {
+            AckDecision::Immediate(a) => a,
+            AckDecision::Deferred { .. } => panic!("expected immediate ack, got deferred"),
+        }
+    }
+
+    #[test]
+    fn in_order_advances_frontier() {
+        let mut r = rx();
+        assert_eq!(imm(r.on_segment(0)).cum_ack, 1);
+        assert_eq!(imm(r.on_segment(1)).cum_ack, 2);
+        assert_eq!(imm(r.on_segment(2)).cum_ack, 3);
+        assert_eq!(r.cum_received(), 3);
+    }
+
+    #[test]
+    fn hole_produces_duplicate_acks() {
+        let mut r = rx();
+        assert_eq!(imm(r.on_segment(0)).cum_ack, 1);
+        // Segment 1 lost; 2, 3, 4 arrive.
+        assert_eq!(imm(r.on_segment(2)).cum_ack, 1);
+        assert_eq!(imm(r.on_segment(3)).cum_ack, 1);
+        assert_eq!(imm(r.on_segment(4)).cum_ack, 1);
+        // The retransmitted hole fills everything at once.
+        assert_eq!(imm(r.on_segment(1)).cum_ack, 5);
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_double_delivered() {
+        let mut r = rx();
+        r.on_segment(0);
+        r.on_segment(0);
+        assert_eq!(r.duplicates_received(), 1);
+        assert_eq!(r.cum_received(), 1);
+        // Out-of-order duplicate as well.
+        r.on_segment(5);
+        r.on_segment(5);
+        assert_eq!(r.duplicates_received(), 2);
+    }
+
+    #[test]
+    fn rwnd_grows_with_traffic_and_caps() {
+        let cfg = TcpConfig {
+            initial_rwnd: 10,
+            max_rwnd: 20,
+            ..TcpConfig::default()
+        };
+        let mut r = Receiver::new(ConnId::from_index(1), &cfg);
+        assert_eq!(r.rwnd(), 10);
+        for i in 0..3 {
+            r.on_segment(i);
+        }
+        assert_eq!(r.rwnd(), 16);
+        for i in 3..50 {
+            r.on_segment(i);
+        }
+        assert_eq!(r.rwnd(), 20, "capped at max_rwnd");
+    }
+
+    #[test]
+    fn duplicate_does_not_grow_rwnd() {
+        let cfg = TcpConfig {
+            initial_rwnd: 10,
+            max_rwnd: 100,
+            ..TcpConfig::default()
+        };
+        let mut r = Receiver::new(ConnId::from_index(1), &cfg);
+        r.on_segment(0);
+        let w = r.rwnd();
+        r.on_segment(0);
+        assert_eq!(r.rwnd(), w);
+    }
+
+    #[test]
+    fn quickack_mode_never_defers() {
+        let mut r = rx();
+        for i in 0..20 {
+            assert!(matches!(r.on_segment(i), AckDecision::Immediate(_)));
+        }
+    }
+
+    #[test]
+    fn delack_defers_lone_segment_acks_second() {
+        let mut r = rx_delack();
+        let d = r.on_segment(0);
+        assert!(
+            matches!(d, AckDecision::Deferred { .. }),
+            "first held: {d:?}"
+        );
+        assert!(r.has_pending_ack());
+        // Second in-order segment: ack both at once.
+        let a = imm(r.on_segment(1));
+        assert_eq!(a.cum_ack, 2);
+        assert!(!r.has_pending_ack());
+    }
+
+    #[test]
+    fn delack_timer_flushes_pending() {
+        let mut r = rx_delack();
+        let epoch = match r.on_segment(0) {
+            AckDecision::Deferred { epoch } => epoch,
+            other => panic!("expected deferred, got {other:?}"),
+        };
+        let ack = r.on_delack_timer(epoch).expect("pending ack released");
+        assert_eq!(ack.cum_ack, 1);
+        assert!(r.on_delack_timer(epoch).is_none(), "timer consumed");
+    }
+
+    #[test]
+    fn stale_delack_timer_is_ignored() {
+        let mut r = rx_delack();
+        let epoch = match r.on_segment(0) {
+            AckDecision::Deferred { epoch } => epoch,
+            other => panic!("expected deferred, got {other:?}"),
+        };
+        // The second segment acked immediately — the timer is stale.
+        imm(r.on_segment(1));
+        assert!(r.on_delack_timer(epoch).is_none());
+    }
+
+    #[test]
+    fn sack_blocks_describe_the_out_of_order_set() {
+        let cfg = TcpConfig {
+            sack: true,
+            ..TcpConfig::default()
+        };
+        let mut r = Receiver::new(ConnId::from_index(0), &cfg);
+        imm(r.on_segment(0));
+        // Holes at 1 and 4: receiver holds {2,3} and {5}.
+        let a = imm(r.on_segment(2));
+        assert_eq!(a.sack.iter().collect::<Vec<_>>(), vec![(2, 3)]);
+        imm(r.on_segment(3));
+        let a = imm(r.on_segment(5));
+        let blocks: Vec<_> = a.sack.iter().collect();
+        assert_eq!(blocks, vec![(5, 6), (2, 4)], "highest range first");
+        // Filling hole 1 merges the first range into the frontier.
+        let a = imm(r.on_segment(1));
+        assert_eq!(a.cum_ack, 4);
+        assert_eq!(a.sack.iter().collect::<Vec<_>>(), vec![(5, 6)]);
+        // Filling the last hole clears all SACK info.
+        let a = imm(r.on_segment(4));
+        assert_eq!(a.cum_ack, 6);
+        assert!(a.sack.is_empty());
+    }
+
+    #[test]
+    fn sack_disabled_sends_plain_acks() {
+        let mut r = rx();
+        imm(r.on_segment(0));
+        let a = imm(r.on_segment(5));
+        assert!(a.sack.is_empty(), "no SACK info without the flag");
+    }
+
+    #[test]
+    fn sack_blocks_cap_at_option_space() {
+        let cfg = TcpConfig {
+            sack: true,
+            ..TcpConfig::default()
+        };
+        let mut r = Receiver::new(ConnId::from_index(0), &cfg);
+        // Five disjoint ranges: 2, 4, 6, 8, 10.
+        let mut last = None;
+        for seq in [2u64, 4, 6, 8, 10] {
+            last = Some(r.on_segment(seq));
+        }
+        let a = imm(last.unwrap());
+        assert_eq!(a.sack.len(), 3, "only three ranges fit");
+        assert_eq!(
+            a.sack.iter().next(),
+            Some((10, 11)),
+            "the most recent (highest) range survives"
+        );
+    }
+
+    #[test]
+    fn delack_acks_immediately_on_gap() {
+        let mut r = rx_delack();
+        // Out-of-order arrival: no deferral allowed.
+        assert!(matches!(r.on_segment(5), AckDecision::Immediate(_)));
+        // Duplicates likewise.
+        assert!(matches!(r.on_segment(5), AckDecision::Immediate(_)));
+    }
+}

@@ -1,0 +1,161 @@
+//! RFC 6298 round-trip-time estimation and retransmission timeout.
+
+use crate::time::SimDuration;
+
+/// Smoothed RTT state (SRTT / RTTVAR) with RTO derivation per RFC 6298.
+///
+/// # Examples
+///
+/// ```
+/// use riptide_simnet::tcp::rtt::RttEstimator;
+/// use riptide_simnet::time::SimDuration;
+///
+/// let mut est = RttEstimator::new(
+///     SimDuration::from_secs(1),
+///     SimDuration::from_millis(200),
+///     SimDuration::from_secs(120),
+/// );
+/// est.on_sample(SimDuration::from_millis(100));
+/// assert_eq!(est.srtt(), Some(SimDuration::from_millis(100)));
+/// assert!(est.rto() >= SimDuration::from_millis(200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto_initial: SimDuration,
+    rto_min: SimDuration,
+    rto_max: SimDuration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given initial/min/max RTO bounds.
+    pub fn new(rto_initial: SimDuration, rto_min: SimDuration, rto_max: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto_initial,
+            rto_min,
+            rto_max,
+        }
+    }
+
+    /// Feeds a new RTT measurement.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                // First measurement: SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar.mul_f64(0.75) + err.mul_f64(0.25);
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some(srtt.mul_f64(0.875) + rtt.mul_f64(0.125));
+            }
+        }
+    }
+
+    /// The smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The current RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// The retransmission timeout: `SRTT + 4·RTTVAR`, clamped into
+    /// `[rto_min, rto_max]`; the initial RTO before any sample.
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => self.rto_initial,
+            Some(srtt) => {
+                let raw = srtt + self.rttvar.saturating_mul(4);
+                raw.max(self.rto_min).min(self.rto_max)
+            }
+        }
+    }
+
+    /// The RTO after `backoff` consecutive timeouts (exponential backoff,
+    /// clamped to `rto_max`).
+    pub fn rto_backed_off(&self, backoff: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(backoff.min(32)).unwrap_or(u64::MAX);
+        self.rto().saturating_mul(factor).min(self.rto_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(120),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        assert_eq!(est().rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(80));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(80)));
+        assert_eq!(e.rttvar(), SimDuration::from_millis(40));
+        // 80 + 4*40 = 240ms > rto_min
+        assert_eq!(e.rto(), SimDuration::from_millis(240));
+    }
+
+    #[test]
+    fn converges_to_steady_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(50));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 50.0).abs() < 0.5, "srtt {srtt}");
+        // Variance decays toward zero, so RTO pins at rto_min.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rto_tracks_variance() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        e.on_sample(SimDuration::from_millis(300));
+        assert!(e.rto() > SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn rto_clamped_to_max() {
+        let mut e = RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(2),
+        );
+        e.on_sample(SimDuration::from_secs(10));
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        let base = e.rto();
+        assert_eq!(e.rto_backed_off(0), base);
+        assert_eq!(
+            e.rto_backed_off(1),
+            base.saturating_mul(2).min(SimDuration::from_secs(120))
+        );
+        assert_eq!(e.rto_backed_off(40), SimDuration::from_secs(120));
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the Riptide reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See `README.md` for a tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use riptide;
+pub use riptide_cdn as cdn;
+pub use riptide_linuxnet as linuxnet;
+pub use riptide_simnet as simnet;

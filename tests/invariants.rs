@@ -1,0 +1,434 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use riptide_repro::cdn::stats::Cdf;
+use riptide_repro::linuxnet::ip_cmd::IpRouteCmd;
+use riptide_repro::linuxnet::prefix::Ipv4Prefix;
+use riptide_repro::linuxnet::route::{RouteAttrs, RouteProto, RouteTable};
+use riptide_repro::linuxnet::ss::{SockEntry, SockState, SockTable};
+use riptide_repro::riptide::combine::CombineStrategy;
+use riptide_repro::riptide::config::RiptideConfig;
+use riptide_repro::riptide::history::HistoryStrategy;
+use riptide_repro::riptide::model;
+use riptide_repro::riptide::observe::CwndObservation;
+use riptide_repro::simnet::config::TcpConfig;
+use riptide_repro::simnet::ids::ConnId;
+use riptide_repro::simnet::packet::Ack;
+use riptide_repro::simnet::tcp::{Receiver, Sender};
+use riptide_repro::simnet::time::SimTime;
+use std::net::Ipv4Addr;
+
+// ---------------------------------------------------------------------
+// Analytic model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn model_rtts_monotone_in_window(bytes in 1u64..20_000_000, iw in 1u32..500) {
+        let r1 = model::rtts_for_bytes(bytes, model::DEFAULT_MSS, iw);
+        let r2 = model::rtts_for_bytes(bytes, model::DEFAULT_MSS, iw + 1);
+        prop_assert!(r2 <= r1, "larger window never needs more RTTs");
+    }
+
+    #[test]
+    fn model_rtts_monotone_in_size(bytes in 1u64..20_000_000, iw in 1u32..500) {
+        let r1 = model::rtts_for_bytes(bytes, model::DEFAULT_MSS, iw);
+        let r2 = model::rtts_for_bytes(bytes + 1448, model::DEFAULT_MSS, iw);
+        prop_assert!(r2 >= r1, "more data never needs fewer RTTs");
+    }
+
+    #[test]
+    fn model_one_rtt_exactly_when_file_fits(bytes in 1u64..10_000_000, iw in 1u32..500) {
+        let fits = bytes <= model::one_rtt_capacity(model::DEFAULT_MSS, iw);
+        let rtts = model::rtts_for_bytes(bytes, model::DEFAULT_MSS, iw);
+        prop_assert_eq!(rtts == 1, fits);
+    }
+
+    #[test]
+    fn model_gain_bounded(bytes in 1u64..10_000_000, iw in 10u32..500) {
+        let g = model::rtt_gain(bytes, model::DEFAULT_MSS, iw, 10);
+        prop_assert!((0.0..1.0).contains(&g), "gain {g} in [0,1)");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Route table: LPM versus a naive reference
+// ---------------------------------------------------------------------
+
+fn naive_lookup(routes: &[(Ipv4Prefix, u32)], addr: Ipv4Addr) -> Option<u32> {
+    routes
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|&(_, w)| w)
+}
+
+proptest! {
+    #[test]
+    fn lpm_matches_naive_reference(
+        entries in proptest::collection::vec((any::<u32>(), 0u8..=32, 1u32..200), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut table = RouteTable::new();
+        let mut reference: Vec<(Ipv4Prefix, u32)> = Vec::new();
+        for (bits, len, w) in entries {
+            let prefix = Ipv4Prefix::new(Ipv4Addr::from(bits), len);
+            table.replace(prefix, RouteAttrs::initcwnd(w));
+            reference.retain(|(p, _)| *p != prefix);
+            reference.push((prefix, w));
+        }
+        for bits in probes {
+            let addr = Ipv4Addr::from(bits);
+            prop_assert_eq!(table.initcwnd_for(addr), naive_lookup(&reference, addr));
+        }
+    }
+
+    #[test]
+    fn prefix_display_parse_round_trip(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new(Ipv4Addr::from(bits), len);
+        let q: Ipv4Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn add_then_del_is_identity(bits in any::<u32>(), len in 0u8..=32, w in 1u32..200) {
+        let mut table = RouteTable::new();
+        let p = Ipv4Prefix::new(Ipv4Addr::from(bits), len);
+        table.add(p, RouteAttrs::initcwnd(w)).unwrap();
+        let removed = table.del(p).unwrap();
+        prop_assert_eq!(removed.attrs.initcwnd, Some(w));
+        prop_assert!(table.is_empty());
+        prop_assert_eq!(table.lookup(Ipv4Addr::from(bits)), None);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ip route / ss text round trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn ip_cmd_round_trips(
+        bits in any::<u32>(),
+        len in 0u8..=32,
+        initcwnd in proptest::option::of(1u32..1000),
+        initrwnd in proptest::option::of(1u32..1000),
+        via in proptest::option::of(any::<u32>()),
+        dev in proptest::option::of("[a-z][a-z0-9]{1,6}"),
+        action in 0u8..3,
+    ) {
+        let cmd = IpRouteCmd {
+            action: match action {
+                0 => riptide_repro::linuxnet::ip_cmd::IpRouteAction::Add,
+                1 => riptide_repro::linuxnet::ip_cmd::IpRouteAction::Replace,
+                _ => riptide_repro::linuxnet::ip_cmd::IpRouteAction::Del,
+            },
+            prefix: Ipv4Prefix::new(Ipv4Addr::from(bits), len),
+            attrs: RouteAttrs {
+                via: via.map(Ipv4Addr::from),
+                dev,
+                proto: RouteProto::Static,
+                initcwnd,
+                initrwnd,
+            },
+        };
+        let reparsed: IpRouteCmd = cmd.to_string().parse().unwrap();
+        // `del` does not print proto; everything else round-trips exactly.
+        prop_assert_eq!(reparsed.action, cmd.action);
+        prop_assert_eq!(reparsed.prefix, cmd.prefix);
+        prop_assert_eq!(reparsed.attrs.initcwnd, cmd.attrs.initcwnd);
+        prop_assert_eq!(reparsed.attrs.initrwnd, cmd.attrs.initrwnd);
+        prop_assert_eq!(reparsed.attrs.via, cmd.attrs.via);
+        prop_assert_eq!(reparsed.attrs.dev, cmd.attrs.dev);
+    }
+
+    #[test]
+    fn ss_table_round_trips(
+        rows in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 1u32..2000,
+             proptest::option::of(1u32..2000), proptest::option::of(0.0f64..2000.0),
+             any::<u64>(), 0u8..3),
+            0..20,
+        )
+    ) {
+        let table: SockTable = rows
+            .into_iter()
+            .map(|(src, dst, cwnd, ssthresh, rtt, bytes, state)| SockEntry {
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                state: match state {
+                    0 => SockState::Established,
+                    1 => SockState::SynSent,
+                    _ => SockState::CloseWait,
+                },
+                cc: "cubic".into(),
+                cwnd,
+                ssthresh,
+                // Rendered at 3 decimals; quantize so equality holds.
+                rtt_ms: rtt.map(|r| (r * 1000.0).round() / 1000.0),
+                bytes_acked: bytes,
+            })
+            .collect();
+        let parsed = SockTable::parse(&table.render()).unwrap();
+        prop_assert_eq!(parsed, table);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Riptide algorithm pieces
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn combine_stays_within_group_bounds(
+        cwnds in proptest::collection::vec((1u32..500, 0u64..10_000_000), 1..30)
+    ) {
+        let group: Vec<CwndObservation> = cwnds
+            .iter()
+            .map(|&(cwnd, bytes)| CwndObservation {
+                dst: Ipv4Addr::new(10, 0, 0, 1),
+                cwnd,
+                bytes_acked: bytes,
+            })
+            .collect();
+        let lo = group.iter().map(|o| o.cwnd as f64).fold(f64::MAX, f64::min);
+        let hi = group.iter().map(|o| o.cwnd as f64).fold(f64::MIN, f64::max);
+        for s in [
+            CombineStrategy::Average,
+            CombineStrategy::Max,
+            CombineStrategy::TrafficWeighted,
+        ] {
+            let v = s.combine(&group).unwrap();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{s}: {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn ewma_stays_between_history_and_fresh(
+        alpha in 0.0f64..=1.0,
+        values in proptest::collection::vec(1.0f64..500.0, 1..50),
+    ) {
+        let s = HistoryStrategy::Ewma { alpha };
+        let mut st = s.new_state();
+        let mut prev: Option<f64> = None;
+        for v in values {
+            let out = s.blend(&mut st, v);
+            match prev {
+                None => prop_assert!((out - v).abs() < 1e-9),
+                Some(p) => {
+                    let (lo, hi) = if p < v { (p, v) } else { (v, p) };
+                    prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9);
+                }
+            }
+            prev = Some(out);
+        }
+    }
+
+    #[test]
+    fn clamp_always_lands_in_bounds(
+        value in -1e6f64..1e6,
+        lo in 1u32..200,
+        extra in 0u32..200,
+    ) {
+        let cfg = RiptideConfig::builder()
+            .cwnd_min(lo)
+            .cwnd_max(lo + extra)
+            .build()
+            .unwrap();
+        let w = cfg.clamp(value);
+        prop_assert!(w >= lo && w <= lo + extra);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP sender/receiver: eventual delivery under arbitrary loss patterns
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn sender_receiver_eventually_deliver_everything(
+        segments in 1u64..200,
+        loss_mask in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let cfg = TcpConfig::default();
+        let conn = ConnId::from_index(0);
+        let mut tx = Sender::new(&cfg, 10, SimTime::ZERO);
+        let mut rx = Receiver::new(conn, &cfg);
+        let mut now = SimTime::from_nanos(0);
+        tx.write(segments, now);
+
+        let mut losses = loss_mask.into_iter();
+        let mut steps = 0u32;
+        while !tx.all_acked() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "livelock suspected");
+            now += riptide_repro::simnet::time::SimDuration::from_millis(10);
+            let out = tx.take_outbox();
+            let mut delivered_any = false;
+            for seg in out {
+                // Drop while the mask lasts; afterwards the network is clean,
+                // so delivery must eventually finish.
+                if losses.next() == Some(true) {
+                    continue;
+                }
+                delivered_any = true;
+                // quickack config: every segment is acked immediately.
+                let ack: Ack = match rx.on_segment(seg.seq) {
+                    riptide_repro::simnet::tcp::receiver::AckDecision::Immediate(a) => a,
+                    other => panic!("quickack receiver deferred: {other:?}"),
+                };
+                tx.on_ack(ack, now);
+            }
+            if !delivered_any {
+                // Nothing moved: fire the retransmission timer if armed.
+                if let Some(req) = tx.take_timer_request() {
+                    tx.on_rto_fire(req.epoch, req.deadline.max(now));
+                }
+            }
+        }
+        prop_assert_eq!(tx.cum_acked(), segments);
+        prop_assert_eq!(rx.cum_received(), segments);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn delayed_ack_receiver_still_delivers_everything(
+        segments in 1u64..150,
+    ) {
+        use riptide_repro::simnet::tcp::receiver::AckDecision;
+        let cfg = TcpConfig {
+            delayed_ack: true,
+            ..TcpConfig::default()
+        };
+        let conn = ConnId::from_index(0);
+        let mut tx = Sender::new(&cfg, 10, SimTime::ZERO);
+        let mut rx = Receiver::new(conn, &cfg);
+        let mut now = SimTime::from_nanos(0);
+        tx.write(segments, now);
+        let mut steps = 0u32;
+        while !tx.all_acked() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "livelock suspected");
+            now += riptide_repro::simnet::time::SimDuration::from_millis(10);
+            let out = tx.take_outbox();
+            let mut pending_timer = None;
+            for seg in out {
+                match rx.on_segment(seg.seq) {
+                    AckDecision::Immediate(ack) => tx.on_ack(ack, now),
+                    AckDecision::Deferred { epoch } => pending_timer = Some(epoch),
+                }
+            }
+            // Fire the delayed-ack timer if one was armed this round.
+            if let Some(epoch) = pending_timer {
+                now += cfg.delayed_ack_timeout;
+                if let Some(ack) = rx.on_delack_timer(epoch) {
+                    tx.on_ack(ack, now);
+                }
+            }
+            if tx.take_outbox().is_empty() && !tx.all_acked() && pending_timer.is_none() {
+                // Nothing in flight released new data: fall back to RTO.
+                if let Some(req) = tx.take_timer_request() {
+                    tx.on_rto_fire(req.epoch, req.deadline.max(now));
+                }
+            }
+        }
+        prop_assert_eq!(rx.cum_received(), segments);
+    }
+}
+
+// ---------------------------------------------------------------------
+// World-level determinism under arbitrary workloads
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn world_runs_are_reproducible_under_arbitrary_schedules(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..3, 1_000u64..300_000, 0u64..5_000), 1..25),
+    ) {
+        use riptide_repro::simnet::prelude::*;
+        let run = || {
+            let mut w = World::new(TcpConfig::default(), seed);
+            let a = w.add_pop();
+            let b = w.add_pop();
+            let h1 = w.add_host(a);
+            let h2 = w.add_host(b);
+            w.set_symmetric_path(
+                a,
+                b,
+                PathConfig::with_delay(
+                    riptide_repro::simnet::time::SimDuration::from_millis(25),
+                )
+                .loss(0.01),
+            );
+            let mut t = SimTime::ZERO;
+            let mut open: Vec<ConnId> = Vec::new();
+            for &(kind, bytes, gap_ms) in &ops {
+                t += riptide_repro::simnet::time::SimDuration::from_millis(gap_ms);
+                w.run_until(t);
+                match kind {
+                    0 => {
+                        let (c, _) = w.open_and_transfer(h1, h2, bytes);
+                        open.push(c);
+                    }
+                    1 => {
+                        if let Some(&c) = open.last() {
+                            if w.conn_state(c) != riptide_repro::simnet::conn::ConnState::Closed {
+                                w.start_transfer(c, bytes);
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(c) = open.pop() {
+                            w.close_connection(c);
+                        }
+                    }
+                }
+            }
+            w.run_until(t + riptide_repro::simnet::time::SimDuration::from_secs(120));
+            let recs: Vec<(u64, u64)> = w
+                .drain_completed()
+                .iter()
+                .map(|r| (r.bytes, r.completed_at.as_nanos()))
+                .collect();
+            (recs, w.stats().events_processed)
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first, second, "identical construction must replay identically");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cdf_quantiles_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::new(samples);
+        let mut prev = f64::MIN;
+        for i in 0..=20 {
+            let q = cdf.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        prop_assert_eq!(cdf.quantile(1.0), cdf.max());
+    }
+
+    #[test]
+    fn cdf_fraction_is_consistent_with_quantile(
+        samples in proptest::collection::vec(0.0f64..1e6, 2..200),
+        p in 0.05f64..1.0,
+    ) {
+        let cdf = Cdf::new(samples);
+        let q = cdf.quantile(p);
+        // At least p of the mass sits at or below the p-quantile.
+        prop_assert!(cdf.fraction_at_or_below(q) >= p - 1e-9);
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The tier-1 gate: everything CI enforces, runnable locally with
+#   ./ci/check.sh
+# The workspace is fully self-contained (no registry deps; `proptest`
+# and `criterion` are in-repo shims), so every step below works
+# offline. Pass --offline through to cargo via CARGO_NET_OFFLINE=true
+# if your environment has no network at all.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release --workspace
+run cargo test -q --release --workspace
+
+echo "==> all checks passed"

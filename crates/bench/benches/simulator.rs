@@ -73,6 +73,25 @@ fn bench_cdn_deployment_minute(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_engine(c: &mut Criterion) {
+    use riptide_cdn::engine::RunPlan;
+    use riptide_cdn::experiment::ExperimentScale;
+    let mut scale = ExperimentScale::test();
+    scale.duration = SimDuration::from_secs(120);
+    let plan = RunPlan::cwnd_sweep(&scale, &[None, Some(50), Some(100), Some(200)], 1);
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(plan.shards.len() as u64));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("cwnd_sweep_4shards", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(plan.run_with_threads(threads).total_events())),
+        );
+    }
+    group.finish();
+}
+
 fn bench_event_queue(c: &mut Criterion) {
     use riptide_simnet::event::EventQueue;
     use riptide_simnet::time::SimTime;
@@ -94,6 +113,6 @@ fn bench_event_queue(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_transfer_batch, bench_cdn_deployment_minute, bench_event_queue
+    targets = bench_transfer_batch, bench_cdn_deployment_minute, bench_parallel_engine, bench_event_queue
 }
 criterion_main!(benches);

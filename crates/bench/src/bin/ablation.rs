@@ -3,13 +3,15 @@
 //! sweep / none / windowed), destination granularity (host vs /24
 //! prefix), TTL, and `tcp_slow_start_after_idle`.
 //!
-//! For each variant the harness reruns the §IV-B2 probe experiment and
+//! Every variant runs as seed-paired shards on the parallel engine
+//! (one shard per variant × sender × replicate), and the harness
 //! reports the median and p90 completion of 100 KB probes, next to the
 //! control (no Riptide) and the deployed configuration.
 
 use riptide::prelude::*;
-use riptide_bench::{banner, parse_args};
-use riptide_cdn::experiment::{probe_experiment_with, probe_sender_sites, StackTweaks};
+use riptide_bench::{banner, execute_plan, parse_args};
+use riptide_cdn::engine::{ProbeVariant, RunPlan};
+use riptide_cdn::experiment::{probe_sender_sites, StackTweaks};
 use riptide_cdn::stats::Cdf;
 use riptide_simnet::time::SimDuration;
 
@@ -166,14 +168,28 @@ fn main() {
         ),
     ];
 
+    let labels: Vec<String> = variants.iter().map(|(l, _, _)| l.clone()).collect();
+    let plan = RunPlan::probe_variants(
+        &opts.scale,
+        variants
+            .into_iter()
+            .map(|(name, riptide, tweaks)| ProbeVariant {
+                name,
+                riptide,
+                tweaks,
+            })
+            .collect(),
+        opts.seeds as u32,
+    );
+    let report = execute_plan(&opts, &plan);
+
     println!(
         "{:>28} {:>8} {:>10} {:>10} {:>10}",
         "variant", "n", "p50_ms", "p90_ms", "vs_ctl_%"
     );
     let mut control_median = None;
-    for (label, cfg, tweaks) in variants {
-        eprintln!("running {label}...");
-        let outcomes = probe_experiment_with(&opts.scale, cfg, tweaks);
+    for (scenario, label) in labels.iter().enumerate() {
+        let outcomes = report.merged_probes(scenario as u32);
         let cdf = completion_cdf(&outcomes, sender, 100_000);
         if cdf.is_empty() {
             println!("{label:>28}  (no samples)");

@@ -1,0 +1,77 @@
+//! Records the parallel engine's scaling for one Fig. 10-sized window:
+//! the same cwnd-sweep plan executed serially and on a multi-thread
+//! pool, with the determinism cross-check (identical digests) and
+//! wall-clock times written to `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_parallel -- --scale test --seeds 2
+//! ```
+//!
+//! `--threads N` sets the parallel arm's pool size (default: all
+//! cores). Speedup tracks the machine: on a single hardware thread the
+//! two arms tie (the `hardware_threads` field records this), while an
+//! 8-core machine runs the 12-shard default plan ~6-8x faster.
+
+use std::time::Instant;
+
+use riptide_bench::{banner, parse_args, resolved_threads};
+use riptide_cdn::engine::{RunPlan, RunReport};
+
+fn timed(plan: &RunPlan, threads: usize) -> (RunReport, u64) {
+    let started = Instant::now();
+    let report = plan.run_with_threads(threads);
+    (report, started.elapsed().as_millis() as u64)
+}
+
+fn main() {
+    let opts = parse_args();
+    banner(
+        "Parallel engine",
+        "serial vs multi-thread wall time for one Fig. 10-sized cwnd sweep",
+    );
+    let sweep: [Option<u32>; 6] = [None, Some(50), Some(100), Some(150), Some(200), Some(250)];
+    let plan = RunPlan::cwnd_sweep(&opts.scale, &sweep, opts.seeds.max(2) as u32);
+    let parallel_threads = resolved_threads(&opts).max(2);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    eprintln!("running {} shards serially...", plan.shards.len());
+    let (serial, serial_ms) = timed(&plan, 1);
+    eprintln!(
+        "running {} shards on {parallel_threads} threads...",
+        plan.shards.len()
+    );
+    let (parallel, parallel_ms) = timed(&plan, parallel_threads);
+
+    let identical = serial.digest() == parallel.digest();
+    assert!(
+        identical,
+        "threads=1 and threads={parallel_threads} diverged"
+    );
+    let speedup = serial_ms as f64 / parallel_ms.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel-engine-cwnd-sweep\",\n  \
+         \"sites\": {},\n  \"simulated_secs\": {},\n  \"shards\": {},\n  \
+         \"hardware_threads\": {},\n  \"digests_identical\": {},\n  \
+         \"runs\": [\n    {{\"threads\": 1, \"wall_ms\": {}}},\n    \
+         {{\"threads\": {}, \"wall_ms\": {}}}\n  ],\n  \
+         \"speedup\": {:.2}\n}}\n",
+        opts.scale.sites,
+        opts.scale.total().as_secs_f64().round() as u64,
+        plan.shards.len(),
+        hardware_threads,
+        identical,
+        serial_ms,
+        parallel_threads,
+        parallel_ms,
+        speedup
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("writing BENCH_parallel.json");
+    print!("{json}");
+    println!(
+        "# serial {serial_ms} ms vs {parallel_threads} threads {parallel_ms} ms \
+         ({speedup:.2}x) on {hardware_threads} hardware thread(s); digests identical"
+    );
+}

@@ -2,11 +2,12 @@
 //! cold start. Justifies the experiment warm-up windows and illustrates
 //! §V's point that effectiveness tracks the traffic profile: the learned
 //! table fills as fast as traffic touches destinations.
+//!
+//! Runs as a single engine shard (the trajectory is one world stepped
+//! through time and cannot be split).
 
-use riptide::config::RiptideConfig;
-use riptide_bench::{banner, parse_args};
-use riptide_cdn::experiment::default_busy_sites;
-use riptide_cdn::prelude::*;
+use riptide_bench::{banner, execute_plan, parse_args};
+use riptide_cdn::engine::RunPlan;
 use riptide_simnet::time::SimDuration;
 
 fn main() {
@@ -15,41 +16,19 @@ fn main() {
         "Convergence",
         "mean learned window and live destinations over time from a cold start",
     );
-    let scale = &opts.scale;
-    let cfg = CdnSimConfig {
-        testbed: riptide_cdn::topology::TestbedConfig::tiny(
-            scale.sites,
-            scale.machines_per_pop,
-            scale.seed,
-        ),
-        riptide: Some(RiptideConfig::deployment()),
-        probes: ProbeConfig {
-            interval: scale.probe_interval,
-            ..ProbeConfig::default()
-        },
-        organic: OrganicConfig::among(default_busy_sites(scale), 0.2),
-        cwnd_sample_interval: SimDuration::from_secs(60),
-        probe_senders: None,
-    };
-    let mut sim = CdnSim::new(cfg);
+    let plan = RunPlan::convergence(&opts.scale, SimDuration::from_secs(60));
+    let report = execute_plan(&opts, &plan);
     println!(
         "{:>10} {:>16} {:>14} {:>14}",
         "t_secs", "mean_window", "destinations", "route_updates"
     );
-    let step = SimDuration::from_secs(60);
-    let total = scale.warmup + scale.duration;
-    let steps = (total.as_secs_f64() / step.as_secs_f64()).ceil() as u64;
-    for i in 1..=steps {
-        sim.run_for(step);
+    for (i, point) in report.convergence_points().iter().enumerate() {
         // Print a dense head (first 10 minutes) then every 10 minutes.
-        if i <= 10 || i % 10 == 0 {
-            let (mean, n) = sim.mean_learned_window().unwrap_or((0.0, 0));
+        let minute = i + 1;
+        if minute <= 10 || minute % 10 == 0 {
             println!(
                 "{:>10} {:>16.1} {:>14} {:>14}",
-                i * 60,
-                mean,
-                n,
-                sim.agent_stats_total().route_updates
+                point.at_secs, point.mean_window, point.destinations, point.route_updates
             );
         }
     }

@@ -3,8 +3,8 @@
 //! paper finds essentially no change in the minimum and no consistent
 //! trend in the maximum.
 
-use riptide_bench::{banner, parse_args};
-use riptide_cdn::experiment::{edge_cases, probe_comparison, probe_sender_sites};
+use riptide_bench::{banner, parse_args, pooled_probe_comparison};
+use riptide_cdn::experiment::{edge_cases, probe_sender_sites};
 
 fn main() {
     let opts = parse_args();
@@ -12,8 +12,7 @@ fn main() {
         "Section IV-D",
         "edge cases: best/worst completion change per destination, 100 KB probes",
     );
-    eprintln!("running control and riptide arms...");
-    let cmp = probe_comparison(&opts.scale);
+    let cmp = pooled_probe_comparison(&opts);
     for &sender in &probe_sender_sites(&opts.scale) {
         let rows = edge_cases(&cmp, sender, 100_000);
         println!("\n## sender site {sender}");

@@ -4,9 +4,12 @@
 //! The paper's takeaways this run checks: Riptide at `c_max = 50` doubles
 //! the median window vs the control; a knee at `c_max = 100` gives most
 //! of the gains; each curve shows a mode at its own `c_max`.
+//!
+//! Arms (and `--seeds` replicates) run as independent shards on the
+//! parallel engine; per-shard CDFs merge in plan order.
 
-use riptide_bench::{banner, parse_args, print_cdf_series, print_cdf_summary};
-use riptide_cdn::experiment::cwnd_distribution;
+use riptide_bench::{banner, execute_plan, parse_args, print_cdf_series, print_cdf_summary};
+use riptide_cdn::engine::RunPlan;
 
 fn main() {
     let opts = parse_args();
@@ -15,17 +18,18 @@ fn main() {
         "live congestion-window CDFs under the c_max sweep (12h-style run)",
     );
     let sweep: [Option<u32>; 6] = [None, Some(50), Some(100), Some(150), Some(200), Some(250)];
+    let plan = RunPlan::cwnd_sweep(&opts.scale, &sweep, opts.seeds as u32);
+    let report = execute_plan(&opts, &plan);
     let mut results = Vec::new();
     println!("{:>16} {:>12} {:>7}", "series", "cwnd_segs", "cdf");
-    for c_max in sweep {
+    for (scenario, c_max) in sweep.iter().enumerate() {
         let label = match c_max {
             None => "control".to_string(),
             Some(m) => format!("cmax{m}"),
         };
-        eprintln!("running {label}...");
-        let cdf = cwnd_distribution(&opts.scale, c_max);
+        let cdf = report.merged_cwnd(scenario as u32);
         print_cdf_series(&label, &cdf, opts.points);
-        results.push((label, c_max, cdf));
+        results.push((label, *c_max, cdf));
     }
     println!();
     for (label, _, cdf) in &results {

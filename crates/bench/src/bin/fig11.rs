@@ -1,9 +1,10 @@
 //! Figure 11: observed congestion windows for Riptide at two
 //! datacenters — one carrying only probe traffic, one among the busiest
-//! in the network.
+//! in the network. Runs as a single shard on the parallel engine (the
+//! two sites share one world, so the profile cannot be split).
 
-use riptide_bench::{banner, parse_args, print_cdf_series, print_cdf_summary};
-use riptide_cdn::experiment::traffic_profile;
+use riptide_bench::{banner, execute_plan, parse_args, print_cdf_series, print_cdf_summary};
+use riptide_cdn::engine::RunPlan;
 
 fn main() {
     let opts = parse_args();
@@ -11,7 +12,9 @@ fn main() {
         "Figure 11",
         "live windows at a probe-only PoP vs a busy PoP (both running Riptide)",
     );
-    let (probe_only, busy) = traffic_profile(&opts.scale);
+    let plan = RunPlan::traffic_profile(&opts.scale);
+    let report = execute_plan(&opts, &plan);
+    let (probe_only, busy) = report.profile().expect("plan ran a profile shard");
     println!("{:>16} {:>12} {:>7}", "series", "cwnd_segs", "cdf");
     print_cdf_series("probe-only", &probe_only, opts.points);
     print_cdf_series("busy", &busy, opts.points);

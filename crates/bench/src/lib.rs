@@ -7,13 +7,22 @@
 //! --seed N                   RNG seed override
 //! --points N                 CDF resolution when printing series
 //! --seeds N                  pool N independent replications
+//! --threads N                worker threads (default: RIPTIDE_THREADS
+//!                            or all cores)
+//! --manifest PATH            write the JSON-lines run manifest here
 //! ```
+//!
+//! Simulation-backed binaries run through the parallel experiment
+//! engine (`riptide_cdn::engine`): work is sharded per (arm × sender ×
+//! replicate) and executed on a worker pool, and results are
+//! bit-identical whatever the thread count.
 //!
 //! Output is plain aligned text with a `# comment` header naming the
 //! figure, so runs can be diffed and redirected into EXPERIMENTS.md.
 
 #![warn(missing_docs)]
 
+use riptide_cdn::engine::{self, RunPlan, RunReport};
 use riptide_cdn::experiment::ExperimentScale;
 use riptide_cdn::stats::{Cdf, PercentileGain};
 
@@ -26,6 +35,11 @@ pub struct RunOptions {
     pub points: usize,
     /// Independent replications (distinct seeds) pooled into one result.
     pub seeds: usize,
+    /// Worker threads; `None` defers to `RIPTIDE_THREADS` or the
+    /// machine's core count.
+    pub threads: Option<usize>,
+    /// Where to write the JSON-lines run manifest, if anywhere.
+    pub manifest: Option<std::path::PathBuf>,
 }
 
 /// Parses `std::env::args` into [`RunOptions`].
@@ -38,6 +52,8 @@ pub fn parse_args() -> RunOptions {
     let mut scale = ExperimentScale::quick();
     let mut points = 20usize;
     let mut seeds = 1usize;
+    let mut threads = None;
+    let mut manifest = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -65,8 +81,21 @@ pub fn parse_args() -> RunOptions {
                     .expect("--seeds takes a positive number");
                 assert!(seeds >= 1, "--seeds must be at least 1");
             }
+            "--threads" => {
+                let n: usize = value("--threads")
+                    .parse()
+                    .expect("--threads takes a positive number");
+                assert!(n >= 1, "--threads must be at least 1");
+                threads = Some(n);
+            }
+            "--manifest" => {
+                manifest = Some(std::path::PathBuf::from(value("--manifest")));
+            }
             "--help" | "-h" => {
-                println!("usage: [--scale test|quick|paper] [--seed N] [--points N] [--seeds N]");
+                println!(
+                    "usage: [--scale test|quick|paper] [--seed N] [--points N] [--seeds N] \
+                     [--threads N] [--manifest PATH]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other:?}; try --help"),
@@ -76,7 +105,38 @@ pub fn parse_args() -> RunOptions {
         scale,
         points,
         seeds,
+        threads,
+        manifest,
     }
+}
+
+/// The worker-pool size these options resolve to.
+pub fn resolved_threads(opts: &RunOptions) -> usize {
+    opts.threads.unwrap_or_else(engine::default_threads)
+}
+
+/// Executes a plan on the configured worker pool, writing the run
+/// manifest when `--manifest` was given.
+///
+/// # Panics
+///
+/// Panics if the manifest path cannot be written.
+pub fn execute_plan(opts: &RunOptions, plan: &RunPlan) -> RunReport {
+    let threads = resolved_threads(opts);
+    eprintln!(
+        "running {} ({} shards) on {} thread{}...",
+        plan.name,
+        plan.shards.len(),
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
+    let report = plan.run_with_threads(threads);
+    if let Some(path) = &opts.manifest {
+        std::fs::write(path, report.manifest_jsonl())
+            .unwrap_or_else(|e| panic!("writing manifest {}: {e}", path.display()));
+        eprintln!("manifest written to {}", path.display());
+    }
+    report
 }
 
 /// Prints a figure banner.
@@ -131,30 +191,12 @@ pub fn print_gain_table(label: &str, gains: &[PercentileGain]) {
     }
 }
 
-/// Runs the paired probe experiment for every requested seed and pools
-/// the outcomes.
+/// Runs the paired probe experiment through the parallel engine —
+/// sharded per (arm × sender × replicate), seed-paired across arms —
+/// and pools the outcomes.
 pub fn pooled_probe_comparison(opts: &RunOptions) -> riptide_cdn::experiment::ProbeComparison {
-    use riptide_cdn::experiment::{probe_comparison, ProbeComparison};
-    let mut pooled = ProbeComparison {
-        control: Vec::new(),
-        riptide: Vec::new(),
-    };
-    for i in 0..opts.seeds {
-        let mut scale = opts.scale.clone();
-        scale.seed = opts.scale.seed + i as u64;
-        if opts.seeds > 1 {
-            eprintln!(
-                "replication {} of {} (seed {})...",
-                i + 1,
-                opts.seeds,
-                scale.seed
-            );
-        }
-        let cmp = probe_comparison(&scale);
-        pooled.control.extend(cmp.control);
-        pooled.riptide.extend(cmp.riptide);
-    }
-    pooled
+    let plan = RunPlan::probe_comparison(&opts.scale, opts.seeds as u32);
+    execute_plan(opts, &plan).comparison()
 }
 
 /// Runs the paired probe experiment and prints a Figs. 12–14-style

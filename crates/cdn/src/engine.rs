@@ -1,0 +1,771 @@
+//! The parallel experiment engine.
+//!
+//! Every figure harness used to run its simulations back to back in
+//! one thread. This module splits an experiment into independent
+//! **shards** — one simulation per (scenario × unit × replicate),
+//! where a *scenario* is an experiment arm (control vs Riptide, one
+//! `c_max` value, one ablation variant), a *unit* is the spatial slice
+//! (a probe-sender PoP), and a *replicate* is an independent seed —
+//! and executes them on a bounded worker pool.
+//!
+//! ## Determinism
+//!
+//! Each shard derives its RNG seed with
+//! [`riptide_simnet::rng::stream_seed`] from the plan's master seed
+//! and the shard's *pairing key* (unit and replicate, deliberately
+//! **excluding** the scenario so that control and treatment arms of
+//! the same unit/replicate stay seed-paired, preserving the paper's
+//! paired-comparison design). Because every shard is self-contained
+//! and results are merged in shard-index order, a run's
+//! [`RunReport::digest`] is byte-identical whatever the worker count —
+//! `tests/parallel_engine.rs` asserts threads=1 equals threads=8.
+//!
+//! ## Worker pool
+//!
+//! [`RunPlan::run`] sizes the pool from `RIPTIDE_THREADS` (when set to
+//! a positive integer) or [`std::thread::available_parallelism`];
+//! [`RunPlan::run_with_threads`] pins it explicitly. Workers pull the
+//! next unstarted shard from a shared atomic cursor, so long shards
+//! don't starve the pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use riptide::config::RiptideConfig;
+use riptide_simnet::rng::stream_seed;
+use riptide_simnet::time::{SimDuration, SimTime};
+
+use crate::experiment::{
+    cwnd_sim_config, probe_sender_sites, probe_sim_config, traffic_profile_sites,
+    traffic_sim_config, ExperimentScale, ProbeComparison, StackTweaks,
+};
+use crate::sim::{CdnSim, ProbeOutcome};
+use crate::stats::{Cdf, Histogram};
+
+/// The coordinates of one shard inside a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId {
+    /// Experiment arm (control, one `c_max`, one ablation variant…).
+    pub scenario: u32,
+    /// Spatial slice — for probe experiments, the index of the sender
+    /// PoP within the plan's sender list.
+    pub unit: u32,
+    /// Independent replication index (distinct seed).
+    pub replicate: u32,
+}
+
+impl ShardId {
+    /// The seed-pairing key: identifies the (unit, replicate) cell but
+    /// **not** the scenario, so all arms of one cell draw the same
+    /// RNG stream and stay directly comparable.
+    pub fn pairing_key(self) -> u64 {
+        ((self.replicate as u64) << 32) | self.unit as u64
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}.u{}.r{}", self.scenario, self.unit, self.replicate)
+    }
+}
+
+/// What one shard simulates.
+#[derive(Debug, Clone)]
+pub enum ShardWork {
+    /// One Fig. 10 arm: live-cwnd CDF under `c_max` (None = control).
+    CwndDistribution {
+        /// The `c_max` clamp, or `None` for the no-Riptide control.
+        c_max: Option<u32>,
+    },
+    /// Fig. 11: probe-only vs busy-PoP live-cwnd profiles.
+    TrafficProfile,
+    /// One arm of the §IV-B2 probe experiment for a subset of senders.
+    ProbeArm {
+        /// Riptide configuration, or `None` for the control arm.
+        riptide: Option<RiptideConfig>,
+        /// TCP-stack deviations (ablations).
+        tweaks: StackTweaks,
+        /// Sender sites probing in this shard.
+        senders: Vec<usize>,
+    },
+    /// Cold-start convergence: the learned-state trajectory sampled
+    /// every `step`.
+    Convergence {
+        /// Sampling step.
+        step: SimDuration,
+    },
+}
+
+/// One schedulable unit of a [`RunPlan`].
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Coordinates within the plan.
+    pub id: ShardId,
+    /// Human-readable label (arm name, sender site…).
+    pub label: String,
+    /// The derived per-shard seed (also baked into `scale.seed`).
+    pub seed: u64,
+    /// The scale this shard simulates at, with `seed` already set to
+    /// the shard's derived stream seed.
+    pub scale: ExperimentScale,
+    /// The simulation to run.
+    pub work: ShardWork,
+}
+
+/// An enumerated, ready-to-execute experiment.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Plan name, echoed in the manifest.
+    pub name: String,
+    /// The user-facing seed all shard streams fork from.
+    pub master_seed: u64,
+    /// Shards in deterministic enumeration order; results merge in
+    /// this order regardless of completion order.
+    pub shards: Vec<ShardSpec>,
+}
+
+/// One point of a convergence trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Simulated seconds since cold start.
+    pub at_secs: u64,
+    /// Mean learned initial window across live routes.
+    pub mean_window: f64,
+    /// Destinations covered by learned routes.
+    pub destinations: usize,
+    /// Cumulative route updates issued by all agents.
+    pub route_updates: u64,
+}
+
+/// The measurement a shard produced.
+#[derive(Debug, Clone)]
+pub enum ShardData {
+    /// Live-cwnd CDF (Fig. 10 arms).
+    Cwnd(Cdf),
+    /// Fig. 11 site profiles.
+    Profile {
+        /// Live-cwnd CDF at the probe-only PoP.
+        probe_only: Cdf,
+        /// Live-cwnd CDF at the busy PoP.
+        busy: Cdf,
+    },
+    /// After-warmup probe outcomes (Figs. 12–16, ablations).
+    Probes(Vec<ProbeOutcome>),
+    /// Cold-start trajectory.
+    Convergence(Vec<ConvergencePoint>),
+}
+
+/// Execution counters for one shard. `wall_millis` is the only
+/// non-deterministic field and is excluded from [`RunReport::digest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Wall-clock milliseconds the shard took.
+    pub wall_millis: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Segments retransmitted on the wire.
+    pub retransmits: u64,
+    /// Transfers completed.
+    pub transfers: u64,
+}
+
+/// One executed shard.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Coordinates within the plan.
+    pub id: ShardId,
+    /// Label copied from the spec.
+    pub label: String,
+    /// The derived seed the shard ran with.
+    pub seed: u64,
+    /// Execution counters.
+    pub stats: ShardStats,
+    /// The measurement.
+    pub data: ShardData,
+}
+
+/// The merged outcome of running a [`RunPlan`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Plan name.
+    pub plan_name: String,
+    /// The plan's master seed.
+    pub master_seed: u64,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Shard results in plan order (not completion order).
+    pub shards: Vec<ShardResult>,
+}
+
+/// Worker-pool size: `RIPTIDE_THREADS` when set to a positive integer,
+/// else [`std::thread::available_parallelism`], else 1.
+pub fn default_threads() -> usize {
+    threads_from(std::env::var("RIPTIDE_THREADS").ok().as_deref())
+}
+
+/// [`default_threads`] with the environment value injected (testable).
+pub fn threads_from(env_value: Option<&str>) -> usize {
+    env_value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+impl RunPlan {
+    fn shard(scale: &ExperimentScale, id: ShardId, label: String, work: ShardWork) -> ShardSpec {
+        let seed = stream_seed(scale.seed, id.pairing_key());
+        let mut shard_scale = scale.clone();
+        shard_scale.seed = seed;
+        ShardSpec {
+            id,
+            label,
+            seed,
+            scale: shard_scale,
+            work,
+        }
+    }
+
+    /// Fig. 10: one shard per (`c_max` arm × replicate).
+    pub fn cwnd_sweep(scale: &ExperimentScale, arms: &[Option<u32>], replicates: u32) -> RunPlan {
+        assert!(replicates >= 1, "need at least one replicate");
+        let mut shards = Vec::new();
+        for (s, &c_max) in arms.iter().enumerate() {
+            let arm = match c_max {
+                None => "control".to_string(),
+                Some(m) => format!("cmax{m}"),
+            };
+            for r in 0..replicates {
+                let id = ShardId {
+                    scenario: s as u32,
+                    unit: 0,
+                    replicate: r,
+                };
+                shards.push(Self::shard(
+                    scale,
+                    id,
+                    arm.clone(),
+                    ShardWork::CwndDistribution { c_max },
+                ));
+            }
+        }
+        RunPlan {
+            name: "cwnd-sweep".into(),
+            master_seed: scale.seed,
+            shards,
+        }
+    }
+
+    /// Figs. 12–16: control (scenario 0) vs Riptide (scenario 1), one
+    /// shard per (arm × sender PoP × replicate).
+    pub fn probe_comparison(scale: &ExperimentScale, replicates: u32) -> RunPlan {
+        let variants = vec![
+            ProbeVariant {
+                name: "control".into(),
+                riptide: None,
+                tweaks: StackTweaks::default(),
+            },
+            ProbeVariant {
+                name: "riptide".into(),
+                riptide: Some(RiptideConfig::deployment()),
+                tweaks: StackTweaks::default(),
+            },
+        ];
+        let mut plan = Self::probe_variants(scale, variants, replicates);
+        plan.name = "probe-comparison".into();
+        plan
+    }
+
+    /// Ablations: one shard per (variant × sender PoP × replicate),
+    /// seed-paired across variants.
+    pub fn probe_variants(
+        scale: &ExperimentScale,
+        variants: Vec<ProbeVariant>,
+        replicates: u32,
+    ) -> RunPlan {
+        assert!(replicates >= 1, "need at least one replicate");
+        assert!(!variants.is_empty(), "need at least one variant");
+        let senders = probe_sender_sites(scale);
+        let mut shards = Vec::new();
+        for (s, variant) in variants.iter().enumerate() {
+            for (u, &sender) in senders.iter().enumerate() {
+                for r in 0..replicates {
+                    let id = ShardId {
+                        scenario: s as u32,
+                        unit: u as u32,
+                        replicate: r,
+                    };
+                    shards.push(Self::shard(
+                        scale,
+                        id,
+                        format!("{}:site{}", variant.name, sender),
+                        ShardWork::ProbeArm {
+                            riptide: variant.riptide.clone(),
+                            tweaks: variant.tweaks,
+                            senders: vec![sender],
+                        },
+                    ));
+                }
+            }
+        }
+        RunPlan {
+            name: "probe-variants".into(),
+            master_seed: scale.seed,
+            shards,
+        }
+    }
+
+    /// Fig. 11: a single shard profiling probe-only vs busy PoPs.
+    pub fn traffic_profile(scale: &ExperimentScale) -> RunPlan {
+        let id = ShardId {
+            scenario: 0,
+            unit: 0,
+            replicate: 0,
+        };
+        RunPlan {
+            name: "traffic-profile".into(),
+            master_seed: scale.seed,
+            shards: vec![Self::shard(
+                scale,
+                id,
+                "profile".into(),
+                ShardWork::TrafficProfile,
+            )],
+        }
+    }
+
+    /// Cold-start convergence: a single shard sampling every `step`.
+    pub fn convergence(scale: &ExperimentScale, step: SimDuration) -> RunPlan {
+        let id = ShardId {
+            scenario: 0,
+            unit: 0,
+            replicate: 0,
+        };
+        RunPlan {
+            name: "convergence".into(),
+            master_seed: scale.seed,
+            shards: vec![Self::shard(
+                scale,
+                id,
+                "convergence".into(),
+                ShardWork::Convergence { step },
+            )],
+        }
+    }
+
+    /// Executes with [`default_threads`] workers.
+    pub fn run(&self) -> RunReport {
+        self.run_with_threads(default_threads())
+    }
+
+    /// Executes on exactly `threads` workers (clamped to the shard
+    /// count). The report is identical for every `threads >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or a worker thread panics.
+    pub fn run_with_threads(&self, threads: usize) -> RunReport {
+        assert!(threads >= 1, "need at least one worker");
+        let workers = threads.min(self.shards.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ShardResult>>> =
+            self.shards.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = self.shards.get(i) else {
+                        break;
+                    };
+                    let result = run_shard(spec);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        let shards = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every shard executed")
+            })
+            .collect();
+        RunReport {
+            plan_name: self.name.clone(),
+            master_seed: self.master_seed,
+            threads: workers,
+            shards,
+        }
+    }
+}
+
+/// One ablation arm for [`RunPlan::probe_variants`].
+#[derive(Debug, Clone)]
+pub struct ProbeVariant {
+    /// Arm name used in shard labels.
+    pub name: String,
+    /// Riptide configuration (`None` = control).
+    pub riptide: Option<RiptideConfig>,
+    /// TCP-stack deviations.
+    pub tweaks: StackTweaks,
+}
+
+fn run_shard(spec: &ShardSpec) -> ShardResult {
+    let started = Instant::now();
+    let scale = &spec.scale;
+    let cutoff = SimTime::ZERO + scale.warmup;
+    let (data, world) = match &spec.work {
+        ShardWork::CwndDistribution { c_max } => {
+            let mut sim = CdnSim::new(cwnd_sim_config(scale, *c_max));
+            sim.run_for(scale.total());
+            let cdf = Cdf::new(
+                sim.cwnd_samples()
+                    .iter()
+                    .filter(|s| s.at >= cutoff)
+                    .map(|s| s.cwnd as f64),
+            );
+            (ShardData::Cwnd(cdf), sim.testbed().world.stats())
+        }
+        ShardWork::TrafficProfile => {
+            let (probe_only_site, busy_site) = traffic_profile_sites(scale);
+            let mut sim = CdnSim::new(traffic_sim_config(scale));
+            sim.run_for(scale.total());
+            let at_site = |site: usize| {
+                Cdf::new(
+                    sim.cwnd_samples()
+                        .iter()
+                        .filter(|s| s.at >= cutoff && s.site == site)
+                        .map(|s| s.cwnd as f64),
+                )
+            };
+            (
+                ShardData::Profile {
+                    probe_only: at_site(probe_only_site),
+                    busy: at_site(busy_site),
+                },
+                sim.testbed().world.stats(),
+            )
+        }
+        ShardWork::ProbeArm {
+            riptide,
+            tweaks,
+            senders,
+        } => {
+            let cfg = probe_sim_config(scale, riptide.clone(), *tweaks, senders.clone());
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(scale.total());
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .filter(|p| p.requested_at >= cutoff)
+                .copied()
+                .collect();
+            (ShardData::Probes(probes), sim.testbed().world.stats())
+        }
+        ShardWork::Convergence { step } => {
+            let mut sim = CdnSim::new(cwnd_sim_config(scale, Some(100)));
+            let steps = (scale.total().as_secs_f64() / step.as_secs_f64()).ceil() as u64;
+            let mut points = Vec::with_capacity(steps as usize);
+            for i in 1..=steps {
+                sim.run_for(*step);
+                let (mean_window, destinations) = sim.mean_learned_window().unwrap_or((0.0, 0));
+                points.push(ConvergencePoint {
+                    at_secs: (step.as_secs_f64() * i as f64).round() as u64,
+                    mean_window,
+                    destinations,
+                    route_updates: sim.agent_stats_total().route_updates,
+                });
+            }
+            (ShardData::Convergence(points), sim.testbed().world.stats())
+        }
+    };
+    ShardResult {
+        id: spec.id,
+        label: spec.label.clone(),
+        seed: spec.seed,
+        stats: ShardStats {
+            wall_millis: started.elapsed().as_millis() as u64,
+            events: world.events_processed,
+            retransmits: world.retransmits,
+            transfers: world.transfers_completed,
+        },
+        data,
+    }
+}
+
+impl RunReport {
+    /// Shards of one scenario, in plan order.
+    fn scenario_shards(&self, scenario: u32) -> impl Iterator<Item = &ShardResult> {
+        self.shards
+            .iter()
+            .filter(move |s| s.id.scenario == scenario)
+    }
+
+    /// The merged live-cwnd CDF of one scenario (Fig. 10 arm),
+    /// reduced in plan order.
+    pub fn merged_cwnd(&self, scenario: u32) -> Cdf {
+        Cdf::merge_all(
+            self.scenario_shards(scenario)
+                .filter_map(|s| match &s.data {
+                    ShardData::Cwnd(cdf) => Some(cdf.clone()),
+                    _ => None,
+                }),
+        )
+    }
+
+    /// All probe outcomes of one scenario, concatenated in plan order.
+    pub fn merged_probes(&self, scenario: u32) -> Vec<ProbeOutcome> {
+        self.scenario_shards(scenario)
+            .filter_map(|s| match &s.data {
+                ShardData::Probes(p) => Some(p.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// The paired control (scenario 0) vs Riptide (scenario 1)
+    /// comparison of a [`RunPlan::probe_comparison`] run.
+    pub fn comparison(&self) -> ProbeComparison {
+        ProbeComparison {
+            control: self.merged_probes(0),
+            riptide: self.merged_probes(1),
+        }
+    }
+
+    /// The Fig. 11 `(probe_only, busy)` profiles, if the plan ran one.
+    pub fn profile(&self) -> Option<(Cdf, Cdf)> {
+        self.shards.iter().find_map(|s| match &s.data {
+            ShardData::Profile { probe_only, busy } => Some((probe_only.clone(), busy.clone())),
+            _ => None,
+        })
+    }
+
+    /// The convergence trajectory, if the plan ran one.
+    pub fn convergence_points(&self) -> Vec<ConvergencePoint> {
+        self.shards
+            .iter()
+            .find_map(|s| match &s.data {
+                ShardData::Convergence(p) => Some(p.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Probe completion times of one scenario as a fixed-width
+    /// histogram (milliseconds), built per shard and merged in plan
+    /// order — bucket addition commutes, so the result is independent
+    /// of shard completion order.
+    pub fn completion_histogram(&self, scenario: u32, width_ms: u64) -> Histogram {
+        let mut merged = Histogram::new(width_ms);
+        for shard in self.scenario_shards(scenario) {
+            if let ShardData::Probes(probes) = &shard.data {
+                let mut h = Histogram::new(width_ms);
+                for p in probes {
+                    h.record(p.completion.as_millis_f64());
+                }
+                merged.merge(&h);
+            }
+        }
+        merged
+    }
+
+    /// Total simulator events across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.events).sum()
+    }
+
+    /// Total wall-clock milliseconds summed across shards (CPU cost;
+    /// wall time of the run is lower with more workers).
+    pub fn total_shard_millis(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.wall_millis).sum()
+    }
+
+    /// The JSON-lines run manifest: one header object, then one object
+    /// per shard with its ID, label, seed, wall time and counters.
+    pub fn manifest_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"plan\":{},\"master_seed\":{},\"threads\":{},\"shards\":{}}}\n",
+            json_string(&self.plan_name),
+            self.master_seed,
+            self.threads,
+            self.shards.len()
+        ));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "{{\"shard\":\"{}\",\"label\":{},\"seed\":{},\"wall_ms\":{},\
+                 \"events\":{},\"retransmits\":{},\"transfers\":{}}}\n",
+                s.id,
+                json_string(&s.label),
+                s.seed,
+                s.stats.wall_millis,
+                s.stats.events,
+                s.stats.retransmits,
+                s.stats.transfers
+            ));
+        }
+        out
+    }
+
+    /// A deterministic fingerprint of the run: every shard's identity,
+    /// counters and a hash of its full measurement data — everything
+    /// except wall-clock times. Two runs of the same plan produce the
+    /// same digest regardless of worker count.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan={} master_seed={} shards={}\n",
+            self.plan_name,
+            self.master_seed,
+            self.shards.len()
+        ));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "{} label={} seed={} events={} retransmits={} transfers={} data={:016x}\n",
+                s.id,
+                s.label,
+                s.seed,
+                s.stats.events,
+                s.stats.retransmits,
+                s.stats.transfers,
+                fnv1a(format!("{:?}", s.data).as_bytes())
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string quoting for manifest labels.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_key_ignores_scenario() {
+        let a = ShardId {
+            scenario: 0,
+            unit: 3,
+            replicate: 2,
+        };
+        let b = ShardId {
+            scenario: 7,
+            unit: 3,
+            replicate: 2,
+        };
+        assert_eq!(a.pairing_key(), b.pairing_key());
+        let c = ShardId {
+            scenario: 0,
+            unit: 4,
+            replicate: 2,
+        };
+        assert_ne!(a.pairing_key(), c.pairing_key());
+    }
+
+    #[test]
+    fn probe_comparison_plan_is_seed_paired() {
+        let plan = RunPlan::probe_comparison(&ExperimentScale::test(), 2);
+        // 2 scenarios x 2 senders x 2 replicates.
+        assert_eq!(plan.shards.len(), 8);
+        for shard in &plan.shards {
+            let twin = plan
+                .shards
+                .iter()
+                .find(|s| {
+                    s.id.scenario != shard.id.scenario
+                        && s.id.unit == shard.id.unit
+                        && s.id.replicate == shard.id.replicate
+                })
+                .expect("paired arm exists");
+            assert_eq!(twin.seed, shard.seed, "arms of one cell share a seed");
+        }
+        // Distinct cells draw distinct streams.
+        let mut seeds: Vec<u64> = plan
+            .shards
+            .iter()
+            .filter(|s| s.id.scenario == 0)
+            .map(|s| s.seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "one stream per (unit, replicate) cell");
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 2 ")), 2);
+        let fallback = threads_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(threads_from(Some("0")), fallback, "zero is ignored");
+        assert_eq!(threads_from(Some("nope")), fallback, "garbage is ignored");
+    }
+
+    #[test]
+    fn manifest_has_header_and_one_line_per_shard() {
+        let mut scale = ExperimentScale::test();
+        scale.duration = SimDuration::from_secs(120);
+        let plan = RunPlan::cwnd_sweep(&scale, &[None, Some(50)], 1);
+        let report = plan.run_with_threads(2);
+        let manifest = report.manifest_jsonl();
+        let lines: Vec<&str> = manifest.lines().collect();
+        assert_eq!(lines.len(), 1 + plan.shards.len());
+        assert!(lines[0].contains("\"plan\":\"cwnd-sweep\""));
+        for (line, spec) in lines[1..].iter().zip(&plan.shards) {
+            assert!(line.contains(&format!("\"shard\":\"{}\"", spec.id)));
+            assert!(line.contains("\"wall_ms\":"));
+            assert!(line.contains("\"events\":"));
+            assert!(line.contains("\"retransmits\":"));
+        }
+        assert!(report.total_events() > 0, "simulations actually ran");
+    }
+
+    #[test]
+    fn merged_cwnd_covers_all_replicates() {
+        let mut scale = ExperimentScale::test();
+        scale.duration = SimDuration::from_secs(180);
+        let plan = RunPlan::cwnd_sweep(&scale, &[None], 2);
+        let report = plan.run_with_threads(2);
+        let merged = report.merged_cwnd(0);
+        let per_shard: usize = report
+            .shards
+            .iter()
+            .map(|s| match &s.data {
+                ShardData::Cwnd(c) => c.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(merged.len(), per_shard);
+        assert!(!merged.is_empty());
+    }
+}

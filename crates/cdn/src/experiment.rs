@@ -67,7 +67,7 @@ impl ExperimentScale {
             duration: SimDuration::from_secs(900),
             warmup: SimDuration::from_secs(120),
             probe_interval: SimDuration::from_secs(60),
-            seed: 7,
+            seed: 8,
         }
     }
 
@@ -97,25 +97,30 @@ pub fn default_busy_sites(scale: &ExperimentScale) -> Vec<usize> {
         .collect()
 }
 
-/// Runs one deployment and returns the live-cwnd samples collected after
-/// warm-up — one curve of Fig. 10 (`c_max = Some(...)`) or its control
-/// (`None`).
-pub fn cwnd_distribution(scale: &ExperimentScale, c_max: Option<u32>) -> Cdf {
+/// The simulation configuration behind [`cwnd_distribution`] — exposed
+/// so the parallel engine can run the same experiment shard by shard.
+pub fn cwnd_sim_config(scale: &ExperimentScale, c_max: Option<u32>) -> CdnSimConfig {
     let riptide = c_max.map(|m| {
         RiptideConfig::builder()
             .cwnd_max(m)
             .build()
             .expect("valid sweep config")
     });
-    let cfg = CdnSimConfig {
+    CdnSimConfig {
         testbed: scale.testbed(),
         riptide,
         probes: scale.probes(),
         organic: OrganicConfig::among(default_busy_sites(scale), 0.2),
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
-    };
-    let mut sim = CdnSim::new(cfg);
+    }
+}
+
+/// Runs one deployment and returns the live-cwnd samples collected after
+/// warm-up — one curve of Fig. 10 (`c_max = Some(...)`) or its control
+/// (`None`).
+pub fn cwnd_distribution(scale: &ExperimentScale, c_max: Option<u32>) -> Cdf {
+    let mut sim = CdnSim::new(cwnd_sim_config(scale, c_max));
     sim.run_for(scale.total());
     let cutoff = SimTime::ZERO + scale.warmup;
     Cdf::new(
@@ -126,25 +131,38 @@ pub fn cwnd_distribution(scale: &ExperimentScale, c_max: Option<u32>) -> Cdf {
     )
 }
 
-/// Fig. 11: live-cwnd distributions at a probe-only PoP vs one of the
-/// busiest PoPs, both running Riptide at the deployment `c_max` of 100.
-pub fn traffic_profile(scale: &ExperimentScale) -> (Cdf, Cdf) {
+/// The `(probe_only, busy)` site pair compared by Fig. 11.
+///
+/// # Panics
+///
+/// Panics if the scale has no busy site or no probe-only site.
+pub fn traffic_profile_sites(scale: &ExperimentScale) -> (usize, usize) {
     let busy = default_busy_sites(scale);
     assert!(!busy.is_empty(), "need at least one busy site");
-    let busy_site = busy[0];
     let probe_only_site = (0..scale.sites)
         .rev()
         .find(|i| !busy.contains(i))
         .expect("a probe-only site exists");
-    let cfg = CdnSimConfig {
+    (probe_only_site, busy[0])
+}
+
+/// The simulation configuration behind [`traffic_profile`].
+pub fn traffic_sim_config(scale: &ExperimentScale) -> CdnSimConfig {
+    CdnSimConfig {
         testbed: scale.testbed(),
         riptide: Some(RiptideConfig::deployment()),
         probes: scale.probes(),
-        organic: OrganicConfig::among(busy, 0.5),
+        organic: OrganicConfig::among(default_busy_sites(scale), 0.5),
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
-    };
-    let mut sim = CdnSim::new(cfg);
+    }
+}
+
+/// Fig. 11: live-cwnd distributions at a probe-only PoP vs one of the
+/// busiest PoPs, both running Riptide at the deployment `c_max` of 100.
+pub fn traffic_profile(scale: &ExperimentScale) -> (Cdf, Cdf) {
+    let (probe_only_site, busy_site) = traffic_profile_sites(scale);
+    let mut sim = CdnSim::new(traffic_sim_config(scale));
     sim.run_for(scale.total());
     let cutoff = SimTime::ZERO + scale.warmup;
     let at_site = |site: usize| {
@@ -208,22 +226,7 @@ pub fn probe_experiment_with(
     riptide: Option<RiptideConfig>,
     tweaks: StackTweaks,
 ) -> Vec<ProbeOutcome> {
-    let mut testbed = scale.testbed();
-    testbed.tcp.slow_start_after_idle = tweaks.slow_start_after_idle;
-    testbed.tcp.delayed_ack = tweaks.delayed_ack;
-    testbed.tcp.metrics_cache = !tweaks.no_metrics_cache;
-    testbed.tcp.sack = tweaks.sack;
-    if let Some(rwnd) = tweaks.initial_rwnd {
-        testbed.tcp.initial_rwnd = rwnd;
-    }
-    let cfg = CdnSimConfig {
-        testbed,
-        riptide,
-        probes: scale.probes(),
-        organic: OrganicConfig::among(default_busy_sites(scale), 0.2),
-        cwnd_sample_interval: SimDuration::from_secs(300),
-        probe_senders: Some(probe_sender_sites(scale)),
-    };
+    let cfg = probe_sim_config(scale, riptide, tweaks, probe_sender_sites(scale));
     let mut sim = CdnSim::new(cfg);
     sim.run_for(scale.total());
     let cutoff = SimTime::ZERO + scale.warmup;
@@ -232,6 +235,33 @@ pub fn probe_experiment_with(
         .filter(|p| p.requested_at >= cutoff)
         .copied()
         .collect()
+}
+
+/// The simulation configuration behind [`probe_experiment_with`], with
+/// an explicit sender-site list — the parallel engine shards the probe
+/// experiments one sender per shard through this hook.
+pub fn probe_sim_config(
+    scale: &ExperimentScale,
+    riptide: Option<RiptideConfig>,
+    tweaks: StackTweaks,
+    senders: Vec<usize>,
+) -> CdnSimConfig {
+    let mut testbed = scale.testbed();
+    testbed.tcp.slow_start_after_idle = tweaks.slow_start_after_idle;
+    testbed.tcp.delayed_ack = tweaks.delayed_ack;
+    testbed.tcp.metrics_cache = !tweaks.no_metrics_cache;
+    testbed.tcp.sack = tweaks.sack;
+    if let Some(rwnd) = tweaks.initial_rwnd {
+        testbed.tcp.initial_rwnd = rwnd;
+    }
+    CdnSimConfig {
+        testbed,
+        riptide,
+        probes: scale.probes(),
+        organic: OrganicConfig::among(default_busy_sites(scale), 0.2),
+        cwnd_sample_interval: SimDuration::from_secs(300),
+        probe_senders: Some(senders),
+    }
 }
 
 /// Both arms of the probe experiment, same seed — the paired comparison

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiment;
 pub mod geo;
 pub mod sim;
@@ -30,6 +31,7 @@ pub mod workload;
 
 /// The types most users need, importable in one line.
 pub mod prelude {
+    pub use crate::engine::{RunPlan, RunReport, ShardData, ShardId, ShardSpec, ShardWork};
     pub use crate::experiment::{probe_comparison, ExperimentScale, ProbeComparison};
     pub use crate::geo::{Continent, PopSite, POP_SITES};
     pub use crate::sim::{CdnSim, CdnSimConfig, CwndSample, ProbeOutcome};

@@ -112,6 +112,124 @@ impl Cdf {
     pub fn samples(&self) -> &[f64] {
         &self.sorted
     }
+
+    /// Merges two CDFs into one covering both sample sets, in
+    /// `O(n + m)` via a two-pointer merge of the sorted sample vectors.
+    ///
+    /// Because the result is fully determined by the multiset of
+    /// samples, merging any number of per-shard CDFs yields the same
+    /// CDF in whatever order the shards finished — the property the
+    /// parallel experiment engine relies on, checked by proptest in
+    /// `tests/parallel_engine.rs`.
+    pub fn merge(&self, other: &Cdf) -> Cdf {
+        let (a, b) = (&self.sorted, &other.sorted);
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        Cdf { sorted: merged }
+    }
+
+    /// Merges an iterator of CDFs (e.g. one per shard) into one.
+    pub fn merge_all<I: IntoIterator<Item = Cdf>>(parts: I) -> Cdf {
+        parts
+            .into_iter()
+            .fold(Cdf::new(std::iter::empty()), |acc, c| acc.merge(&c))
+    }
+}
+
+/// A fixed-width histogram over non-negative `f64` samples, used by the
+/// parallel experiment engine to summarise per-shard completion times
+/// in a form that merges exactly (bucket counts add, so shard order
+/// cannot change the result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Width of each bucket; bucket `i` covers `[i*w, (i+1)*w)`.
+    width_millis: u64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket width (in the same
+    /// unit as the recorded samples, conventionally milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "zero-width histogram bucket");
+        Histogram {
+            width_millis: width,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one sample. Negative and NaN samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is NaN or negative.
+    pub fn record(&mut self, sample: f64) {
+        assert!(
+            sample.is_finite() && sample >= 0.0,
+            "histogram sample must be finite and non-negative, got {sample}"
+        );
+        let bucket = (sample / self.width_millis as f64) as usize;
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+    }
+
+    /// Adds another histogram's counts into this one. Commutative and
+    /// associative, so shard completion order cannot affect the merged
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.width_millis, other.width_millis,
+            "merging histograms with different bucket widths"
+        );
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
+    /// The bucket width.
+    pub fn width(&self) -> u64 {
+        self.width_millis
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Non-empty buckets as `(bucket_start, count)` pairs, in
+    /// ascending bucket order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64 * self.width_millis, c))
+            .collect()
+    }
 }
 
 impl FromIterator<f64> for Cdf {
@@ -288,6 +406,49 @@ mod tests {
         assert_eq!(avg.len(), 1);
         assert!((avg[0].gain - 0.1).abs() < 1e-12);
         assert!((avg[0].baseline - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_pooled_construction() {
+        let a = cdf(&[3.0, 1.0, 4.0]);
+        let b = cdf(&[1.0, 5.0, 9.0, 2.0]);
+        let merged = a.merge(&b);
+        let pooled = cdf(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]);
+        assert_eq!(merged, pooled);
+        assert_eq!(a.merge(&b), b.merge(&a), "merge is symmetric");
+        assert_eq!(
+            Cdf::merge_all([a.clone(), b.clone()]),
+            pooled,
+            "merge_all pools everything"
+        );
+        assert_eq!(Cdf::merge_all([] as [Cdf; 0]).len(), 0);
+    }
+
+    #[test]
+    fn histogram_counts_and_merges() {
+        let mut h = Histogram::new(100);
+        for s in [0.0, 99.9, 100.0, 250.0, 250.0] {
+            h.record(s);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.buckets(), vec![(0, 2), (100, 1), (200, 2)]);
+
+        let mut other = Histogram::new(100);
+        other.record(50.0);
+        other.record(500.0);
+        let mut ab = h.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&h);
+        assert_eq!(ab, ba, "histogram merge commutes");
+        assert_eq!(ab.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn histogram_width_mismatch_rejected() {
+        let mut a = Histogram::new(10);
+        a.merge(&Histogram::new(20));
     }
 
     #[test]

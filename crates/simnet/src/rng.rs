@@ -1,31 +1,100 @@
 //! Seeded, deterministic randomness for simulations and workloads.
 //!
-//! Wraps [`rand::rngs::SmallRng`] and adds the handful of distributions the
-//! testbed needs (Bernoulli losses, uniform jitter, exponential
-//! inter-arrivals, normal/lognormal sizes) without pulling in `rand_distr`.
-//! Normal variates use the Box–Muller transform.
+//! Self-contained: the generator is xoshiro256++ (the algorithm behind
+//! `rand`'s `SmallRng` on 64-bit targets) seeded through SplitMix64, so
+//! the workspace builds with no external crates. On top of the raw
+//! stream sit the handful of distributions the testbed needs (Bernoulli
+//! losses, uniform jitter, exponential inter-arrivals, normal/lognormal
+//! sizes). Normal variates use the Box–Muller transform.
 //!
 //! Every component that needs randomness derives its own stream from a
 //! master seed with [`DetRng::fork`], so adding a consumer never perturbs
-//! the draws seen by existing ones.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! the draws seen by existing ones. The parallel experiment engine keys
+//! whole-shard streams the same way through [`stream_seed`] /
+//! [`DetRng::for_stream`]: a shard's stream is a pure function of
+//! `(master seed, stable shard key)`, which is what makes sharded runs
+//! bit-identical regardless of how many worker threads execute them.
 
 use crate::time::SimDuration;
+
+/// SplitMix64 output mixing — the standard seed expander for xoshiro.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of an independent child stream from a master seed
+/// and a stream label, as a pure function.
+///
+/// Distinct labels yield streams that do not share draws with the
+/// master stream or with each other. The experiment engine uses this
+/// with a stable shard key so that shard results are independent of
+/// worker count and execution order.
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .rotate_left(17)
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The xoshiro256++ core generator.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic random-number generator for simulation components.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    inner: Xoshiro256pp,
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
         }
+    }
+
+    /// Creates the child stream `stream` of `master` directly, without
+    /// constructing the parent — equivalent to
+    /// `DetRng::from_seed(stream_seed(master, stream))`.
+    pub fn for_stream(master: u64, stream: u64) -> Self {
+        DetRng::from_seed(stream_seed(master, stream))
     }
 
     /// Derives an independent child stream labelled by `stream`.
@@ -34,26 +103,24 @@ impl DetRng {
     /// with the parent or with each other, so per-link / per-workload
     /// consumers stay decoupled.
     pub fn fork(&self, stream: u64) -> DetRng {
-        // SplitMix64-style mixing of (parent seed material, stream label).
-        let mut z = self
-            .seed_material()
-            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        DetRng::from_seed(z)
+        DetRng::from_seed(stream_seed(self.seed_material(), stream))
     }
 
     fn seed_material(&self) -> u64 {
         // Clone so forking is a pure function of current state without
         // advancing the parent stream.
         let mut probe = self.inner.clone();
-        probe.gen::<u64>()
+        probe.next_u64()
     }
 
-    /// A uniform draw in `[0, 1)`.
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform draw in `[lo, hi)`.
@@ -66,7 +133,31 @@ impl DetRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.unit() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; keep the interval
+        // half-open as documented.
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+
+    /// An unbiased uniform draw in `[0, n)` (Lemire's method).
+    fn next_below_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.inner.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.inner.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// A uniform integer draw in `[0, n)`.
@@ -76,7 +167,7 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        self.next_below_u64(n as u64) as usize
     }
 
     /// A Bernoulli trial that succeeds with probability `p` (clamped to
@@ -122,10 +213,13 @@ impl DetRng {
 
     /// A duration drawn uniformly from `[0, max]`; `ZERO` if `max` is zero.
     pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
-        if max.is_zero() {
+        let nanos = max.as_nanos();
+        if nanos == 0 {
             SimDuration::ZERO
+        } else if nanos == u64::MAX {
+            SimDuration::from_nanos(self.inner.next_u64())
         } else {
-            SimDuration::from_nanos(self.inner.gen_range(0..=max.as_nanos()))
+            SimDuration::from_nanos(self.next_below_u64(nanos + 1))
         }
     }
 
@@ -169,6 +263,18 @@ mod tests {
     }
 
     #[test]
+    fn stream_seed_is_pure_and_label_sensitive() {
+        assert_eq!(stream_seed(9, 3), stream_seed(9, 3));
+        assert_ne!(stream_seed(9, 3), stream_seed(9, 4));
+        assert_ne!(stream_seed(9, 3), stream_seed(10, 3));
+        let mut direct = DetRng::for_stream(9, 3);
+        let mut via_seed = DetRng::from_seed(stream_seed(9, 3));
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), via_seed.next_u64());
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut rng = DetRng::from_seed(1);
         assert!(!rng.chance(0.0));
@@ -183,6 +289,25 @@ mod tests {
         let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = DetRng::from_seed(2);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "unit draw {u} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = DetRng::from_seed(21);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&v), "uniform draw {v} out of range");
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
     }
 
     #[test]
@@ -230,5 +355,20 @@ mod tests {
             seen[rng.below(5)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DetRng::from_seed(19);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.below(10)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "bucket {i} count {c} too far from uniform"
+            );
+        }
     }
 }

@@ -98,6 +98,9 @@ pub struct WorldStats {
     pub connections_opened: u64,
     /// Transfers completed.
     pub transfers_completed: u64,
+    /// Segments placed on the wire as retransmissions (fast or
+    /// timeout-driven), summed across all connections.
+    pub retransmits: u64,
 }
 
 #[cfg(test)]

@@ -730,6 +730,9 @@ impl World {
             let tracing = self.traces.contains_key(&conn);
             let mut trace_events = Vec::new();
             for out in outbox {
+                if out.retransmit {
+                    self.stats.retransmits += 1;
+                }
                 if tracing {
                     trace_events.push(TraceEvent::SegmentSent {
                         at: self.now,

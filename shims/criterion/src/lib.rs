@@ -1,0 +1,300 @@
+//! A small, self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no access to
+//! crates-io, so the workspace vendors the *API surface its benches
+//! actually use*: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark calibrates a
+//! batch size so one batch takes a few milliseconds, runs
+//! `sample_size` batches, and reports the median, minimum and maximum
+//! ns/iter (plus derived throughput when one was configured). It is a
+//! smoke-and-trend harness, not a statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// Target wall-time for one measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(5);
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+        }
+    }
+
+    /// Measures `routine`, recording ns/iter statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: time a single iteration, then pick a batch size
+        // that should take roughly TARGET_BATCH.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples_ns.push(elapsed.as_nanos() as f64 / per_batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.min_ns = samples_ns[0];
+        self.max_ns = samples_ns[samples_ns.len() - 1];
+    }
+}
+
+/// How many logical elements or bytes one iteration processes; used to
+/// derive a rate from the measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` tagged with `parameter`, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the work performed by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark, handing the closure a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    let mut line = format!(
+        "bench: {label:<48} {:>14}/iter (min {}, max {})",
+        format_ns(bencher.median_ns),
+        format_ns(bencher.min_ns),
+        format_ns(bencher.max_ns),
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / (bencher.median_ns / 1e9);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  [{:.3} Melem/s]", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  [{:.3} MiB/s]", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmark functions; mirrors the two forms the
+/// real crate accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny/sum", |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        let mut group = c.benchmark_group("tiny-group");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum-to", 128u64), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3);
+        targets = tiny_bench
+    }
+
+    #[test]
+    fn configured_harness_runs() {
+        configured();
+    }
+}

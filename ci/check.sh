@@ -16,6 +16,7 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo build --release --workspace
 run cargo test -q --release --workspace
 

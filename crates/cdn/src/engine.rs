@@ -37,10 +37,10 @@ use riptide_simnet::rng::stream_seed;
 use riptide_simnet::time::{SimDuration, SimTime};
 
 use crate::experiment::{
-    cwnd_sim_config, probe_sender_sites, probe_sim_config, traffic_profile_sites,
+    chaos_sim_config, cwnd_sim_config, probe_sender_sites, probe_sim_config, traffic_profile_sites,
     traffic_sim_config, ExperimentScale, ProbeComparison, StackTweaks,
 };
-use crate::sim::{CdnSim, ProbeOutcome};
+use crate::sim::{CdnSim, ChaosReport, ProbeOutcome};
 use crate::stats::{Cdf, Histogram};
 
 /// The coordinates of one shard inside a plan.
@@ -94,6 +94,18 @@ pub enum ShardWork {
     Convergence {
         /// Sampling step.
         step: SimDuration,
+    },
+    /// One arm of the chaos experiment: the probe setup under a uniform
+    /// fault rate ([`FaultPlan::uniform`]), for a subset of senders.
+    ///
+    /// [`FaultPlan::uniform`]: riptide_simnet::fault::FaultPlan::uniform
+    ChaosArm {
+        /// Riptide configuration, or `None` for the control arm.
+        riptide: Option<RiptideConfig>,
+        /// Per-opportunity fault rate (0 disables the fault layer).
+        fault_rate: f64,
+        /// Sender sites probing in this shard.
+        senders: Vec<usize>,
     },
 }
 
@@ -154,6 +166,14 @@ pub enum ShardData {
     Probes(Vec<ProbeOutcome>),
     /// Cold-start trajectory.
     Convergence(Vec<ConvergencePoint>),
+    /// After-warmup probe outcomes plus chaos counters (Fig. 14 under
+    /// injected faults).
+    Chaos {
+        /// After-warmup probe outcomes.
+        probes: Vec<ProbeOutcome>,
+        /// Fault and resilience counters for the shard.
+        report: ChaosReport,
+    },
 }
 
 /// Execution counters for one shard. `wall_millis` is the only
@@ -338,6 +358,47 @@ impl RunPlan {
         }
     }
 
+    /// The chaos sweep: control (scenario `2i`) vs Riptide (scenario
+    /// `2i + 1`) for each fault rate `i`, one shard per (arm × sender
+    /// PoP × replicate). Arms are seed-paired per (unit, replicate)
+    /// exactly like [`RunPlan::probe_comparison`], so a zero rate
+    /// reproduces that plan's merged probes bit for bit.
+    pub fn chaos_sweep(scale: &ExperimentScale, rates: &[f64], replicates: u32) -> RunPlan {
+        assert!(replicates >= 1, "need at least one replicate");
+        assert!(!rates.is_empty(), "need at least one fault rate");
+        let senders = probe_sender_sites(scale);
+        let mut shards = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            for (arm_idx, arm) in ["control", "riptide"].iter().enumerate() {
+                let riptide = (arm_idx == 1).then(RiptideConfig::deployment);
+                for (u, &sender) in senders.iter().enumerate() {
+                    for r in 0..replicates {
+                        let id = ShardId {
+                            scenario: (2 * i + arm_idx) as u32,
+                            unit: u as u32,
+                            replicate: r,
+                        };
+                        shards.push(Self::shard(
+                            scale,
+                            id,
+                            format!("{arm}@{rate}:site{sender}"),
+                            ShardWork::ChaosArm {
+                                riptide: riptide.clone(),
+                                fault_rate: rate,
+                                senders: vec![sender],
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        RunPlan {
+            name: "chaos-sweep".into(),
+            master_seed: scale.seed,
+            shards,
+        }
+    }
+
     /// Cold-start convergence: a single shard sampling every `step`.
     pub fn convergence(scale: &ExperimentScale, step: SimDuration) -> RunPlan {
         let id = ShardId {
@@ -482,6 +543,26 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             }
             (ShardData::Convergence(points), sim.testbed().world.stats())
         }
+        ShardWork::ChaosArm {
+            riptide,
+            fault_rate,
+            senders,
+        } => {
+            let cfg = chaos_sim_config(scale, riptide.clone(), senders.clone(), *fault_rate);
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(scale.total());
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .filter(|p| p.requested_at >= cutoff)
+                .copied()
+                .collect();
+            let report = sim.chaos_report();
+            (
+                ShardData::Chaos { probes, report },
+                sim.testbed().world.stats(),
+            )
+        }
     };
     ShardResult {
         id: spec.id,
@@ -536,6 +617,30 @@ impl RunReport {
             control: self.merged_probes(0),
             riptide: self.merged_probes(1),
         }
+    }
+
+    /// All chaos-arm probe outcomes of one scenario, concatenated in
+    /// plan order.
+    pub fn merged_chaos_probes(&self, scenario: u32) -> Vec<ProbeOutcome> {
+        self.scenario_shards(scenario)
+            .filter_map(|s| match &s.data {
+                ShardData::Chaos { probes, .. } => Some(probes.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// The merged chaos counters of one scenario, reduced in plan order.
+    pub fn merged_chaos_report(&self, scenario: u32) -> ChaosReport {
+        let mut merged = ChaosReport::default();
+        for s in self.scenario_shards(scenario) {
+            if let ShardData::Chaos { report, .. } = &s.data {
+                merged.merge(report);
+            }
+        }
+        merged
     }
 
     /// The Fig. 11 `(probe_only, busy)` profiles, if the plan ran one.

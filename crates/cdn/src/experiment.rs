@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use riptide::config::RiptideConfig;
+use riptide_simnet::fault::FaultPlan;
 use riptide_simnet::time::{SimDuration, SimTime};
 
 use crate::sim::{CdnSim, CdnSimConfig, ProbeOutcome};
@@ -113,6 +114,7 @@ pub fn cwnd_sim_config(scale: &ExperimentScale, c_max: Option<u32>) -> CdnSimCon
         organic: OrganicConfig::among(default_busy_sites(scale), 0.2),
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -155,6 +157,7 @@ pub fn traffic_sim_config(scale: &ExperimentScale) -> CdnSimConfig {
         organic: OrganicConfig::among(default_busy_sites(scale), 0.5),
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
+        faults: FaultPlan::none(),
     }
 }
 
@@ -261,7 +264,23 @@ pub fn probe_sim_config(
         organic: OrganicConfig::among(default_busy_sites(scale), 0.2),
         cwnd_sample_interval: SimDuration::from_secs(300),
         probe_senders: Some(senders),
+        faults: FaultPlan::none(),
     }
+}
+
+/// The simulation configuration behind the `chaos` experiment: the §IV-B2
+/// probe setup with every fault category firing at `fault_rate`
+/// ([`FaultPlan::uniform`]). A rate of `0.0` disables the fault layer and
+/// the run is bit-identical to [`probe_sim_config`]'s.
+pub fn chaos_sim_config(
+    scale: &ExperimentScale,
+    riptide: Option<RiptideConfig>,
+    senders: Vec<usize>,
+    fault_rate: f64,
+) -> CdnSimConfig {
+    let mut cfg = probe_sim_config(scale, riptide, StackTweaks::default(), senders);
+    cfg.faults = FaultPlan::uniform(fault_rate);
+    cfg
 }
 
 /// Both arms of the probe experiment, same seed — the paired comparison

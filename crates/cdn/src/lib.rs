@@ -6,6 +6,18 @@
 //! infrastructure, organic back-office traffic, and experiment runners
 //! that regenerate every figure of the evaluation.
 //!
+//! ## Module map (↔ paper sections)
+//!
+//! | Module | Role | Paper anchor |
+//! |---|---|---|
+//! | [`geo`] | The 34 PoP sites with coordinates | Table II |
+//! | [`topology`] | Testbed: PoPs, machines, geography-derived paths | §IV-A; Fig. 5 |
+//! | [`workload`] | Probe harness + organic traffic (file-size model) | §IV-A; Fig. 2 |
+//! | [`sim`] | The deployment loop: agents, probes, sampling, chaos | §IV-A/§IV-D |
+//! | [`experiment`] | One runner per figure (Figs. 10–16) | §IV |
+//! | [`engine`] | Parallel sharded execution, digests, manifests | — (reproduction infrastructure) |
+//! | [`stats`] | CDFs, percentile gains, histograms | Figs. 10–16 metrics |
+//!
 //! See `DESIGN.md` at the repository root for the experiment index.
 //!
 //! ## Example: one paired experiment
@@ -34,7 +46,7 @@ pub mod prelude {
     pub use crate::engine::{RunPlan, RunReport, ShardData, ShardId, ShardSpec, ShardWork};
     pub use crate::experiment::{probe_comparison, ExperimentScale, ProbeComparison};
     pub use crate::geo::{Continent, PopSite, POP_SITES};
-    pub use crate::sim::{CdnSim, CdnSimConfig, CwndSample, ProbeOutcome};
+    pub use crate::sim::{CdnSim, CdnSimConfig, ChaosReport, CwndSample, ProbeOutcome};
     pub use crate::stats::{average_gains, percentile_gains, Cdf, PercentileGain};
     pub use crate::topology::{RttBucket, Testbed, TestbedConfig};
     pub use crate::workload::{FileSizeDist, OrganicConfig, ProbeConfig};

@@ -15,6 +15,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use riptide::prelude::*;
+use riptide_linuxnet::prefix::Ipv4Prefix;
 use riptide_linuxnet::route::RouteTable;
 use riptide_simnet::prelude::*;
 
@@ -51,6 +52,9 @@ pub struct CdnSimConfig {
     /// Site indices that send probes (`None` = every site). The paper's
     /// transfer-time analysis uses two sender PoPs.
     pub probe_senders: Option<Vec<usize>>,
+    /// Fault-injection plan ([`FaultPlan::none`] disables the chaos layer
+    /// entirely, leaving the run bit-identical to one without it).
+    pub faults: FaultPlan,
 }
 
 impl Default for CdnSimConfig {
@@ -62,7 +66,168 @@ impl Default for CdnSimConfig {
             organic: OrganicConfig::none(),
             cwnd_sample_interval: SimDuration::from_secs(60),
             probe_senders: None,
+            faults: FaultPlan::none(),
         }
+    }
+}
+
+/// Aggregated chaos and resilience counters for one run.
+///
+/// All-zero (with an empty installed range) when the fault layer is
+/// disabled and no routes were installed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosReport {
+    /// Faults the injector fired, by category.
+    pub faults: FaultStats,
+    /// Agent cycles run in degraded mode (observation failed even after
+    /// retries: learning frozen, only TTL expiry ran).
+    pub degraded_ticks: u64,
+    /// Extra observation attempts beyond each cycle's first.
+    pub observe_retries: u64,
+    /// Extra route-install attempts beyond each call's first.
+    pub install_retries: u64,
+    /// Route installs that failed even after retrying.
+    pub install_gave_up: u64,
+    /// Delayed installs that eventually landed.
+    pub delayed_applied: u64,
+    /// Stale routes wiped by restarted agents on recovery.
+    pub routes_recovered: u64,
+    /// Window installs accepted by the bounds gate.
+    pub installs: u64,
+    /// Installs rejected by the bounds gate for leaving `[c_min, c_max]`
+    /// — always 0 unless the no-harm invariant is broken.
+    pub invariant_breaches: u64,
+    /// Smallest window ever installed (`u32::MAX` when none).
+    pub installed_min: u32,
+    /// Largest window ever installed (0 when none).
+    pub installed_max: u32,
+}
+
+impl Default for ChaosReport {
+    fn default() -> Self {
+        ChaosReport {
+            faults: FaultStats::default(),
+            degraded_ticks: 0,
+            observe_retries: 0,
+            install_retries: 0,
+            install_gave_up: 0,
+            delayed_applied: 0,
+            routes_recovered: 0,
+            installs: 0,
+            invariant_breaches: 0,
+            installed_min: u32::MAX,
+            installed_max: 0,
+        }
+    }
+}
+
+impl ChaosReport {
+    /// `(min, max)` of every installed window, or `None` if nothing was
+    /// ever installed.
+    pub fn installed_range(&self) -> Option<(u32, u32)> {
+        (self.installs > 0).then_some((self.installed_min, self.installed_max))
+    }
+
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &ChaosReport) {
+        self.faults.observe_timeouts += other.faults.observe_timeouts;
+        self.faults.observe_partials += other.faults.observe_partials;
+        self.faults.install_errors += other.faults.install_errors;
+        self.faults.install_delays += other.faults.install_delays;
+        self.faults.crashes += other.faults.crashes;
+        self.faults.bursts += other.faults.bursts;
+        self.degraded_ticks += other.degraded_ticks;
+        self.observe_retries += other.observe_retries;
+        self.install_retries += other.install_retries;
+        self.install_gave_up += other.install_gave_up;
+        self.delayed_applied += other.delayed_applied;
+        self.routes_recovered += other.routes_recovered;
+        self.installs += other.installs;
+        self.invariant_breaches += other.invariant_breaches;
+        self.installed_min = self.installed_min.min(other.installed_min);
+        self.installed_max = self.installed_max.max(other.installed_max);
+    }
+}
+
+/// A route write accepted while faulted as "delayed", waiting to land.
+#[derive(Debug, Clone, Copy)]
+struct PendingInstall {
+    due: SimTime,
+    host: usize,
+    key: Ipv4Prefix,
+    /// `Some(window)` for a delayed install, `None` for a delayed clear.
+    window: Option<u32>,
+}
+
+/// One link loss burst in progress, with the configs to restore.
+#[derive(Debug, Clone)]
+struct ActiveBurst {
+    until: SimTime,
+    a: PopId,
+    b: PopId,
+    saved_ab: PathConfig,
+    saved_ba: PathConfig,
+}
+
+/// Mutable chaos-layer state; present only when the plan is enabled.
+#[derive(Debug)]
+struct ChaosState {
+    injector: FaultInjector,
+    policy: BackoffPolicy,
+    /// Per host: when a crashed agent's replacement may start ticking.
+    down_until: Vec<Option<SimTime>>,
+    pending: Vec<PendingInstall>,
+    bursts: Vec<ActiveBurst>,
+    next_burst_check: SimTime,
+    report: ChaosReport,
+}
+
+/// Injects install faults between the retry layer above and the bounds
+/// gate below: `ExecError` surfaces as a failed `ip route` invocation
+/// (which the retry layer may re-attempt, drawing a fresh fault),
+/// `Delayed` queues the write to land `install_delay_for` later.
+#[derive(Debug)]
+struct ChaosController<'a> {
+    inner: &'a mut CheckedController<SharedRouteController>,
+    injector: &'a mut FaultInjector,
+    pending: &'a mut Vec<PendingInstall>,
+    now: SimTime,
+    delay_for: SimDuration,
+    host: usize,
+}
+
+impl ChaosController<'_> {
+    fn faulted(
+        &mut self,
+        key: Ipv4Prefix,
+        window: Option<u32>,
+        apply: impl FnOnce(&mut CheckedController<SharedRouteController>) -> Result<(), ControlError>,
+    ) -> Result<(), ControlError> {
+        match self.injector.install_fault() {
+            InstallFault::ExecError => {
+                Err(ControlError::new("injected: ip route invocation failed"))
+            }
+            InstallFault::Delayed => {
+                self.pending.push(PendingInstall {
+                    due: self.now + self.delay_for,
+                    host: self.host,
+                    key,
+                    window,
+                });
+                Ok(())
+            }
+            InstallFault::None => apply(self.inner),
+        }
+    }
+}
+
+impl RouteController for ChaosController<'_> {
+    fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError> {
+        self.faulted(key, Some(window), |c| c.set_initcwnd(key, window))
+    }
+
+    fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError> {
+        self.faulted(key, None, |c| c.clear_initcwnd(key))
     }
 }
 
@@ -107,7 +272,8 @@ pub struct CdnSim {
     tb: Testbed,
     cfg: CdnSimConfig,
     agents: Vec<Option<RiptideAgent>>,
-    controllers: Vec<Option<SharedRouteController>>,
+    controllers: Vec<Option<CheckedController<SharedRouteController>>>,
+    chaos: Option<ChaosState>,
     rng: DetRng,
     next_agent_tick: SimTime,
     next_cwnd_sample: SimTime,
@@ -132,12 +298,28 @@ impl CdnSim {
         if let Err(e) = cfg.probes.validate() {
             panic!("invalid probe config: {e}");
         }
+        if let Err(e) = cfg.faults.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         let mut tb = Testbed::build(&cfg.testbed);
         let mut rng = DetRng::from_seed(cfg.testbed.seed ^ 0x5EED_CD11);
         let host_count = tb.world.host_count();
 
+        // Forking is pure, so attaching (or not attaching) the chaos
+        // layer leaves `rng`'s own sequence untouched.
+        let chaos = cfg.faults.is_enabled().then(|| ChaosState {
+            injector: FaultInjector::new(cfg.faults.clone(), &rng),
+            policy: BackoffPolicy::agent_default(),
+            down_until: vec![None; host_count],
+            pending: Vec::new(),
+            bursts: Vec::new(),
+            next_burst_check: SimTime::ZERO + cfg.faults.burst_check_every,
+            report: ChaosReport::default(),
+        });
+
         let mut agents: Vec<Option<RiptideAgent>> = Vec::with_capacity(host_count);
-        let mut controllers: Vec<Option<SharedRouteController>> = Vec::with_capacity(host_count);
+        let mut controllers: Vec<Option<CheckedController<SharedRouteController>>> =
+            Vec::with_capacity(host_count);
         for h in 0..host_count {
             match &cfg.riptide {
                 Some(rc) => {
@@ -148,7 +330,11 @@ impl CdnSim {
                             table: Rc::clone(&table),
                         }),
                     );
-                    controllers.push(Some(SharedRouteController::new(table)));
+                    controllers.push(Some(CheckedController::new(
+                        SharedRouteController::new(table),
+                        rc.cwnd_min,
+                        rc.cwnd_max,
+                    )));
                     agents.push(Some(
                         RiptideAgent::new(rc.clone()).expect("validated riptide config"),
                     ));
@@ -201,6 +387,7 @@ impl CdnSim {
             cfg,
             agents,
             controllers,
+            chaos,
             rng,
             probe_schedule,
             organic_schedule,
@@ -262,6 +449,10 @@ impl CdnSim {
     }
 
     /// Aggregated agent counters (zeros for control runs).
+    ///
+    /// Under chaos, counters of crashed agent incarnations are gone with
+    /// them; this sums the live incarnations only (crash losses are
+    /// tracked in [`CdnSim::chaos_report`]).
     pub fn agent_stats_total(&self) -> AgentStats {
         let mut total = AgentStats::default();
         for a in self.agents.iter().flatten() {
@@ -271,8 +462,37 @@ impl CdnSim {
             total.route_updates += s.route_updates;
             total.route_expirations += s.route_expirations;
             total.errors += s.errors;
+            total.degraded_ticks += s.degraded_ticks;
         }
         total
+    }
+
+    /// Chaos and resilience counters for this run.
+    ///
+    /// Installs, breaches and the installed-window range come from the
+    /// per-host bounds gates and are meaningful (and usually non-zero)
+    /// even with the fault layer disabled; everything else is zero for a
+    /// clean run.
+    pub fn chaos_report(&self) -> ChaosReport {
+        let mut r = self
+            .chaos
+            .as_ref()
+            .map(|c| {
+                let mut r = c.report;
+                r.faults = c.injector.stats();
+                r
+            })
+            .unwrap_or_default();
+        r.degraded_ticks += self.agent_stats_total().degraded_ticks;
+        for ctl in self.controllers.iter().flatten() {
+            r.installs += ctl.installs();
+            r.invariant_breaches += ctl.breaches();
+            if let Some((lo, hi)) = ctl.installed_range() {
+                r.installed_min = r.installed_min.min(lo);
+                r.installed_max = r.installed_max.max(hi);
+            }
+        }
+        r
     }
 
     /// The learned window a host currently has for a destination address
@@ -298,12 +518,25 @@ impl CdnSim {
             if let Some(&(t, _, _)) = self.organic_schedule.iter().min_by_key(|e| e.0) {
                 next = next.min(t);
             }
+            if let Some(chaos) = &self.chaos {
+                next = next.min(chaos.next_burst_check);
+                if let Some(t) = chaos.bursts.iter().map(|b| b.until).min() {
+                    next = next.min(t);
+                }
+                if let Some(t) = chaos.pending.iter().map(|p| p.due).min() {
+                    next = next.min(t);
+                }
+            }
             self.tb.world.run_until(next);
             self.collect_completed();
             if next >= end {
                 break;
             }
             let now = next;
+            if self.chaos.is_some() {
+                self.apply_due_installs(now);
+                self.chaos_burst_tick(now);
+            }
             if self.riptide_enabled() && now >= self.next_agent_tick {
                 self.tick_agents(now);
                 let interval = self
@@ -346,6 +579,41 @@ impl CdnSim {
     fn tick_agents(&mut self, now: SimTime) {
         for h in 0..self.agents.len() {
             let host = HostId::from_index(h as u32);
+            if self.agents[h].is_some() {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    match chaos.down_until[h] {
+                        // The daemon is mid-restart: nothing runs.
+                        Some(until) if now < until => continue,
+                        Some(_) => {
+                            // Restart: the replacement's first act is the
+                            // §IV-D startup recovery — wipe whatever
+                            // riptide routes the dead incarnation left.
+                            chaos.down_until[h] = None;
+                            let ctl = self.controllers[h]
+                                .as_mut()
+                                .expect("controller exists when agent does");
+                            let table = ctl.inner().table();
+                            let wiped = recover_stale_routes(&mut table.borrow_mut());
+                            chaos.report.routes_recovered += wiped as u64;
+                        }
+                        None => {
+                            if chaos.injector.crashes_now() {
+                                // Crash loses the learned table (it lives
+                                // in the daemon) but not installed routes
+                                // (they live in the kernel).
+                                let old = self.agents[h].take().expect("agent present");
+                                chaos.report.degraded_ticks += old.stats().degraded_ticks;
+                                let rc = self.cfg.riptide.clone().expect("agent implies config");
+                                self.agents[h] =
+                                    Some(RiptideAgent::new(rc).expect("validated riptide config"));
+                                chaos.down_until[h] =
+                                    Some(now + chaos.injector.plan().restart_after);
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
             let Some(agent) = self.agents[h].as_mut() else {
                 continue;
             };
@@ -364,8 +632,157 @@ impl CdnSim {
                     bytes_acked: s.bytes_acked,
                 })
                 .collect();
-            let mut observer = FnObserver(move || observations.clone());
-            agent.tick(now, &mut observer, controller);
+            match self.chaos.as_mut() {
+                None => {
+                    let mut observer = FnObserver(move || observations.clone());
+                    agent.tick(now, &mut observer, controller);
+                }
+                Some(chaos) => {
+                    let update_interval = self
+                        .cfg
+                        .riptide
+                        .as_ref()
+                        .expect("agent implies config")
+                        .update_interval;
+                    let ChaosState {
+                        injector,
+                        policy,
+                        pending,
+                        report,
+                        ..
+                    } = chaos;
+
+                    // Observation: fault-injected poll under retry with a
+                    // per-cycle budget. A timed-out attempt is modeled as
+                    // costing 200 ms of the cycle.
+                    let rows = &observations;
+                    // Scoped so the observer's borrow of `injector` ends
+                    // before the controller takes it.
+                    let (polled, obs_retries) = {
+                        let mut resilient = ResilientObserver::new(
+                            FnFallibleObserver(|| match injector.observe_fault(rows.len()) {
+                                ObserveFault::None => Ok(rows.clone()),
+                                ObserveFault::Timeout => Err(ObserveError::Timeout),
+                                ObserveFault::Partial { keep } => Ok(rows[..keep].to_vec()),
+                            }),
+                            *policy,
+                            SimDuration::from_millis(200),
+                            update_interval,
+                        );
+                        let polled = resilient.observe();
+                        (polled, resilient.stats().retries)
+                    };
+                    report.observe_retries += obs_retries;
+
+                    match polled {
+                        Err(_) => {
+                            // Degraded cycle: never guess from stale rows
+                            // — freeze learning, let TTL expiry run.
+                            agent.tick_degraded(now, controller);
+                        }
+                        Ok(polled_rows) => {
+                            let delay_for = injector.plan().install_delay_for;
+                            let chaos_ctl = ChaosController {
+                                inner: controller,
+                                injector,
+                                pending,
+                                now,
+                                delay_for,
+                                host: h,
+                            };
+                            let mut rctl = ResilientController::new(chaos_ctl, *policy);
+                            let mut observer = FnObserver(move || polled_rows.clone());
+                            agent.tick(now, &mut observer, &mut rctl);
+                            let io = rctl.stats();
+                            report.install_retries += io.retries;
+                            report.install_gave_up += io.gave_up;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lands every delayed route write whose delay has elapsed. The write
+    /// still goes through the host's bounds gate, and may target a host
+    /// whose agent has crashed since — the kernel applies it regardless.
+    fn apply_due_installs(&mut self, now: SimTime) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        let mut i = 0;
+        while i < chaos.pending.len() {
+            if chaos.pending[i].due > now {
+                i += 1;
+                continue;
+            }
+            let p = chaos.pending.swap_remove(i);
+            if let Some(ctl) = self.controllers[p.host].as_mut() {
+                let landed = match p.window {
+                    Some(w) => ctl.set_initcwnd(p.key, w).is_ok(),
+                    None => ctl.clear_initcwnd(p.key).is_ok(),
+                };
+                if landed {
+                    chaos.report.delayed_applied += 1;
+                }
+            }
+        }
+    }
+
+    /// Ends elapsed link loss bursts (restoring the saved path configs)
+    /// and, at each burst-check instant, possibly starts a new one on a
+    /// randomly drawn PoP pair.
+    fn chaos_burst_tick(&mut self, now: SimTime) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        let mut i = 0;
+        while i < chaos.bursts.len() {
+            if now >= chaos.bursts[i].until {
+                let b = chaos.bursts.swap_remove(i);
+                self.tb.world.reconfigure_path(b.a, b.b, b.saved_ab);
+                self.tb.world.reconfigure_path(b.b, b.a, b.saved_ba);
+            } else {
+                i += 1;
+            }
+        }
+        if now >= chaos.next_burst_check {
+            if let Some((ai, bi)) = chaos.injector.burst_starts(self.tb.pop_count()) {
+                let (a, b) = (PopId::from_index(ai as u32), PopId::from_index(bi as u32));
+                let hit = chaos
+                    .bursts
+                    .iter()
+                    .any(|x| (x.a == a && x.b == b) || (x.a == b && x.b == a));
+                if !hit {
+                    let saved_ab = self
+                        .tb
+                        .world
+                        .path_config(a, b)
+                        .expect("inter-pop path exists")
+                        .clone();
+                    let saved_ba = self
+                        .tb
+                        .world
+                        .path_config(b, a)
+                        .expect("inter-pop path exists")
+                        .clone();
+                    let loss = chaos.injector.plan().burst_loss;
+                    let mut burst_ab = saved_ab.clone();
+                    burst_ab.loss = burst_ab.loss.max(loss);
+                    let mut burst_ba = saved_ba.clone();
+                    burst_ba.loss = burst_ba.loss.max(loss);
+                    self.tb.world.reconfigure_path(a, b, burst_ab);
+                    self.tb.world.reconfigure_path(b, a, burst_ba);
+                    chaos.bursts.push(ActiveBurst {
+                        until: now + chaos.injector.plan().burst_for,
+                        a,
+                        b,
+                        saved_ab,
+                        saved_ba,
+                    });
+                }
+            }
+            chaos.next_burst_check = now + chaos.injector.plan().burst_check_every;
         }
     }
 
@@ -475,6 +892,7 @@ mod tests {
             organic: OrganicConfig::none(),
             cwnd_sample_interval: SimDuration::from_secs(30),
             probe_senders: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -570,6 +988,78 @@ mod tests {
         let mut sim = CdnSim::new(cfg);
         sim.run_for(SimDuration::from_secs(150));
         assert!(sim.probe_outcomes().iter().all(|p| p.src_site == 0));
+    }
+
+    #[test]
+    fn chaos_fires_faults_but_windows_stay_in_bounds() {
+        let mut cfg = tiny_cfg(true, 41);
+        cfg.faults = FaultPlan::uniform(0.2);
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(400));
+        let r = sim.chaos_report();
+        assert!(r.faults.observe_timeouts > 0, "{r:?}");
+        assert!(
+            r.faults.install_errors + r.faults.install_delays > 0,
+            "{r:?}"
+        );
+        assert!(r.degraded_ticks > 0, "degraded cycles happened: {r:?}");
+        assert!(r.observe_retries > 0, "retries happened: {r:?}");
+        assert_eq!(r.invariant_breaches, 0, "no-harm invariant: {r:?}");
+        let (lo, hi) = r.installed_range().expect("something was installed");
+        assert!(lo >= 10 && hi <= 100, "installed range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn chaos_crashes_lose_tables_and_recovery_wipes_stale_routes() {
+        let mut cfg = tiny_cfg(true, 43);
+        cfg.faults = FaultPlan {
+            crash: 0.05,
+            restart_after: SimDuration::from_secs(5),
+            ..FaultPlan::none()
+        };
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(400));
+        let r = sim.chaos_report();
+        assert!(r.faults.crashes > 0, "{r:?}");
+        assert!(r.routes_recovered > 0, "restarts wiped stale routes: {r:?}");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = |seed| {
+            let mut cfg = tiny_cfg(true, seed);
+            cfg.faults = FaultPlan::uniform(0.1);
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(300));
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .map(|p| (p.src_site, p.dst_site, p.size, p.completion.as_nanos()))
+                .collect::<Vec<_>>();
+            (probes, sim.chaos_report())
+        };
+        assert_eq!(run(23), run(23));
+        assert_ne!(run(23), run(24));
+    }
+
+    #[test]
+    fn link_bursts_hit_control_runs_too() {
+        // The burst stream is independent of agent-facing faults, so a
+        // control run draws the same burst schedule as a riptide run.
+        let report = |riptide| {
+            let mut cfg = tiny_cfg(riptide, 47);
+            cfg.faults = FaultPlan {
+                burst_start: 0.5,
+                burst_loss: 0.2,
+                ..FaultPlan::none()
+            };
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(200));
+            sim.chaos_report().faults.bursts
+        };
+        let control = report(false);
+        assert!(control > 0, "bursts fired in the control run");
+        assert_eq!(control, report(true), "same burst schedule in both arms");
     }
 
     #[test]

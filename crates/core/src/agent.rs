@@ -40,6 +40,9 @@ pub struct TickReport {
     /// Route-control failures (the agent continues past them, as a
     /// production tool must).
     pub errors: Vec<ControlError>,
+    /// Whether this was a degraded tick ([`RiptideAgent::tick_degraded`]):
+    /// the poll failed, so no advisory state was updated.
+    pub degraded: bool,
 }
 
 /// Cumulative counters over the agent's lifetime.
@@ -55,6 +58,9 @@ pub struct AgentStats {
     pub route_expirations: u64,
     /// Control errors encountered.
     pub errors: u64,
+    /// Degraded ticks: cycles whose observation poll failed outright, so
+    /// only TTL expiry ran.
+    pub degraded_ticks: u64,
 }
 
 impl AgentStats {
@@ -87,6 +93,11 @@ impl AgentStats {
                 "riptide_control_errors_total",
                 "Failed route-control actions",
                 self.errors,
+            ),
+            (
+                "riptide_degraded_ticks_total",
+                "Cycles that ran expiry-only because the poll failed",
+                self.degraded_ticks,
             ),
         ] {
             out.push_str(&format!(
@@ -251,6 +262,42 @@ impl RiptideAgent {
         }
 
         // 6. expire stale destinations, restoring the kernel default.
+        self.expire_into(now, controller, &mut report);
+
+        report
+    }
+
+    /// Runs one *degraded* cycle: the observation poll failed (timed out,
+    /// subprocess died, unusable output), so the agent must not guess.
+    ///
+    /// Degraded semantics, per the no-harm requirement of §IV-D:
+    ///
+    /// * **Freeze** — no advisory/window state is updated; the agent
+    ///   never extrapolates windows from polls it did not get.
+    /// * **Decay** — TTL expiry still runs, so if polls keep failing,
+    ///   every learned route is withdrawn within `t` seconds and new
+    ///   connections fall back to the kernel default (`initcwnd=10`).
+    ///
+    /// A run of failed polls therefore converges to exactly the state of
+    /// a host that never ran Riptide.
+    pub fn tick_degraded<C>(&mut self, now: SimTime, controller: &mut C) -> TickReport
+    where
+        C: RouteController + ?Sized,
+    {
+        let mut report = TickReport {
+            degraded: true,
+            ..TickReport::default()
+        };
+        self.stats.ticks += 1;
+        self.stats.degraded_ticks += 1;
+        self.expire_into(now, controller, &mut report);
+        report
+    }
+
+    fn expire_into<C>(&mut self, now: SimTime, controller: &mut C, report: &mut TickReport)
+    where
+        C: RouteController + ?Sized,
+    {
         for key in self.table.expire(now, self.config.ttl) {
             match controller.clear_initcwnd(key) {
                 Ok(()) => {
@@ -263,8 +310,6 @@ impl RiptideAgent {
                 }
             }
         }
-
-        report
     }
 }
 
@@ -466,7 +511,29 @@ mod tests {
         assert!(text.contains("riptide_route_updates_total 1"));
         assert!(text.contains("# TYPE riptide_observations_total counter"));
         // Every metric has HELP, TYPE and a value line.
-        assert_eq!(text.lines().count(), 15);
+        assert_eq!(text.lines().count(), 18);
+    }
+
+    #[test]
+    fn degraded_tick_freezes_learning_but_still_expires() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(50));
+
+        // Poll failures shortly after: nothing changes, nothing expires.
+        let r = a.tick_degraded(SimTime::from_secs(2), &mut routes);
+        assert!(r.degraded && r.updates.is_empty() && r.expired.is_empty());
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(50));
+        assert_eq!(a.table().len(), 1, "learned state frozen, not dropped");
+
+        // Poll failures past the TTL: the route is withdrawn and the
+        // destination falls back to the kernel default.
+        let r = a.tick_degraded(SimTime::from_secs(95), &mut routes);
+        assert_eq!(r.expired.len(), 1);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), None);
+        assert_eq!(a.stats().degraded_ticks, 2);
+        assert_eq!(a.stats().ticks, 3);
     }
 
     #[test]

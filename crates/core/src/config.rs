@@ -81,7 +81,15 @@ impl RiptideConfig {
     }
 
     /// Clamps a computed window into `[cwnd_min, cwnd_max]`.
+    ///
+    /// Non-finite input (a NaN or infinity escaping some upstream
+    /// arithmetic) maps to the conservative floor `cwnd_min` — never to
+    /// an out-of-range window. (`NaN as u32` would otherwise saturate to
+    /// 0 and install a window below `c_min`.)
     pub fn clamp(&self, window: f64) -> u32 {
+        if !window.is_finite() {
+            return self.cwnd_min;
+        }
         let w = window.round();
         let w = if w < self.cwnd_min as f64 {
             self.cwnd_min as f64
@@ -361,6 +369,14 @@ mod tests {
         assert_eq!(cfg.clamp(55.4), 55);
         assert_eq!(cfg.clamp(55.6), 56);
         assert_eq!(cfg.clamp(250.0), 100);
+    }
+
+    #[test]
+    fn clamp_maps_non_finite_to_the_floor() {
+        let cfg = RiptideConfig::deployment();
+        assert_eq!(cfg.clamp(f64::NAN), 10, "NaN must not saturate to 0");
+        assert_eq!(cfg.clamp(f64::INFINITY), 10);
+        assert_eq!(cfg.clamp(f64::NEG_INFINITY), 10);
     }
 
     #[test]

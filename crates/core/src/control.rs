@@ -60,6 +60,16 @@ pub trait RouteController {
     fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError>;
 }
 
+impl<C: RouteController + ?Sized> RouteController for &mut C {
+    fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError> {
+        (**self).set_initcwnd(key, window)
+    }
+
+    fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError> {
+        (**self).clear_initcwnd(key)
+    }
+}
+
 impl RouteController for RouteTable {
     fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError> {
         IpRouteCmd::set_initcwnd(key, window).apply(self)?;
@@ -109,6 +119,94 @@ impl SharedRouteController {
     /// The shared table handle.
     pub fn table(&self) -> Rc<RefCell<RouteTable>> {
         Rc::clone(&self.table)
+    }
+}
+
+/// The window-range invariant, enforced at the last hop before the
+/// kernel: a `CheckedController` refuses any install outside
+/// `[c_min, c_max]` (§IV-D's no-harm property — a misbehaving layer above
+/// must never leave a window in the kernel that the algorithm could not
+/// have produced).
+///
+/// Wrap it *innermost* in a controller stack, directly in front of the
+/// table, so that every path to an install — direct, retried, or
+/// delayed-and-replayed — passes the check.
+#[derive(Debug, Clone)]
+pub struct CheckedController<C> {
+    inner: C,
+    lo: u32,
+    hi: u32,
+    installs: u64,
+    breaches: u64,
+    min_installed: u32,
+    max_installed: u32,
+}
+
+impl<C: RouteController> CheckedController<C> {
+    /// Wraps `inner`, allowing only windows in `[lo, hi]` through.
+    pub fn new(inner: C, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "empty window range [{lo}, {hi}]");
+        CheckedController {
+            inner,
+            lo,
+            hi,
+            installs: 0,
+            breaches: 0,
+            min_installed: u32::MAX,
+            max_installed: 0,
+        }
+    }
+
+    /// The accepted range.
+    pub fn bounds(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+
+    /// Installs that passed the check and reached the inner controller.
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Rejected installs (out-of-range windows). Zero in a healthy run.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// The extreme windows actually installed, or `None` before the
+    /// first install. Both are within bounds by construction.
+    pub fn installed_range(&self) -> Option<(u32, u32)> {
+        (self.installs > 0).then_some((self.min_installed, self.max_installed))
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: RouteController> RouteController for CheckedController<C> {
+    fn set_initcwnd(&mut self, key: Ipv4Prefix, window: u32) -> Result<(), ControlError> {
+        if window < self.lo || window > self.hi {
+            self.breaches += 1;
+            return Err(ControlError::new(format!(
+                "window {window} outside [{}, {}] for {key}",
+                self.lo, self.hi
+            )));
+        }
+        self.inner.set_initcwnd(key, window)?;
+        self.installs += 1;
+        self.min_installed = self.min_installed.min(window);
+        self.max_installed = self.max_installed.max(window);
+        Ok(())
+    }
+
+    fn clear_initcwnd(&mut self, key: Ipv4Prefix) -> Result<(), ControlError> {
+        self.inner.clear_initcwnd(key)
     }
 }
 
@@ -212,6 +310,34 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(t.len(), 2, "non-riptide routes untouched");
         assert_eq!(t.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), None);
+    }
+
+    #[test]
+    fn checked_controller_blocks_out_of_range_windows() {
+        let mut ctl = CheckedController::new(RouteTable::new(), 10, 100);
+        ctl.set_initcwnd(key(1), 10).unwrap();
+        ctl.set_initcwnd(key(2), 100).unwrap();
+        assert!(ctl.set_initcwnd(key(3), 9).is_err());
+        assert!(ctl.set_initcwnd(key(3), 101).is_err());
+        assert!(ctl.set_initcwnd(key(3), 0).is_err());
+        assert_eq!(ctl.installs(), 2);
+        assert_eq!(ctl.breaches(), 3);
+        assert_eq!(ctl.installed_range(), Some((10, 100)));
+        // The rejected window never reached the table.
+        assert_eq!(ctl.inner().initcwnd_for(Ipv4Addr::new(10, 0, 1, 3)), None);
+        ctl.clear_initcwnd(key(1)).unwrap();
+        assert_eq!(ctl.into_inner().len(), 1);
+    }
+
+    #[test]
+    fn mut_references_are_controllers_too() {
+        fn drive(ctl: &mut impl RouteController) {
+            ctl.set_initcwnd(Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, 9)), 44)
+                .unwrap();
+        }
+        let mut t = RouteTable::new();
+        drive(&mut &mut t);
+        assert_eq!(t.initcwnd_for(Ipv4Addr::new(10, 0, 1, 9)), Some(44));
     }
 
     #[test]

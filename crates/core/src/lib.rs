@@ -10,23 +10,23 @@
 //! *new* connections to a known destination skip the cold part of slow
 //! start and enter the network at a level the path is known to support.
 //!
-//! ## Anatomy
+//! ## Module map (↔ paper sections)
 //!
-//! * [`agent::RiptideAgent`] — Algorithm 1: poll → group → combine →
-//!   history-blend → clamp → install, plus TTL expiry.
-//! * [`config::RiptideConfig`] — Table I's parameters (`α`, `i_u`, `t`,
-//!   `c_max`, `c_min`) with a builder.
-//! * [`combine::CombineStrategy`] / [`history::HistoryStrategy`] /
-//!   [`granularity::Granularity`] — the §III-B design alternatives
-//!   (average vs max vs traffic-weighted; EWMA vs none vs windowed;
-//!   host routes vs prefix routes).
-//! * [`observe`] — input side: [`observe::WindowObserver`] and adapters
-//!   from `ss`-style socket tables.
-//! * [`control`] — output side: [`control::RouteController`] over a
-//!   Linux-style routing table, logging the exact `ip route` commands a
-//!   shell deployment would run.
-//! * [`model`] — the paper's §II-B analytic model of slow-start round
-//!   trips, driving Figures 3/4/6.
+//! | Module | Role | Paper anchor |
+//! |---|---|---|
+//! | [`agent`] | [`agent::RiptideAgent`]: poll → group → combine → blend → clamp → install, TTL expiry; degraded (expiry-only) cycles | Algorithm 1; §IV-D no-harm |
+//! | [`config`] | Table I parameters (`α`, `i_u`, `t`, `c_max`, `c_min`) + builder + conf-file parser | Table I |
+//! | [`combine`] | Average / max / traffic-weighted group reduction | §III-B combine alternatives |
+//! | [`history`] | EWMA / none / windowed history blending | §III-B history; Table I `α` |
+//! | [`granularity`] | Host routes vs `/24` (PoP) prefix routes | §III-B granularity |
+//! | [`trend`] | §V trend damping (aggressive decrease on collapse) | §V |
+//! | [`advisory`] | Control-plane advisories (suspend / conservative) | §V load-balancing interplay |
+//! | [`observe`] | Input seam: [`observe::WindowObserver`] (always succeeds) and [`observe::FallibleObserver`] (real `ss` polls that time out / truncate) | §III poll loop |
+//! | [`control`] | Output seam: [`control::RouteController`], command logging, startup recovery, and the [`control::CheckedController`] window-range invariant | Fig. 8; §IV-D |
+//! | [`resilience`] | Retry-with-backoff, per-call timeouts, budgets; `ss`/`ip` subprocess bridges | §IV-D graceful degradation |
+//! | [`table`] | The TTL'd per-destination final-values table | §III "final table", Table I `t` |
+//! | [`kernel`] | The §V in-kernel event-driven variant | §V |
+//! | [`model`] | §II-B analytic slow-start model (Figures 3/4/6) | §II-B |
 //!
 //! ## Example
 //!
@@ -61,6 +61,7 @@ pub mod history;
 pub mod kernel;
 pub mod model;
 pub mod observe;
+pub mod resilience;
 pub mod table;
 pub mod trend;
 
@@ -71,13 +72,19 @@ pub mod prelude {
     pub use crate::combine::CombineStrategy;
     pub use crate::config::{RiptideConfig, RiptideConfigBuilder};
     pub use crate::control::{
-        recover_stale_routes, ControlError, RouteController, SharedRouteController,
+        recover_stale_routes, CheckedController, ControlError, RouteController,
+        SharedRouteController,
     };
     pub use crate::granularity::Granularity;
     pub use crate::history::HistoryStrategy;
     pub use crate::kernel::KernelAgent;
     pub use crate::observe::{
-        observations_from_sock_table, CwndObservation, FnObserver, WindowObserver,
+        observations_from_sock_table, CwndObservation, FallibleObserver, FnFallibleObserver,
+        FnObserver, ObserveError, WindowObserver,
+    };
+    pub use crate::resilience::{
+        retry_with_backoff, BackoffPolicy, IoStats, ResilientController, ResilientObserver,
+        RetryOutcome,
     };
     pub use crate::table::FinalTable;
     pub use crate::trend::TrendPolicy;

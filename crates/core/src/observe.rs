@@ -1,5 +1,13 @@
 //! Observation inputs: what the agent learns from and how it gets it.
+//!
+//! This is the §III poll loop's input side. [`WindowObserver`] models an
+//! `ss -i` poll that always succeeds (the simulator's in-process
+//! snapshot); [`FallibleObserver`] models the real thing, where the poll
+//! can time out, the subprocess can die, or the output can arrive
+//! truncated. [`crate::resilience::ResilientObserver`] bridges the two
+//! with retries and a per-tick time budget.
 
+use std::fmt;
 use std::net::Ipv4Addr;
 
 use riptide_linuxnet::ss::{SockState, SockTable};
@@ -37,6 +45,65 @@ where
     F: FnMut() -> Vec<CwndObservation>,
 {
     fn observe(&mut self) -> Vec<CwndObservation> {
+        (self.0)()
+    }
+}
+
+/// Why an observation poll produced nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObserveError {
+    /// The poll exceeded its per-call timeout.
+    Timeout,
+    /// The polling subprocess could not run or exited non-zero.
+    Exec(String),
+    /// The poll output could not be parsed at all.
+    Parse(String),
+}
+
+impl fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObserveError::Timeout => write!(f, "observation poll timed out"),
+            ObserveError::Exec(m) => write!(f, "observation poll failed to run: {m}"),
+            ObserveError::Parse(m) => write!(f, "observation output unparseable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
+/// A [`WindowObserver`] whose polls can fail — the real-deployment shape,
+/// where `ss` is a subprocess with a timeout.
+///
+/// Every infallible [`WindowObserver`] is trivially a `FallibleObserver`
+/// (via a blanket impl), so simulation code and tests can pass plain
+/// observers anywhere a fallible one is expected.
+pub trait FallibleObserver {
+    /// Attempts one snapshot of every established connection's window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObserveError`] when the poll times out, cannot run, or
+    /// returns unusable output.
+    fn try_observe(&mut self) -> Result<Vec<CwndObservation>, ObserveError>;
+}
+
+impl<T: WindowObserver> FallibleObserver for T {
+    fn try_observe(&mut self) -> Result<Vec<CwndObservation>, ObserveError> {
+        Ok(self.observe())
+    }
+}
+
+/// Adapts a closure returning `Result` into a [`FallibleObserver`] —
+/// the fault-injection seam the chaos harness uses.
+#[derive(Debug)]
+pub struct FnFallibleObserver<F>(pub F);
+
+impl<F> FallibleObserver for FnFallibleObserver<F>
+where
+    F: FnMut() -> Result<Vec<CwndObservation>, ObserveError>,
+{
+    fn try_observe(&mut self) -> Result<Vec<CwndObservation>, ObserveError> {
         (self.0)()
     }
 }
@@ -109,6 +176,28 @@ mod tests {
         assert_eq!(obs.observe()[0].cwnd, 33);
         let _ = obs;
         assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn infallible_observers_are_fallible_observers() {
+        let mut obs = FnObserver(|| {
+            vec![CwndObservation {
+                dst: Ipv4Addr::new(10, 0, 1, 1),
+                cwnd: 12,
+                bytes_acked: 0,
+            }]
+        });
+        assert_eq!(obs.try_observe().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fallible_closures_surface_errors() {
+        let mut flaky = FnFallibleObserver(|| Err(ObserveError::Timeout));
+        assert_eq!(flaky.try_observe(), Err(ObserveError::Timeout));
+        assert_eq!(
+            ObserveError::Exec("ss: not found".into()).to_string(),
+            "observation poll failed to run: ss: not found"
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! The subprocess seam: how `ss -i` and `ip route` actually get run.
+//!
+//! The agent's two I/O surfaces are command-line utilities, and in
+//! production they fail in exactly three ways — they never start, they
+//! exit non-zero, or they hang past a deadline. [`CommandRunner`]
+//! abstracts "run argv, get stdout" behind those three failure modes so
+//! the rest of the stack (retry loops, degraded mode, fault injection)
+//! can be tested without spawning processes; [`ScriptedRunner`] is the
+//! deterministic test double that plays back a scripted sequence of
+//! outcomes while recording every invocation.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// A failed command execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The command did not finish within its deadline.
+    Timeout {
+        /// The deadline that was exceeded.
+        limit: Duration,
+    },
+    /// The command could not be started at all (missing binary,
+    /// fork failure).
+    Spawn {
+        /// The OS-level reason.
+        message: String,
+    },
+    /// The command ran and exited non-zero.
+    Failed {
+        /// The exit code.
+        code: i32,
+        /// Captured standard error.
+        stderr: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Timeout { limit } => {
+                write!(f, "command timed out after {:.3}s", limit.as_secs_f64())
+            }
+            ExecError::Spawn { message } => write!(f, "command failed to start: {message}"),
+            ExecError::Failed { code, stderr } => {
+                write!(f, "command exited {code}: {}", stderr.trim_end())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Runs a command line and returns its standard output.
+///
+/// Implementations: a real `std::process::Command` wrapper on a live
+/// host, or [`ScriptedRunner`] in tests and simulations.
+pub trait CommandRunner {
+    /// Executes `argv` (program followed by arguments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the process cannot start, exits
+    /// non-zero, or exceeds the runner's deadline.
+    fn run(&mut self, argv: &[&str]) -> Result<String, ExecError>;
+}
+
+impl<R: CommandRunner + ?Sized> CommandRunner for &mut R {
+    fn run(&mut self, argv: &[&str]) -> Result<String, ExecError> {
+        (**self).run(argv)
+    }
+}
+
+/// A deterministic [`CommandRunner`] that replays a scripted sequence of
+/// outcomes and records every invocation — the harness for exercising
+/// every retry/timeout path without a real shell.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedRunner {
+    script: VecDeque<Result<String, ExecError>>,
+    calls: Vec<Vec<String>>,
+}
+
+impl ScriptedRunner {
+    /// An empty script (every call fails with an "exhausted" spawn
+    /// error).
+    pub fn new() -> Self {
+        ScriptedRunner::default()
+    }
+
+    /// Appends a successful outcome producing `stdout`.
+    pub fn push_ok(&mut self, stdout: impl Into<String>) -> &mut Self {
+        self.script.push_back(Ok(stdout.into()));
+        self
+    }
+
+    /// Appends a failure outcome.
+    pub fn push_err(&mut self, err: ExecError) -> &mut Self {
+        self.script.push_back(Err(err));
+        self
+    }
+
+    /// Every invocation so far, oldest first.
+    pub fn calls(&self) -> &[Vec<String>] {
+        &self.calls
+    }
+
+    /// Outcomes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl CommandRunner for ScriptedRunner {
+    fn run(&mut self, argv: &[&str]) -> Result<String, ExecError> {
+        self.calls
+            .push(argv.iter().map(|s| s.to_string()).collect());
+        self.script.pop_front().unwrap_or_else(|| {
+            Err(ExecError::Spawn {
+                message: "scripted runner exhausted".to_string(),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_runner_replays_in_order_and_records_calls() {
+        let mut r = ScriptedRunner::new();
+        r.push_ok("ESTAB ...")
+            .push_err(ExecError::Timeout {
+                limit: Duration::from_millis(200),
+            })
+            .push_err(ExecError::Failed {
+                code: 2,
+                stderr: "RTNETLINK answers: Invalid argument\n".into(),
+            });
+        assert_eq!(r.run(&["ss", "-i"]).unwrap(), "ESTAB ...");
+        assert!(matches!(
+            r.run(&["ss", "-i"]),
+            Err(ExecError::Timeout { .. })
+        ));
+        let failed = r.run(&["ip", "route", "replace"]).unwrap_err();
+        assert_eq!(
+            failed.to_string(),
+            "command exited 2: RTNETLINK answers: Invalid argument"
+        );
+        assert_eq!(r.calls().len(), 3);
+        assert_eq!(r.calls()[0], vec!["ss", "-i"]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn exhausted_script_fails_to_spawn() {
+        let mut r = ScriptedRunner::new();
+        assert!(matches!(r.run(&["ss"]), Err(ExecError::Spawn { .. })));
+    }
+
+    #[test]
+    fn errors_render_for_operators() {
+        let t = ExecError::Timeout {
+            limit: Duration::from_millis(250),
+        };
+        assert_eq!(t.to_string(), "command timed out after 0.250s");
+        let s = ExecError::Spawn {
+            message: "No such file or directory".into(),
+        };
+        assert!(s.to_string().contains("failed to start"));
+    }
+}

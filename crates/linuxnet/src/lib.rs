@@ -14,6 +14,19 @@
 //! * [`ip_cmd::IpRouteCmd`] — the `ip route add/replace/del` command syntax
 //!   of the paper's Fig. 8, so control actions round-trip through the same
 //!   text a shell deployment would execute.
+//! * [`exec::CommandRunner`] — the subprocess seam itself (run argv, get
+//!   stdout, or one of the three real-world failures: spawn error,
+//!   non-zero exit, timeout), with a deterministic scripted test double.
+//!
+//! ## Module map (↔ paper sections)
+//!
+//! | Module | Role | Paper anchor |
+//! |---|---|---|
+//! | [`route`] | LPM table, `initcwnd`/`initrwnd` route attributes | §III-C "the route table is the knob" |
+//! | [`ss`] | `ss -i` render/parse, incl. lossy salvage of truncated output | §III poll loop input |
+//! | [`ip_cmd`] | `ip route …` grammar | Fig. 8 |
+//! | [`prefix`] | IPv4 prefixes (host and `/24` granularity) | §III-B granularity |
+//! | [`exec`] | subprocess runner + failure taxonomy | §IV-D failure handling |
 //!
 //! The crate is dependency-free and usable on its own; the reproduction
 //! wires it to simulated hosts, but the same types could front the real
@@ -36,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod ip_cmd;
 pub mod prefix;
 pub mod route;
@@ -43,6 +57,7 @@ pub mod ss;
 
 /// The types most users need, importable in one line.
 pub mod prelude {
+    pub use crate::exec::{CommandRunner, ExecError, ScriptedRunner};
     pub use crate::ip_cmd::{IpRouteAction, IpRouteCmd};
     pub use crate::prefix::Ipv4Prefix;
     pub use crate::route::{Route, RouteAttrs, RouteError, RouteProto, RouteTable};

@@ -184,57 +184,16 @@ impl SockTable {
             if line.trim().is_empty() {
                 continue;
             }
-            let indented = line.starts_with(['\t', ' ']);
-            if !indented {
+            if !line.starts_with(['\t', ' ']) {
                 if pending.is_some() {
                     return Err(ParseSsError::new("socket line without info line"));
                 }
-                let mut parts = line.split_whitespace();
-                let state: SockState = parts
-                    .next()
-                    .ok_or_else(|| ParseSsError::new("empty socket line"))?
-                    .parse()?;
-                let src = parse_addr(parts.next())?;
-                let dst = parse_addr(parts.next())?;
-                pending = Some((state, src, dst));
+                pending = Some(parse_socket_line(line)?);
             } else {
-                let (state, src, dst) = pending
+                let head = pending
                     .take()
                     .ok_or_else(|| ParseSsError::new("info line without socket line"))?;
-                let mut cc = String::new();
-                let mut cwnd = None;
-                let mut ssthresh = None;
-                let mut rtt_ms = None;
-                let mut bytes_acked = 0;
-                for tok in line.split_whitespace() {
-                    match tok.split_once(':') {
-                        None => cc = tok.to_string(),
-                        Some(("cwnd", v)) => cwnd = Some(parse_num(v)?),
-                        Some(("ssthresh", v)) => ssthresh = Some(parse_num(v)?),
-                        Some(("rtt", v)) => {
-                            rtt_ms =
-                                Some(v.parse::<f64>().map_err(|e| {
-                                    ParseSsError::new(format!("bad rtt {v:?}: {e}"))
-                                })?)
-                        }
-                        Some(("bytes_acked", v)) => {
-                            bytes_acked = v.parse::<u64>().map_err(|e| {
-                                ParseSsError::new(format!("bad bytes_acked {v:?}: {e}"))
-                            })?
-                        }
-                        Some(_) => {} // unknown key: ignore, like real parsers must
-                    }
-                }
-                table.push(SockEntry {
-                    src,
-                    dst,
-                    state,
-                    cc,
-                    cwnd: cwnd.ok_or_else(|| ParseSsError::new("info line missing cwnd"))?,
-                    ssthresh,
-                    rtt_ms,
-                    bytes_acked,
-                });
+                table.push(parse_info_line(head, line)?);
             }
         }
         if pending.is_some() {
@@ -242,6 +201,97 @@ impl SockTable {
         }
         Ok(table)
     }
+
+    /// Parses like [`SockTable::parse`] but salvages every complete,
+    /// well-formed row instead of failing on the first defect — the
+    /// behaviour a production poller needs when `ss` output arrives
+    /// truncated (a timeout mid-write) or interleaved with garbage.
+    ///
+    /// Returns the salvaged table together with one error per defect, in
+    /// input order. `parse_lossy(t).1.is_empty()` exactly when
+    /// `parse(t)` succeeds.
+    pub fn parse_lossy(text: &str) -> (Self, Vec<ParseSsError>) {
+        let mut table = SockTable::new();
+        let mut errors = Vec::new();
+        let mut pending: Option<(SockState, Ipv4Addr, Ipv4Addr)> = None;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !line.starts_with(['\t', ' ']) {
+                if pending.take().is_some() {
+                    errors.push(ParseSsError::new("socket line without info line"));
+                }
+                match parse_socket_line(line) {
+                    Ok(head) => pending = Some(head),
+                    Err(e) => errors.push(e),
+                }
+            } else {
+                match pending.take() {
+                    None => errors.push(ParseSsError::new("info line without socket line")),
+                    Some(head) => match parse_info_line(head, line) {
+                        Ok(entry) => table.push(entry),
+                        Err(e) => errors.push(e),
+                    },
+                }
+            }
+        }
+        if pending.is_some() {
+            errors.push(ParseSsError::new("trailing socket line without info line"));
+        }
+        (table, errors)
+    }
+}
+
+fn parse_socket_line(line: &str) -> Result<(SockState, Ipv4Addr, Ipv4Addr), ParseSsError> {
+    let mut parts = line.split_whitespace();
+    let state: SockState = parts
+        .next()
+        .ok_or_else(|| ParseSsError::new("empty socket line"))?
+        .parse()?;
+    let src = parse_addr(parts.next())?;
+    let dst = parse_addr(parts.next())?;
+    Ok((state, src, dst))
+}
+
+fn parse_info_line(
+    (state, src, dst): (SockState, Ipv4Addr, Ipv4Addr),
+    line: &str,
+) -> Result<SockEntry, ParseSsError> {
+    let mut cc = String::new();
+    let mut cwnd = None;
+    let mut ssthresh = None;
+    let mut rtt_ms = None;
+    let mut bytes_acked = 0;
+    for tok in line.split_whitespace() {
+        match tok.split_once(':') {
+            None => cc = tok.to_string(),
+            Some(("cwnd", v)) => cwnd = Some(parse_num(v)?),
+            Some(("ssthresh", v)) => ssthresh = Some(parse_num(v)?),
+            Some(("rtt", v)) => {
+                rtt_ms = Some(
+                    v.parse::<f64>()
+                        .map_err(|e| ParseSsError::new(format!("bad rtt {v:?}: {e}")))?,
+                )
+            }
+            Some(("bytes_acked", v)) => {
+                bytes_acked = v
+                    .parse::<u64>()
+                    .map_err(|e| ParseSsError::new(format!("bad bytes_acked {v:?}: {e}")))?
+            }
+            Some(_) => {} // unknown key: ignore, like real parsers must
+        }
+    }
+    Ok(SockEntry {
+        src,
+        dst,
+        state,
+        cc,
+        cwnd: cwnd.ok_or_else(|| ParseSsError::new("info line missing cwnd"))?,
+        ssthresh,
+        rtt_ms,
+        bytes_acked,
+    })
 }
 
 impl FromIterator<SockEntry> for SockTable {
@@ -346,6 +396,47 @@ mod tests {
         let t = SockTable::parse(text).unwrap();
         assert_eq!(t.entries()[0].cwnd, 33);
         assert_eq!(t.entries()[0].bytes_acked, 5);
+    }
+
+    #[test]
+    fn parse_lossy_salvages_rows_before_a_truncation() {
+        // Two complete rows, then output cut off mid-socket (the info
+        // line never arrived) — the shape of a timed-out `ss` write.
+        let table: SockTable = vec![entry([10, 0, 1, 1], 80), entry([10, 0, 2, 1], 12)]
+            .into_iter()
+            .collect();
+        let mut text = table.render();
+        text.push_str("ESTAB 10.0.0.1 10.0.3.1\n");
+        assert!(SockTable::parse(&text).is_err(), "strict parse refuses");
+        let (salvaged, errors) = SockTable::parse_lossy(&text);
+        assert_eq!(salvaged, table);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].to_string().contains("trailing socket line"));
+    }
+
+    #[test]
+    fn parse_lossy_skips_garbage_rows_and_keeps_the_rest() {
+        let text = "ESTAB 10.0.0.1 10.0.1.1\n\
+                    \t cubic cwnd:40 bytes_acked:9\n\
+                    WAT 10.0.0.1 10.0.2.1\n\
+                    \t cubic cwnd:not_a_number bytes_acked:0\n\
+                    ESTAB 10.0.0.1 10.0.3.1\n\
+                    \t reno cwnd:22 bytes_acked:7\n";
+        let (salvaged, errors) = SockTable::parse_lossy(text);
+        assert_eq!(salvaged.len(), 2);
+        assert_eq!(salvaged.entries()[0].cwnd, 40);
+        assert_eq!(salvaged.entries()[1].cwnd, 22);
+        // The bad state line AND its orphaned info line each count.
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn parse_lossy_agrees_with_strict_parse_on_clean_input() {
+        let table: SockTable = vec![entry([10, 0, 1, 1], 80)].into_iter().collect();
+        let text = table.render();
+        let (salvaged, errors) = SockTable::parse_lossy(&text);
+        assert!(errors.is_empty());
+        assert_eq!(salvaged, SockTable::parse(&text).unwrap());
     }
 
     #[test]

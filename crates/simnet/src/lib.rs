@@ -26,6 +26,20 @@
 //!   models "PoP A fetches from PoP B" as a connection opened at B toward
 //!   A, since Riptide acts on the data-*sender* side.
 //!
+//! ## Module map (↔ paper sections)
+//!
+//! | Module | Role | Paper anchor |
+//! |---|---|---|
+//! | [`world`] | Event loop, hosts/PoPs, connect-time `initcwnd` policy lookup | §IV-A testbed; §II kernel route lookup |
+//! | [`tcp`] | CUBIC/Reno senders, slow start, recovery, RTO | §II slow-start cost model's subject |
+//! | [`conn`] | Connection state machine, transfers, reuse | §II-A connection reuse |
+//! | [`link`] | netem-style paths: delay/jitter/loss/rate/queues | §IV-A network substrate |
+//! | [`packet`], [`event`] | Segments and the deterministic event queue | — |
+//! | [`rng`] | xoshiro256++ streams; seed → forked per-purpose streams | determinism requirement |
+//! | [`fault`] | Deterministic fault injection (poll timeouts, install failures, crashes, loss bursts) | §IV-D no-harm under failure |
+//! | [`stats`], [`trace`] | Per-connection counters and event traces | figure inputs |
+//! | [`time`], [`ids`], [`config`] | Sim time, typed ids, TCP knobs | Table I context |
+//!
 //! ## Quick start
 //!
 //! ```
@@ -47,6 +61,7 @@
 pub mod config;
 pub mod conn;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod packet;
@@ -61,6 +76,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::config::{CcAlgorithm, TcpConfig};
     pub use crate::conn::ConnState;
+    pub use crate::fault::{FaultInjector, FaultPlan, FaultStats, InstallFault, ObserveFault};
     pub use crate::ids::{ConnId, HostId, PopId, TransferId};
     pub use crate::link::{PathConfig, PathStats};
     pub use crate::rng::DetRng;

@@ -419,7 +419,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`].
+    /// A size specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -452,7 +452,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

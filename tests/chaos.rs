@@ -250,3 +250,109 @@ fn expiry_storm_after_total_silence() {
     assert!(routes.is_empty());
     assert!(agent.table().is_empty());
 }
+
+// ---- The deterministic fault-injection layer ----
+
+use proptest::prelude::*;
+use riptide_repro::cdn::engine::RunPlan;
+use riptide_repro::cdn::experiment::ExperimentScale;
+use riptide_repro::cdn::sim::{CdnSim, CdnSimConfig};
+use riptide_repro::cdn::topology::TestbedConfig;
+use riptide_repro::cdn::workload::{OrganicConfig, ProbeConfig};
+use riptide_repro::simnet::time::SimDuration;
+
+fn chaos_scale() -> ExperimentScale {
+    let mut scale = ExperimentScale::test();
+    scale.duration = SimDuration::from_secs(300);
+    scale
+}
+
+#[test]
+fn zero_fault_rate_reproduces_the_clean_probe_comparison() {
+    // chaos_sweep arms are seed-paired per (unit, replicate) exactly
+    // like probe_comparison, so a zero rate must reproduce its probes
+    // bit for bit — the fault layer is provably a no-op when disabled.
+    let scale = chaos_scale();
+    let clean = RunPlan::probe_comparison(&scale, 2).run_with_threads(2);
+    let chaos = RunPlan::chaos_sweep(&scale, &[0.0], 2).run_with_threads(2);
+    assert_eq!(clean.merged_probes(0), chaos.merged_chaos_probes(0));
+    assert_eq!(clean.merged_probes(1), chaos.merged_chaos_probes(1));
+    let report = chaos.merged_chaos_report(1);
+    assert_eq!(report.faults, Default::default(), "no faults fired");
+    assert_eq!(report.degraded_ticks, 0);
+}
+
+#[test]
+fn chaos_sweep_is_thread_count_invariant() {
+    let plan = RunPlan::chaos_sweep(&chaos_scale(), &[0.05], 2);
+    assert_eq!(plan.shards.len(), 8);
+    let serial = plan.run_with_threads(1);
+    let parallel = plan.run_with_threads(8);
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "fault injection must not break deterministic sharding"
+    );
+    let report = serial.merged_chaos_report(1);
+    assert!(
+        report.faults.observe_timeouts > 0,
+        "faults fired: {report:?}"
+    );
+}
+
+#[test]
+fn high_fault_rate_degrades_gracefully_and_never_breaks_no_harm() {
+    let plan = RunPlan::chaos_sweep(&chaos_scale(), &[0.2], 1);
+    let report = plan.run_with_threads(4);
+    for scenario in [0, 1] {
+        let r = report.merged_chaos_report(scenario);
+        assert_eq!(r.invariant_breaches, 0, "scenario {scenario}: {r:?}");
+        if let Some((lo, hi)) = r.installed_range() {
+            assert!(
+                lo >= 10 && hi <= 100,
+                "scenario {scenario}: installed range [{lo}, {hi}]"
+            );
+        }
+    }
+    let riptide = report.merged_chaos_report(1);
+    assert!(riptide.faults.crashes > 0, "{riptide:?}");
+    assert!(riptide.observe_retries > 0, "{riptide:?}");
+    assert!(
+        !report.merged_chaos_probes(1).is_empty(),
+        "probes still complete under 20% faults"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The window-range invariant: whatever fault sequence a seed and
+    // rate produce — timeouts, truncations, failed and delayed
+    // installs, crashes, loss bursts — no installed window ever leaves
+    // [c_min, c_max].
+    #[test]
+    fn any_fault_sequence_keeps_installed_windows_in_bounds(
+        seed in 0u64..1_000,
+        rate in 0.0f64..0.5,
+    ) {
+        let cfg = CdnSimConfig {
+            testbed: TestbedConfig::tiny(3, 1, seed),
+            riptide: Some(RiptideConfig::deployment()),
+            probes: ProbeConfig {
+                interval: SimDuration::from_secs(30),
+                ..ProbeConfig::default()
+            },
+            organic: OrganicConfig::none(),
+            cwnd_sample_interval: SimDuration::from_secs(60),
+            probe_senders: None,
+            faults: FaultPlan::uniform(rate),
+        };
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(150));
+        let r = sim.chaos_report();
+        prop_assert_eq!(r.invariant_breaches, 0);
+        if let Some((lo, hi)) = r.installed_range() {
+            prop_assert!(lo >= 10 && hi <= 100, "installed range [{}, {}]", lo, hi);
+        }
+    }
+}

@@ -20,4 +20,12 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo build --release --workspace
 run cargo test -q --release --workspace
 
+# Closed-loop safety smoke: the guardrail sweep at test scale asserts
+# its own invariants (drift repaired, foreign routes untouched, bounds
+# held, breaker reduces harm) and exits nonzero on any violation.
+run cargo run --release -p riptide-bench --bin guardrail -- \
+    --scale test --seeds 2
+run grep -q '"drift_unrepaired": 0' BENCH_guardrail.json
+run grep -q '"foreign_touched": 0' BENCH_guardrail.json
+
 echo "==> all checks passed"

@@ -19,6 +19,7 @@ fn observations() -> Vec<CwndObservation> {
                 dst: Ipv4Addr::new(10, (d / 250) as u8, (d % 250) as u8, 1),
                 cwnd: 10 + (i % 120) as u32,
                 bytes_acked: (i as u64 + 1) * 10_000,
+                retrans: 0,
             }
         })
         .collect()

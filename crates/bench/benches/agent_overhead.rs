@@ -19,6 +19,7 @@ fn observations(conns: usize, destinations: usize) -> Vec<CwndObservation> {
                 dst: Ipv4Addr::new(10, (d / 256) as u8, (d % 256) as u8, 1),
                 cwnd: 10 + (i % 90) as u32,
                 bytes_acked: 1_000_000,
+                retrans: 0,
             }
         })
         .collect()

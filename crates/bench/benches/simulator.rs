@@ -64,6 +64,7 @@ fn bench_cdn_deployment_minute(c: &mut Criterion) {
                     cwnd_sample_interval: SimDuration::from_secs(30),
                     probe_senders: None,
                     faults: riptide_simnet::fault::FaultPlan::none(),
+                    reconcile_every: None,
                 };
                 let mut sim = CdnSim::new(cfg);
                 sim.run_for(SimDuration::from_secs(60));

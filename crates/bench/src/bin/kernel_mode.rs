@@ -65,6 +65,7 @@ fn main() {
                         dst: DST,
                         cwnd: w,
                         bytes_acked: 1 << 20,
+                        retrans: 0,
                     })
                     .collect()
             });

@@ -72,6 +72,7 @@ fn main() {
                 dst,
                 cwnd,
                 bytes_acked: 1 << 20,
+                retrans: 0,
             })
             .collect()
     });

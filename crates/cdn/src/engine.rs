@@ -37,8 +37,9 @@ use riptide_simnet::rng::stream_seed;
 use riptide_simnet::time::{SimDuration, SimTime};
 
 use crate::experiment::{
-    chaos_sim_config, cwnd_sim_config, probe_sender_sites, probe_sim_config, traffic_profile_sites,
-    traffic_sim_config, ExperimentScale, ProbeComparison, StackTweaks,
+    chaos_sim_config, cwnd_sim_config, guarded_riptide_config, guardrail_sim_config,
+    probe_sender_sites, probe_sim_config, traffic_profile_sites, traffic_sim_config,
+    ExperimentScale, ProbeComparison, StackTweaks,
 };
 use crate::sim::{CdnSim, ChaosReport, ProbeOutcome};
 use crate::stats::{Cdf, Histogram};
@@ -100,6 +101,20 @@ pub enum ShardWork {
     ///
     /// [`FaultPlan::uniform`]: riptide_simnet::fault::FaultPlan::uniform
     ChaosArm {
+        /// Riptide configuration, or `None` for the control arm.
+        riptide: Option<RiptideConfig>,
+        /// Per-opportunity fault rate (0 disables the fault layer).
+        fault_rate: f64,
+        /// Sender sites probing in this shard.
+        senders: Vec<usize>,
+    },
+    /// One arm of the guardrail experiment: the probe setup under
+    /// route churn and targeted loss ([`FaultPlan::guardrail`]), with
+    /// periodic reconciler audits and a closing audit after the last
+    /// churn instant.
+    ///
+    /// [`FaultPlan::guardrail`]: riptide_simnet::fault::FaultPlan::guardrail
+    GuardrailArm {
         /// Riptide configuration, or `None` for the control arm.
         riptide: Option<RiptideConfig>,
         /// Per-opportunity fault rate (0 disables the fault layer).
@@ -172,6 +187,14 @@ pub enum ShardData {
         /// After-warmup probe outcomes.
         probes: Vec<ProbeOutcome>,
         /// Fault and resilience counters for the shard.
+        report: ChaosReport,
+    },
+    /// After-warmup probe outcomes plus chaos counters for a guardrail
+    /// arm (its own variant so chaos-sweep digests stay stable).
+    Guardrail {
+        /// After-warmup probe outcomes.
+        probes: Vec<ProbeOutcome>,
+        /// Fault, guard and reconciler counters for the shard.
         report: ChaosReport,
     },
 }
@@ -399,6 +422,53 @@ impl RunPlan {
         }
     }
 
+    /// The guardrail sweep: kernel-default control (scenario `3i`),
+    /// unguarded Riptide (scenario `3i + 1`) and guarded Riptide
+    /// (scenario `3i + 2`) for each fault rate `i`, one shard per
+    /// (arm × sender PoP × replicate). Arms are seed-paired per
+    /// (unit, replicate) exactly like [`RunPlan::probe_comparison`], so
+    /// a zero rate reproduces that plan's merged probes bit for bit in
+    /// the control and unguarded arms.
+    pub fn guardrail_sweep(scale: &ExperimentScale, rates: &[f64], replicates: u32) -> RunPlan {
+        assert!(replicates >= 1, "need at least one replicate");
+        assert!(!rates.is_empty(), "need at least one fault rate");
+        let senders = probe_sender_sites(scale);
+        let mut shards = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            let arms = [
+                ("control", None),
+                ("riptide", Some(RiptideConfig::deployment())),
+                ("guarded", Some(guarded_riptide_config())),
+            ];
+            for (arm_idx, (arm, riptide)) in arms.into_iter().enumerate() {
+                for (u, &sender) in senders.iter().enumerate() {
+                    for r in 0..replicates {
+                        let id = ShardId {
+                            scenario: (3 * i + arm_idx) as u32,
+                            unit: u as u32,
+                            replicate: r,
+                        };
+                        shards.push(Self::shard(
+                            scale,
+                            id,
+                            format!("{arm}@{rate}:site{sender}"),
+                            ShardWork::GuardrailArm {
+                                riptide: riptide.clone(),
+                                fault_rate: rate,
+                                senders: vec![sender],
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        RunPlan {
+            name: "guardrail-sweep".into(),
+            master_seed: scale.seed,
+            shards,
+        }
+    }
+
     /// Cold-start convergence: a single shard sampling every `step`.
     pub fn convergence(scale: &ExperimentScale, step: SimDuration) -> RunPlan {
         let id = ShardId {
@@ -563,6 +633,31 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
                 sim.testbed().world.stats(),
             )
         }
+        ShardWork::GuardrailArm {
+            riptide,
+            fault_rate,
+            senders,
+        } => {
+            let cfg = guardrail_sim_config(scale, riptide.clone(), senders.clone(), *fault_rate);
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(scale.total());
+            // Closing audit: the last churn instant may postdate the last
+            // scheduled audit, and the repair claim is about convergence.
+            if *fault_rate > 0.0 {
+                sim.reconcile_now();
+            }
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .filter(|p| p.requested_at >= cutoff)
+                .copied()
+                .collect();
+            let report = sim.chaos_report();
+            (
+                ShardData::Guardrail { probes, report },
+                sim.testbed().world.stats(),
+            )
+        }
     };
     ShardResult {
         id: spec.id,
@@ -637,6 +732,31 @@ impl RunReport {
         let mut merged = ChaosReport::default();
         for s in self.scenario_shards(scenario) {
             if let ShardData::Chaos { report, .. } = &s.data {
+                merged.merge(report);
+            }
+        }
+        merged
+    }
+
+    /// All guardrail-arm probe outcomes of one scenario, concatenated
+    /// in plan order.
+    pub fn merged_guardrail_probes(&self, scenario: u32) -> Vec<ProbeOutcome> {
+        self.scenario_shards(scenario)
+            .filter_map(|s| match &s.data {
+                ShardData::Guardrail { probes, .. } => Some(probes.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// The merged guardrail counters of one scenario, reduced in plan
+    /// order.
+    pub fn merged_guardrail_report(&self, scenario: u32) -> ChaosReport {
+        let mut merged = ChaosReport::default();
+        for s in self.scenario_shards(scenario) {
+            if let ShardData::Guardrail { report, .. } = &s.data {
                 merged.merge(report);
             }
         }

@@ -115,6 +115,7 @@ pub fn cwnd_sim_config(scale: &ExperimentScale, c_max: Option<u32>) -> CdnSimCon
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
         faults: FaultPlan::none(),
+        reconcile_every: None,
     }
 }
 
@@ -158,6 +159,7 @@ pub fn traffic_sim_config(scale: &ExperimentScale) -> CdnSimConfig {
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
         faults: FaultPlan::none(),
+        reconcile_every: None,
     }
 }
 
@@ -265,6 +267,7 @@ pub fn probe_sim_config(
         cwnd_sample_interval: SimDuration::from_secs(300),
         probe_senders: Some(senders),
         faults: FaultPlan::none(),
+        reconcile_every: None,
     }
 }
 
@@ -281,6 +284,35 @@ pub fn chaos_sim_config(
     let mut cfg = probe_sim_config(scale, riptide, StackTweaks::default(), senders);
     cfg.faults = FaultPlan::uniform(fault_rate);
     cfg
+}
+
+/// The simulation configuration behind the `guardrail` experiment: the
+/// §IV-B2 probe setup under [`FaultPlan::guardrail`] — route churn plus
+/// loss episodes targeted at freshly jump-started paths — with a
+/// reconciler audit every five minutes. A rate of `0.0` disables the
+/// fault layer and the audit schedule is invisible on a converged table,
+/// so the run is bit-identical to [`probe_sim_config`]'s.
+pub fn guardrail_sim_config(
+    scale: &ExperimentScale,
+    riptide: Option<RiptideConfig>,
+    senders: Vec<usize>,
+    fault_rate: f64,
+) -> CdnSimConfig {
+    let mut cfg = probe_sim_config(scale, riptide, StackTweaks::default(), senders);
+    cfg.faults = FaultPlan::guardrail(fault_rate);
+    if fault_rate > 0.0 {
+        cfg.reconcile_every = Some(SimDuration::from_secs(300));
+    }
+    cfg
+}
+
+/// The guarded arm's Riptide configuration: deployment defaults plus the
+/// loss-aware circuit breaker at its default thresholds.
+pub fn guarded_riptide_config() -> RiptideConfig {
+    RiptideConfig::builder()
+        .guard(riptide::guard::GuardConfig::default())
+        .build()
+        .expect("deployment defaults with a default guard are valid")
 }
 
 /// Both arms of the probe experiment, same seed — the paired comparison

@@ -10,13 +10,13 @@
 //! after the agent started — exactly the paper's measurement filter.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use riptide::prelude::*;
 use riptide_linuxnet::prefix::Ipv4Prefix;
-use riptide_linuxnet::route::RouteTable;
+use riptide_linuxnet::route::{RouteAttrs, RouteProto, RouteTable};
 use riptide_simnet::prelude::*;
 
 use crate::topology::{RttBucket, Testbed, TestbedConfig};
@@ -55,6 +55,10 @@ pub struct CdnSimConfig {
     /// Fault-injection plan ([`FaultPlan::none`] disables the chaos layer
     /// entirely, leaving the run bit-identical to one without it).
     pub faults: FaultPlan,
+    /// How often each agent runs a reconciler audit against a fresh
+    /// kernel route dump (`None` disables auditing — the paper's
+    /// open-loop deployment).
+    pub reconcile_every: Option<SimDuration>,
 }
 
 impl Default for CdnSimConfig {
@@ -67,6 +71,7 @@ impl Default for CdnSimConfig {
             cwnd_sample_interval: SimDuration::from_secs(60),
             probe_senders: None,
             faults: FaultPlan::none(),
+            reconcile_every: None,
         }
     }
 }
@@ -101,6 +106,26 @@ pub struct ChaosReport {
     pub installed_min: u32,
     /// Largest window ever installed (0 when none).
     pub installed_max: u32,
+    /// Agent-installed routes deleted behind the agent's back by churn.
+    pub drift_deleted: u64,
+    /// Orphan riptide-signature routes injected by churn.
+    pub drift_orphaned: u64,
+    /// Foreign (non-signature) routes injected by churn.
+    pub foreign_injected: u64,
+    /// Drift repairs performed by reconciler audits (across all hosts,
+    /// including incarnations since crashed).
+    pub reconcile_repairs: u64,
+    /// Foreign routes observed (and left alone) by reconciler audits.
+    pub reconcile_foreign_seen: u64,
+    /// Loss-guard breaker trips (across all hosts, including incarnations
+    /// since crashed).
+    pub guard_trips: u64,
+    /// Riptide-signature routes still disagreeing with some agent's
+    /// installed view at report time — 0 once audits have converged.
+    pub drift_unrepaired: u64,
+    /// Injected foreign routes missing or modified at report time —
+    /// always 0 unless the reconciler touched state it must not.
+    pub foreign_missing: u64,
 }
 
 impl Default for ChaosReport {
@@ -117,6 +142,14 @@ impl Default for ChaosReport {
             invariant_breaches: 0,
             installed_min: u32::MAX,
             installed_max: 0,
+            drift_deleted: 0,
+            drift_orphaned: 0,
+            foreign_injected: 0,
+            reconcile_repairs: 0,
+            reconcile_foreign_seen: 0,
+            guard_trips: 0,
+            drift_unrepaired: 0,
+            foreign_missing: 0,
         }
     }
 }
@@ -136,6 +169,8 @@ impl ChaosReport {
         self.faults.install_delays += other.faults.install_delays;
         self.faults.crashes += other.faults.crashes;
         self.faults.bursts += other.faults.bursts;
+        self.faults.route_churns += other.faults.route_churns;
+        self.faults.targeted_bursts += other.faults.targeted_bursts;
         self.degraded_ticks += other.degraded_ticks;
         self.observe_retries += other.observe_retries;
         self.install_retries += other.install_retries;
@@ -146,6 +181,14 @@ impl ChaosReport {
         self.invariant_breaches += other.invariant_breaches;
         self.installed_min = self.installed_min.min(other.installed_min);
         self.installed_max = self.installed_max.max(other.installed_max);
+        self.drift_deleted += other.drift_deleted;
+        self.drift_orphaned += other.drift_orphaned;
+        self.foreign_injected += other.foreign_injected;
+        self.reconcile_repairs += other.reconcile_repairs;
+        self.reconcile_foreign_seen += other.reconcile_foreign_seen;
+        self.guard_trips += other.guard_trips;
+        self.drift_unrepaired += other.drift_unrepaired;
+        self.foreign_missing += other.foreign_missing;
     }
 }
 
@@ -179,6 +222,12 @@ struct ChaosState {
     pending: Vec<PendingInstall>,
     bursts: Vec<ActiveBurst>,
     next_burst_check: SimTime,
+    /// Per host: foreign routes churn injected, by key — the reconciler
+    /// must leave every one of these byte-identical.
+    foreign: Vec<BTreeMap<Ipv4Prefix, RouteAttrs>>,
+    /// Loss episodes in progress on paths targeted at jump-started
+    /// destinations, with the configs to restore.
+    loss_episodes: Vec<ActiveBurst>,
     report: ChaosReport,
 }
 
@@ -277,6 +326,11 @@ pub struct CdnSim {
     rng: DetRng,
     next_agent_tick: SimTime,
     next_cwnd_sample: SimTime,
+    /// Next reconciler audit instant (`None` when auditing is off).
+    next_reconcile: Option<SimTime>,
+    /// Host address → host, for mapping learned route keys back to the
+    /// destination machine they steer.
+    addr_to_host: HashMap<Ipv4Addr, HostId>,
     /// Per probing machine: (next fire time, host, site index).
     probe_schedule: Vec<(SimTime, HostId, usize)>,
     /// Per ordered busy pair: (next arrival, src site, dst site).
@@ -314,8 +368,17 @@ impl CdnSim {
             pending: Vec::new(),
             bursts: Vec::new(),
             next_burst_check: SimTime::ZERO + cfg.faults.burst_check_every,
+            foreign: vec![BTreeMap::new(); host_count],
+            loss_episodes: Vec::new(),
             report: ChaosReport::default(),
         });
+
+        let addr_to_host: HashMap<Ipv4Addr, HostId> = (0..host_count)
+            .map(|h| {
+                let host = HostId::from_index(h as u32);
+                (tb.world.host_addr(host), host)
+            })
+            .collect();
 
         let mut agents: Vec<Option<RiptideAgent>> = Vec::with_capacity(host_count);
         let mut controllers: Vec<Option<CheckedController<SharedRouteController>>> =
@@ -384,6 +447,8 @@ impl CdnSim {
             tb,
             next_agent_tick: SimTime::ZERO + agent_interval,
             next_cwnd_sample: SimTime::ZERO + cfg.cwnd_sample_interval,
+            next_reconcile: cfg.reconcile_every.map(|d| SimTime::ZERO + d),
+            addr_to_host,
             cfg,
             agents,
             controllers,
@@ -463,6 +528,9 @@ impl CdnSim {
             total.route_expirations += s.route_expirations;
             total.errors += s.errors;
             total.degraded_ticks += s.degraded_ticks;
+            total.guard_trips += s.guard_trips;
+            total.table_evictions += s.table_evictions;
+            total.reconcile_repairs += s.reconcile_repairs;
         }
         total
     }
@@ -483,13 +551,48 @@ impl CdnSim {
                 r
             })
             .unwrap_or_default();
-        r.degraded_ticks += self.agent_stats_total().degraded_ticks;
+        let live = self.agent_stats_total();
+        r.degraded_ticks += live.degraded_ticks;
+        r.guard_trips += live.guard_trips;
+        r.reconcile_repairs += live.reconcile_repairs;
         for ctl in self.controllers.iter().flatten() {
             r.installs += ctl.installs();
             r.invariant_breaches += ctl.breaches();
             if let Some((lo, hi)) = ctl.installed_range() {
                 r.installed_min = r.installed_min.min(lo);
                 r.installed_max = r.installed_max.max(hi);
+            }
+        }
+        // Point-in-time drift audit: does every host's kernel table agree
+        // with its agent's installed view, and is every injected foreign
+        // route still exactly as injected?
+        for h in 0..self.agents.len() {
+            let (Some(agent), Some(ctl)) = (&self.agents[h], &self.controllers[h]) else {
+                continue;
+            };
+            let table = ctl.inner().table();
+            let kernel = table.borrow();
+            for (&key, &want) in agent.installed_view() {
+                match kernel.get(key) {
+                    Some(route)
+                        if is_riptide_route(&route.attrs) && route.attrs.initcwnd == Some(want) => {
+                    }
+                    _ => r.drift_unrepaired += 1,
+                }
+            }
+            for route in kernel.iter() {
+                if is_riptide_route(&route.attrs)
+                    && !agent.installed_view().contains_key(&route.prefix)
+                {
+                    r.drift_unrepaired += 1;
+                }
+            }
+            if let Some(chaos) = &self.chaos {
+                for (&key, attrs) in &chaos.foreign[h] {
+                    if kernel.get(key).map(|route| &route.attrs) != Some(attrs) {
+                        r.foreign_missing += 1;
+                    }
+                }
             }
         }
         r
@@ -501,6 +604,14 @@ impl CdnSim {
         self.agents[host.index()]
             .as_ref()
             .and_then(|a| a.learned_window(dst))
+    }
+
+    /// Runs one reconciler audit immediately on every live riptide host,
+    /// regardless of the `reconcile_every` schedule — the hook benches
+    /// use to demonstrate convergence after the last churn instant.
+    pub fn reconcile_now(&mut self) {
+        let now = self.tb.world.now();
+        self.run_reconcile(now);
     }
 
     /// Advances the deployment by `duration` of simulated time.
@@ -523,9 +634,15 @@ impl CdnSim {
                 if let Some(t) = chaos.bursts.iter().map(|b| b.until).min() {
                     next = next.min(t);
                 }
+                if let Some(t) = chaos.loss_episodes.iter().map(|b| b.until).min() {
+                    next = next.min(t);
+                }
                 if let Some(t) = chaos.pending.iter().map(|p| p.due).min() {
                     next = next.min(t);
                 }
+            }
+            if let Some(t) = self.next_reconcile {
+                next = next.min(t);
             }
             self.tb.world.run_until(next);
             self.collect_completed();
@@ -538,6 +655,7 @@ impl CdnSim {
                 self.chaos_burst_tick(now);
             }
             if self.riptide_enabled() && now >= self.next_agent_tick {
+                self.chaos_churn_tick(now);
                 self.tick_agents(now);
                 let interval = self
                     .cfg
@@ -546,6 +664,13 @@ impl CdnSim {
                     .expect("riptide enabled")
                     .update_interval;
                 self.next_agent_tick = now + interval;
+            }
+            if let Some(t) = self.next_reconcile {
+                if now >= t {
+                    self.run_reconcile(now);
+                    let every = self.cfg.reconcile_every.expect("reconcile scheduled");
+                    self.next_reconcile = Some(now + every);
+                }
             }
             if now >= self.next_cwnd_sample {
                 self.sample_cwnds(now);
@@ -577,6 +702,10 @@ impl CdnSim {
     }
 
     fn tick_agents(&mut self, now: SimTime) {
+        // PoP pairs whose fresh jump-start installs drew a targeted loss
+        // fault this tick; episodes start after the loop so the world is
+        // not reconfigured while agents still borrow chaos state.
+        let mut targeted: Vec<(PopId, PopId)> = Vec::new();
         for h in 0..self.agents.len() {
             let host = HostId::from_index(h as u32);
             if self.agents[h].is_some() {
@@ -603,6 +732,8 @@ impl CdnSim {
                                 // (they live in the kernel).
                                 let old = self.agents[h].take().expect("agent present");
                                 chaos.report.degraded_ticks += old.stats().degraded_ticks;
+                                chaos.report.guard_trips += old.stats().guard_trips;
+                                chaos.report.reconcile_repairs += old.stats().reconcile_repairs;
                                 let rc = self.cfg.riptide.clone().expect("agent implies config");
                                 self.agents[h] =
                                     Some(RiptideAgent::new(rc).expect("validated riptide config"));
@@ -630,6 +761,7 @@ impl CdnSim {
                     dst: s.dst_addr,
                     cwnd: s.cwnd,
                     bytes_acked: s.bytes_acked,
+                    retrans: s.retransmits,
                 })
                 .collect();
             match self.chaos.as_mut() {
@@ -692,13 +824,154 @@ impl CdnSim {
                             };
                             let mut rctl = ResilientController::new(chaos_ctl, *policy);
                             let mut observer = FnObserver(move || polled_rows.clone());
-                            agent.tick(now, &mut observer, &mut rctl);
+                            let tick = agent.tick(now, &mut observer, &mut rctl);
                             let io = rctl.stats();
                             report.install_retries += io.retries;
                             report.install_gave_up += io.gave_up;
+                            // Adversarial loss: each *jump-start* install
+                            // (window above the kernel default of 10) may
+                            // draw a loss episode on exactly the path the
+                            // learned window now accelerates.
+                            for &(key, window) in &tick.updates {
+                                if window <= 10 || !injector.targeted_burst() {
+                                    continue;
+                                }
+                                let Some(&dst) = self.addr_to_host.get(&key.network()) else {
+                                    continue;
+                                };
+                                let a = self.tb.world.pop_of(host);
+                                let b = self.tb.world.pop_of(dst);
+                                if a != b {
+                                    targeted.push((a, b));
+                                }
+                            }
                         }
                     }
                 }
+            }
+        }
+        self.start_loss_episodes(now, targeted);
+    }
+
+    /// Starts a targeted loss episode on each drawn PoP pair that does not
+    /// already have one running, raising path loss to the plan's
+    /// `targeted_loss_rate` until `targeted_loss_for` elapses.
+    fn start_loss_episodes(&mut self, now: SimTime, pairs: Vec<(PopId, PopId)>) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        for (a, b) in pairs {
+            let hit = chaos
+                .loss_episodes
+                .iter()
+                .any(|x| (x.a == a && x.b == b) || (x.a == b && x.b == a));
+            if hit {
+                continue;
+            }
+            let saved_ab = self
+                .tb
+                .world
+                .path_config(a, b)
+                .expect("inter-pop path exists")
+                .clone();
+            let saved_ba = self
+                .tb
+                .world
+                .path_config(b, a)
+                .expect("inter-pop path exists")
+                .clone();
+            let loss = chaos.injector.plan().targeted_loss_rate;
+            let mut lossy_ab = saved_ab.clone();
+            lossy_ab.loss = lossy_ab.loss.max(loss);
+            let mut lossy_ba = saved_ba.clone();
+            lossy_ba.loss = lossy_ba.loss.max(loss);
+            self.tb.world.reconfigure_path(a, b, lossy_ab);
+            self.tb.world.reconfigure_path(b, a, lossy_ba);
+            chaos.loss_episodes.push(ActiveBurst {
+                until: now + chaos.injector.plan().targeted_loss_for,
+                a,
+                b,
+                saved_ab,
+                saved_ba,
+            });
+        }
+    }
+
+    /// Route-table churn: at each agent-tick instant every riptide host
+    /// draws a churn fault that mutates its kernel table behind the
+    /// agent's back — deleting an installed route, injecting an orphan
+    /// riptide-signature route, or injecting a foreign route the
+    /// reconciler must never touch.
+    fn chaos_churn_tick(&mut self, _now: SimTime) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        for h in 0..self.agents.len() {
+            let Some(ctl) = self.controllers[h].as_mut() else {
+                continue;
+            };
+            let installed = self.agents[h]
+                .as_ref()
+                .map_or(0, |a| a.installed_view().len());
+            match chaos.injector.churn_fault(installed) {
+                ChurnFault::None => {}
+                ChurnFault::DeleteInstalled { pick } => {
+                    let key = self.agents[h]
+                        .as_ref()
+                        .and_then(|a| a.installed_view().keys().nth(pick).copied());
+                    if let Some(key) = key {
+                        if ctl.inner().table().borrow_mut().del(key).is_ok() {
+                            chaos.report.drift_deleted += 1;
+                        }
+                    }
+                }
+                ChurnFault::InjectOrphan { octet, window } => {
+                    // TEST-NET-3: outside the testbed's 10.x address range,
+                    // so the orphan never shadows a live destination.
+                    let key = Ipv4Prefix::host(Ipv4Addr::new(203, 0, 113, octet));
+                    let mut attrs = RouteAttrs::initcwnd(window);
+                    attrs.proto = RouteProto::Static;
+                    ctl.inner().table().borrow_mut().replace(key, attrs);
+                    chaos.report.drift_orphaned += 1;
+                }
+                ChurnFault::InjectForeign { octet } => {
+                    // TEST-NET-2, proto kernel, no initcwnd: not ours.
+                    let key = Ipv4Prefix::host(Ipv4Addr::new(198, 51, 100, octet));
+                    let attrs = RouteAttrs {
+                        proto: RouteProto::Kernel,
+                        ..RouteAttrs::default()
+                    };
+                    ctl.inner().table().borrow_mut().replace(key, attrs.clone());
+                    chaos.foreign[h].insert(key, attrs);
+                    chaos.report.foreign_injected += 1;
+                }
+            }
+        }
+    }
+
+    /// One reconciler audit on every live riptide host: render the host's
+    /// kernel table, re-parse it through the `ip route show` seam, and let
+    /// the agent diff the dump against its installed view and repair any
+    /// drift.
+    fn run_reconcile(&mut self, now: SimTime) {
+        for h in 0..self.agents.len() {
+            if let Some(chaos) = self.chaos.as_ref() {
+                if chaos.down_until[h].is_some_and(|until| now < until) {
+                    continue;
+                }
+            }
+            let Some(agent) = self.agents[h].as_mut() else {
+                continue;
+            };
+            let Some(ctl) = self.controllers[h].as_mut() else {
+                continue;
+            };
+            let text = ctl.inner().table().borrow().render();
+            let (dump, defects) = RouteTable::parse_lossy(&text);
+            debug_assert!(defects.is_empty(), "self-rendered dump parses clean");
+            let audit = agent.reconcile(&dump, ctl);
+            if let Some(chaos) = self.chaos.as_mut() {
+                chaos.report.reconcile_foreign_seen += audit.foreign_seen as u64;
             }
         }
     }
@@ -742,6 +1015,16 @@ impl CdnSim {
                 let b = chaos.bursts.swap_remove(i);
                 self.tb.world.reconfigure_path(b.a, b.b, b.saved_ab);
                 self.tb.world.reconfigure_path(b.b, b.a, b.saved_ba);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < chaos.loss_episodes.len() {
+            if now >= chaos.loss_episodes[i].until {
+                let e = chaos.loss_episodes.swap_remove(i);
+                self.tb.world.reconfigure_path(e.a, e.b, e.saved_ab);
+                self.tb.world.reconfigure_path(e.b, e.a, e.saved_ba);
             } else {
                 i += 1;
             }
@@ -893,6 +1176,7 @@ mod tests {
             cwnd_sample_interval: SimDuration::from_secs(30),
             probe_senders: None,
             faults: FaultPlan::none(),
+            reconcile_every: None,
         }
     }
 
@@ -1060,6 +1344,120 @@ mod tests {
         let control = report(false);
         assert!(control > 0, "bursts fired in the control run");
         assert_eq!(control, report(true), "same burst schedule in both arms");
+    }
+
+    #[test]
+    fn route_churn_creates_drift_and_reconcile_repairs_it() {
+        let mut cfg = tiny_cfg(true, 53);
+        cfg.faults = FaultPlan::guardrail(0.3);
+        cfg.faults.targeted_loss = 0.0; // churn only, in this test
+        cfg.reconcile_every = Some(SimDuration::from_secs(45));
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(600));
+        // Let a final audit land after the last churn instant: the last
+        // agent tick is at t <= 600 and the reconciler runs every 45 s,
+        // so running past one more audit instant converges the tables.
+        let last_tick = sim.next_agent_tick;
+        sim.run_for(last_tick + SimDuration::from_secs(46) - sim.tb.world.now());
+        let r = sim.chaos_report();
+        assert!(r.faults.route_churns > 0, "{r:?}");
+        assert!(
+            r.drift_deleted + r.drift_orphaned > 0,
+            "churn mutated agent-owned state: {r:?}"
+        );
+        assert!(r.reconcile_repairs > 0, "audits repaired drift: {r:?}");
+        assert_eq!(r.foreign_missing, 0, "foreign routes untouched: {r:?}");
+        assert_eq!(r.invariant_breaches, 0, "repairs respect bounds: {r:?}");
+    }
+
+    #[test]
+    fn unreconciled_churn_leaves_visible_drift() {
+        let mut cfg = tiny_cfg(true, 53);
+        cfg.faults = FaultPlan::guardrail(0.3);
+        cfg.faults.targeted_loss = 0.0;
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(600));
+        let r = sim.chaos_report();
+        assert!(r.faults.route_churns > 0, "{r:?}");
+        assert!(
+            r.drift_unrepaired > 0,
+            "without audits, drift persists: {r:?}"
+        );
+    }
+
+    #[test]
+    fn targeted_loss_trips_guards() {
+        let mut cfg = tiny_cfg(true, 59);
+        cfg.riptide = Some(
+            RiptideConfig::builder()
+                .guard(GuardConfig::default())
+                .build()
+                .expect("valid config"),
+        );
+        cfg.faults = FaultPlan::guardrail(0.6);
+        cfg.faults.route_churn = 0.0; // loss only, in this test
+        cfg.faults.targeted_loss_rate = 0.3;
+        cfg.faults.targeted_loss_for = SimDuration::from_secs(60);
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(900));
+        let r = sim.chaos_report();
+        assert!(r.faults.targeted_bursts > 0, "{r:?}");
+        assert!(
+            r.guard_trips > 0,
+            "loss on jump-started paths tripped breakers: {r:?}"
+        );
+        assert_eq!(r.invariant_breaches, 0, "{r:?}");
+    }
+
+    #[test]
+    fn guardrail_chaos_runs_are_deterministic() {
+        let run = |seed| {
+            let mut cfg = tiny_cfg(true, seed);
+            cfg.riptide = Some(
+                RiptideConfig::builder()
+                    .guard(GuardConfig::default())
+                    .build()
+                    .expect("valid config"),
+            );
+            cfg.faults = FaultPlan::guardrail(0.25);
+            cfg.reconcile_every = Some(SimDuration::from_secs(45));
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(400));
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .map(|p| (p.src_site, p.dst_site, p.size, p.completion.as_nanos()))
+                .collect::<Vec<_>>();
+            (probes, sim.chaos_report())
+        };
+        assert_eq!(run(61), run(61));
+        assert_ne!(run(61), run(62));
+    }
+
+    #[test]
+    fn zero_rate_guardrail_plan_is_bit_identical_to_no_faults() {
+        let run = |faults: FaultPlan, reconcile: Option<SimDuration>| {
+            let mut cfg = tiny_cfg(true, 67);
+            cfg.faults = faults;
+            cfg.reconcile_every = reconcile;
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(300));
+            sim.probe_outcomes()
+                .iter()
+                .map(|p| (p.src_site, p.dst_site, p.size, p.completion.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        let clean = run(FaultPlan::none(), None);
+        assert_eq!(
+            clean,
+            run(FaultPlan::guardrail(0.0), None),
+            "zero-rate plan adds nothing"
+        );
+        assert_eq!(
+            clean,
+            run(FaultPlan::none(), Some(SimDuration::from_secs(45))),
+            "audits on a converged table are invisible"
+        );
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct TickReport {
     pub updates: Vec<(Ipv4Prefix, u32)>,
     /// Destinations whose entries (and routes) expired this tick.
     pub expired: Vec<Ipv4Prefix>,
+    /// Destinations evicted by the table's capacity bound this tick.
+    pub evicted: Vec<Ipv4Prefix>,
+    /// Destinations the loss guard tripped this tick (demoted to the
+    /// probe window).
+    pub guard_trips: Vec<Ipv4Prefix>,
     /// Route-control failures (the agent continues past them, as a
     /// production tool must).
     pub errors: Vec<ControlError>,
@@ -61,6 +66,14 @@ pub struct AgentStats {
     /// Degraded ticks: cycles whose observation poll failed outright, so
     /// only TTL expiry ran.
     pub degraded_ticks: u64,
+    /// Loss-guard breaker trips (destinations demoted to the probe
+    /// window because their post-install retransmit rate ran hot).
+    pub guard_trips: u64,
+    /// Destinations evicted by the learned table's capacity bound.
+    pub table_evictions: u64,
+    /// Drift repairs performed by reconciler audits (re-installs of
+    /// externally deleted routes plus withdrawals of orphans).
+    pub reconcile_repairs: u64,
 }
 
 impl AgentStats {
@@ -99,6 +112,21 @@ impl AgentStats {
                 "Cycles that ran expiry-only because the poll failed",
                 self.degraded_ticks,
             ),
+            (
+                "riptide_guard_trips_total",
+                "Loss-guard breaker trips (destinations demoted)",
+                self.guard_trips,
+            ),
+            (
+                "riptide_table_evictions_total",
+                "Destinations evicted by the table capacity bound",
+                self.table_evictions,
+            ),
+            (
+                "riptide_reconcile_repairs_total",
+                "Route-drift repairs performed by reconciler audits",
+                self.reconcile_repairs,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
@@ -124,8 +152,8 @@ impl AgentStats {
 /// // One poll observed two connections to the same host, windows 60/100.
 /// let mut observer = FnObserver(|| {
 ///     vec![
-///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 60, bytes_acked: 1 << 20 },
-///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 100, bytes_acked: 1 << 20 },
+///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 60, bytes_acked: 1 << 20, retrans: 0 },
+///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 100, bytes_acked: 1 << 20, retrans: 0 },
 ///     ]
 /// });
 /// let report = agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
@@ -139,6 +167,13 @@ pub struct RiptideAgent {
     table: FinalTable,
     stats: AgentStats,
     advisory: crate::advisory::Advisory,
+    /// Loss-aware circuit breaker, present when the config enables it.
+    guard: Option<crate::guard::LossGuard>,
+    /// The agent's view of what it has installed in the kernel: key →
+    /// last window issued through the controller. This is the expected
+    /// state reconciler audits diff against, and the withdrawal list a
+    /// graceful shutdown walks.
+    installed: BTreeMap<Ipv4Prefix, u32>,
 }
 
 impl RiptideAgent {
@@ -149,11 +184,18 @@ impl RiptideAgent {
     /// Returns the configuration's validation error, if any.
     pub fn new(config: RiptideConfig) -> Result<Self, crate::config::ConfigError> {
         config.validate()?;
+        let table = match config.table_capacity {
+            Some(cap) => FinalTable::bounded(cap),
+            None => FinalTable::new(),
+        };
+        let guard = config.guard.clone().map(crate::guard::LossGuard::new);
         Ok(RiptideAgent {
             config,
-            table: FinalTable::new(),
+            table,
             stats: AgentStats::default(),
             advisory: crate::advisory::Advisory::Normal,
+            guard,
+            installed: BTreeMap::new(),
         })
     }
 
@@ -199,6 +241,17 @@ impl RiptideAgent {
         self.table.window(&key)
     }
 
+    /// The agent's view of what it has installed in the kernel: one
+    /// `(key, window)` pair per route issued and not yet withdrawn.
+    pub fn installed_view(&self) -> &BTreeMap<Ipv4Prefix, u32> {
+        &self.installed
+    }
+
+    /// The loss guard, when the configuration enables one.
+    pub fn guard(&self) -> Option<&crate::guard::LossGuard> {
+        self.guard.as_ref()
+    }
+
     /// Runs one cycle of Algorithm 1 at simulated instant `now`.
     ///
     /// Route installs are issued only when the clamped window for a
@@ -229,12 +282,11 @@ impl RiptideAgent {
         report.groups = groups.len();
 
         // 3–5. combine, blend with history, shape (trend + advisory),
-        // clamp, install.
+        // clamp, guard, install.
         for (key, group) in groups {
             let Some(fresh) = self.config.combine.combine(&group) else {
                 continue;
             };
-            let previous = self.table.window(&key);
             let previous_fresh = self.table.last_fresh(&key);
             let blended = self.table.blend(key, fresh, &self.config.history, now);
             let shaped = match &self.config.trend {
@@ -247,24 +299,110 @@ impl RiptideAgent {
             };
             let window = self.config.clamp(shaped);
             self.table.set_window(&key, window);
-            if previous != Some(window) {
-                match controller.set_initcwnd(key, window) {
+
+            // Guard: feed the group's cumulative loss counters and, when
+            // the breaker is not Closed, demote the install to the probe
+            // window — the kernel default, as if Riptide never touched
+            // this destination.
+            let mut effective = window;
+            if let Some(guard) = &mut self.guard {
+                let retrans_total: u64 = group.iter().map(|o| o.retrans).sum();
+                let bytes_total: u64 = group.iter().map(|o| o.bytes_acked).sum();
+                let jump_started = self
+                    .installed
+                    .get(&key)
+                    .is_some_and(|&w| w > guard.config().probe_window);
+                let verdict = guard.update(key, retrans_total, bytes_total, jump_started, now);
+                if verdict.tripped {
+                    self.stats.guard_trips += 1;
+                    report.guard_trips.push(key);
+                }
+                if guard.suppressed(&key) {
+                    effective = self.config.clamp(guard.config().probe_window as f64);
+                }
+            }
+
+            // Install only when the issued window would actually change —
+            // repeating an identical `ip route replace` is pure churn.
+            if self.installed.get(&key).copied() != Some(effective) {
+                match controller.set_initcwnd(key, effective) {
                     Ok(()) => {
                         self.stats.route_updates += 1;
-                        report.updates.push((key, window));
+                        report.updates.push((key, effective));
                     }
                     Err(e) => {
                         self.stats.errors += 1;
                         report.errors.push(e);
                     }
                 }
+                // The view tracks what was *issued*, successful or not,
+                // mirroring the learned table's own optimism — a failed
+                // install is repaired by the next reconciler audit, not
+                // by hammering the controller every tick.
+                self.installed.insert(key, effective);
             }
         }
 
         // 6. expire stale destinations, restoring the kernel default.
         self.expire_into(now, controller, &mut report);
 
+        // 7. enforce the table's capacity bound, withdrawing the routes
+        // of evicted destinations.
+        for key in self.table.enforce_capacity() {
+            self.stats.table_evictions += 1;
+            report.evicted.push(key);
+            if let Some(guard) = &mut self.guard {
+                guard.forget(&key);
+            }
+            if self.installed.remove(&key).is_some() {
+                if let Err(e) = controller.clear_initcwnd(key) {
+                    self.stats.errors += 1;
+                    report.errors.push(e);
+                }
+            }
+        }
+
         report
+    }
+
+    /// Runs one reconciler audit cycle against a kernel route dump:
+    /// re-installs externally deleted or rewritten routes, withdraws
+    /// orphaned Riptide-signature routes, and leaves foreign routes
+    /// untouched (see [`crate::reconcile`]).
+    pub fn reconcile<C>(
+        &mut self,
+        kernel: &riptide_linuxnet::route::RouteTable,
+        controller: &mut C,
+    ) -> crate::reconcile::AuditReport
+    where
+        C: RouteController + ?Sized,
+    {
+        let bounds = (self.config.cwnd_min, self.config.cwnd_max);
+        let report = crate::reconcile::audit(&self.installed, kernel, bounds, controller);
+        self.stats.reconcile_repairs += report.repairs() as u64;
+        self.stats.errors += report.errors.len() as u64;
+        report
+    }
+
+    /// Gracefully shuts the agent down: withdraws every route it believes
+    /// it has installed, so the host reverts to kernel-default behavior
+    /// the moment the agent exits. Returns the keys withdrawn.
+    ///
+    /// Withdrawal failures are counted but do not stop the sweep — on the
+    /// way out, every remaining route must still get its chance.
+    pub fn shutdown<C>(&mut self, controller: &mut C) -> Vec<Ipv4Prefix>
+    where
+        C: RouteController + ?Sized,
+    {
+        let keys: Vec<Ipv4Prefix> = self.installed.keys().copied().collect();
+        for &key in &keys {
+            match controller.clear_initcwnd(key) {
+                Ok(()) => self.stats.route_expirations += 1,
+                Err(_) => self.stats.errors += 1,
+            }
+        }
+        self.installed.clear();
+        keys
     }
 
     /// Runs one *degraded* cycle: the observation poll failed (timed out,
@@ -299,6 +437,10 @@ impl RiptideAgent {
         C: RouteController + ?Sized,
     {
         for key in self.table.expire(now, self.config.ttl) {
+            self.installed.remove(&key);
+            if let Some(guard) = &mut self.guard {
+                guard.forget(&key);
+            }
             match controller.clear_initcwnd(key) {
                 Ok(()) => {
                     self.stats.route_expirations += 1;
@@ -328,6 +470,7 @@ mod tests {
             dst: Ipv4Addr::from(dst),
             cwnd,
             bytes_acked: 1_000_000,
+            retrans: 0,
         }
     }
 
@@ -511,7 +654,8 @@ mod tests {
         assert!(text.contains("riptide_route_updates_total 1"));
         assert!(text.contains("# TYPE riptide_observations_total counter"));
         // Every metric has HELP, TYPE and a value line.
-        assert_eq!(text.lines().count(), 18);
+        assert_eq!(text.lines().count(), 27);
+        assert!(text.contains("riptide_guard_trips_total 0"));
     }
 
     #[test]
@@ -593,6 +737,159 @@ mod tests {
             Some(10),
             "aggressive decrease beyond the blend"
         );
+    }
+
+    fn lossy_obs(dst: [u8; 4], cwnd: u32, retrans: u64, bytes: u64) -> CwndObservation {
+        CwndObservation {
+            dst: Ipv4Addr::from(dst),
+            cwnd,
+            bytes_acked: bytes,
+            retrans,
+        }
+    }
+
+    fn guarded() -> RiptideConfig {
+        RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .guard(crate::guard::GuardConfig::default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn guard_demotes_lossy_jump_started_destination() {
+        let (mut a, mut routes) = agent(guarded());
+        // Tick 1: clean traffic, window 80 learned and installed.
+        let mut o = FnObserver(|| vec![lossy_obs([10, 0, 1, 1], 80, 0, 1_000_000)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(80));
+
+        // Tick 2: the path turns sour — heavy retransmits on the
+        // jump-started destination. The breaker trips and the install is
+        // demoted to the kernel-default probe window.
+        let mut bad = FnObserver(|| vec![lossy_obs([10, 0, 1, 1], 80, 500, 2_000_000)]);
+        let r = a.tick(SimTime::from_secs(2), &mut bad, &mut routes);
+        assert_eq!(r.guard_trips, vec!["10.0.1.1".parse().unwrap()]);
+        assert_eq!(a.stats().guard_trips, 1);
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)),
+            Some(10),
+            "demoted to the probe window, not left at 80"
+        );
+        // The learned table keeps learning underneath the demotion.
+        assert!(a.table().window(&"10.0.1.1".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn guard_never_trips_without_a_jump_start() {
+        let (mut a, mut routes) = agent(guarded());
+        // Loss from the very first sighting: we never installed anything
+        // above the default, so the harm cannot be ours.
+        let mut bad = FnObserver(|| vec![lossy_obs([10, 0, 1, 1], 10, 500, 1_000_000)]);
+        a.tick(SimTime::from_secs(1), &mut bad, &mut routes);
+        let r = a.tick(SimTime::from_secs(2), &mut bad, &mut routes);
+        assert!(r.guard_trips.is_empty());
+        assert_eq!(a.stats().guard_trips, 0);
+    }
+
+    #[test]
+    fn guarded_clean_run_matches_unguarded() {
+        // The guard must be invisible on a loss-free run: identical
+        // installs, identical stats counters that both configs share.
+        let (mut plain, mut routes_p) = agent(no_history());
+        let (mut armed, mut routes_g) = agent(guarded());
+        for t in 1..30 {
+            let mk = move || {
+                vec![
+                    lossy_obs([10, 0, 1, 1], 40 + (t as u32 % 20), 0, t * 1_000_000),
+                    lossy_obs([10, 0, 2, 1], 70, 0, t * 500_000),
+                ]
+            };
+            let mut o1 = FnObserver(mk);
+            let mut o2 = FnObserver(mk);
+            let r1 = plain.tick(SimTime::from_secs(t), &mut o1, &mut routes_p);
+            let r2 = armed.tick(SimTime::from_secs(t), &mut o2, &mut routes_g);
+            assert_eq!(r1.updates, r2.updates, "t={t}");
+        }
+        assert_eq!(plain.stats().route_updates, armed.stats().route_updates);
+        assert_eq!(armed.stats().guard_trips, 0);
+        assert_eq!(routes_p.render(), routes_g.render());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_and_withdraws() {
+        let cfg = RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .table_capacity(2)
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        for (t, n) in [(1u64, 1u8), (2, 2), (3, 3)] {
+            let mut o = FnObserver(move || vec![obs([10, 0, n, 1], 50)]);
+            a.tick(SimTime::from_secs(t), &mut o, &mut routes);
+        }
+        // Three destinations through a 2-slot table: the oldest was
+        // evicted and its route withdrawn.
+        assert_eq!(a.table().len(), 2);
+        assert_eq!(a.stats().table_evictions, 1);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), None);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 2, 1)), Some(50));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 3, 1)), Some(50));
+        assert_eq!(a.installed_view().len(), 2);
+    }
+
+    #[test]
+    fn installed_view_tracks_the_kernel() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50), obs([10, 0, 2, 1], 70)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        let view = a.installed_view();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.get(&"10.0.1.1".parse().unwrap()), Some(&50));
+        // Expiry drops the view entry along with the route.
+        let mut silent = FnObserver(Vec::new);
+        a.tick(SimTime::from_secs(120), &mut silent, &mut routes);
+        assert!(a.installed_view().is_empty());
+    }
+
+    #[test]
+    fn shutdown_withdraws_every_installed_route() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50), obs([10, 0, 2, 1], 70)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(routes.len(), 2);
+        let withdrawn = a.shutdown(&mut routes);
+        assert_eq!(withdrawn.len(), 2);
+        assert!(routes.is_empty(), "host reverts to kernel defaults");
+        assert!(a.installed_view().is_empty());
+        // Idempotent: nothing left to withdraw.
+        assert!(a.shutdown(&mut routes).is_empty());
+    }
+
+    #[test]
+    fn reconcile_repairs_external_drift() {
+        let (mut a, mut routes) = agent(no_history());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50), obs([10, 0, 2, 1], 70)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+
+        // An operator deletes one of our routes and a predecessor's
+        // orphan appears.
+        routes.clear_initcwnd("10.0.1.1".parse().unwrap()).unwrap();
+        routes
+            .set_initcwnd("10.0.9.9".parse().unwrap(), 64)
+            .unwrap();
+
+        let dump = routes.clone();
+        let report = a.reconcile(&dump, &mut routes);
+        assert_eq!(report.reinstalled, vec![("10.0.1.1".parse().unwrap(), 50)]);
+        assert_eq!(report.withdrawn, vec!["10.0.9.9".parse().unwrap()]);
+        assert_eq!(a.stats().reconcile_repairs, 2);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(50));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 9, 9)), None);
+
+        // Converged: a second audit is a no-op.
+        let dump = routes.clone();
+        assert!(a.reconcile(&dump, &mut routes).converged());
     }
 
     #[test]

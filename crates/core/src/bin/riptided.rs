@@ -20,13 +20,62 @@
 //!   --trend              enable §V trend damping
 //!   --config <file>      key = value config file (flags override)
 //!   --recover            flush stale riptide routes first
+//!   --follow             after the listed snapshots, keep re-polling the
+//!                        last one every interval until SIGTERM/SIGINT
 //!   --show-table         print the final learned table
 //!   --metrics            print Prometheus counters to stderr at exit
 //! ```
+//!
+//! On SIGTERM or SIGINT the daemon withdraws every route it installed
+//! before exiting, so a stopped agent leaves no stale windows behind.
 
 use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set from the signal handler; the poll loops notice it and run the
+/// shutdown sweep instead of exiting with routes still installed.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_shutdown(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // `signal(2)` straight from the platform C library: flipping an
+    // atomic flag is all the handler does, and declaring the symbol
+    // directly keeps the binary free of an FFI crate dependency.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, note_shutdown);
+        signal(SIGTERM, note_shutdown);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Sleeps for `interval`, waking early (and reporting `true`) if a
+/// shutdown signal arrives mid-wait.
+fn sleep_interruptibly(interval: std::time::Duration) -> bool {
+    let slice = std::time::Duration::from_millis(25);
+    let mut remaining = interval;
+    while !remaining.is_zero() {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            return true;
+        }
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    SHUTDOWN.load(Ordering::SeqCst)
+}
 
 use riptide::prelude::*;
 use riptide_linuxnet::route::RouteTable;
@@ -72,6 +121,7 @@ fn main() -> ExitCode {
     }
     let mut snapshots: Vec<String> = Vec::new();
     let mut recover = false;
+    let mut follow = false;
     let mut show_table = false;
     let mut show_metrics = false;
     let mut trend = false;
@@ -150,6 +200,7 @@ fn main() -> ExitCode {
             },
             "--trend" => trend = true,
             "--recover" => recover = true,
+            "--follow" => follow = true,
             "--show-table" => show_table = true,
             "--metrics" => show_metrics = true,
             "--help" | "-h" => {
@@ -187,26 +238,65 @@ fn main() -> ExitCode {
         eprintln!("# recovered: flushed {removed} stale route(s)");
     }
 
+    install_signal_handlers();
+
+    // One poll: read a snapshot, tick the agent, print the commands the
+    // tick produced. Used for the listed snapshots and then, under
+    // `--follow`, for every re-poll of the last one.
     let mut printed = 0usize;
-    for (i, path) in snapshots.iter().enumerate() {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => return fail(&format!("cannot read {path}: {e}")),
-        };
-        let mut sock_table = match SockTable::parse(&text) {
-            Ok(t) => t,
-            Err(e) => return fail(&format!("{path}: {e}")),
-        };
-        let now = SimTime::ZERO + interval * (i as u64 + 1);
-        let report = agent.tick(now, &mut sock_table, &mut controller);
+    let mut poll_once = |agent: &mut RiptideAgent,
+                         controller: &mut SharedRouteController,
+                         path: &str,
+                         now: SimTime|
+     -> Result<(), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut sock_table = SockTable::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let report = agent.tick(now, &mut sock_table, controller);
         for e in &report.errors {
             eprintln!("# {path}: {e}");
         }
-        // Print the commands this tick produced.
         for cmd in &controller.command_log()[printed..] {
             println!("{cmd}");
         }
         printed = controller.command_log().len();
+        Ok(())
+    };
+
+    let mut polls = 0u64;
+    for path in &snapshots {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            break;
+        }
+        polls += 1;
+        let now = SimTime::ZERO + interval * polls;
+        if let Err(e) = poll_once(&mut agent, &mut controller, path, now) {
+            return fail(&e);
+        }
+    }
+
+    if follow {
+        // Daemon mode: the last snapshot path is the live feed (a cron
+        // job or collector rewrites it in place); re-poll it every
+        // interval until a shutdown signal arrives.
+        let path = snapshots.last().expect("checked non-empty above");
+        let wait = std::time::Duration::from_secs_f64(interval.as_secs_f64());
+        while !sleep_interruptibly(wait) {
+            polls += 1;
+            let now = SimTime::ZERO + interval * polls;
+            if let Err(e) = poll_once(&mut agent, &mut controller, path, now) {
+                return fail(&e);
+            }
+        }
+    }
+
+    if SHUTDOWN.load(Ordering::SeqCst) {
+        // Graceful exit: withdraw everything we installed so the host
+        // reverts to kernel defaults the moment the daemon is gone.
+        let withdrawn = agent.shutdown(&mut controller);
+        for cmd in &controller.command_log()[printed..] {
+            println!("{cmd}");
+        }
+        eprintln!("# shutdown: withdrew {} route(s)", withdrawn.len());
     }
 
     if show_table {

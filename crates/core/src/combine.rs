@@ -79,6 +79,7 @@ mod tests {
             dst: Ipv4Addr::new(10, 0, 1, 1),
             cwnd,
             bytes_acked: bytes,
+            retrans: 0,
         }
     }
 

@@ -54,6 +54,14 @@ pub struct RiptideConfig {
     /// Optional trend-based damping (§V): react to sharp per-destination
     /// window collapses faster than the history blend would.
     pub trend: Option<crate::trend::TrendPolicy>,
+    /// Optional loss-aware circuit breaker: demote jump-started
+    /// destinations whose post-install retransmit rate says the learned
+    /// window is now the harm (closes the §IV-D no-harm loop).
+    pub guard: Option<crate::guard::GuardConfig>,
+    /// Optional bound on the learned table: at most this many
+    /// destinations, least-recently-updated evicted first. `None` (the
+    /// paper's deployment) grows without limit.
+    pub table_capacity: Option<usize>,
 }
 
 impl RiptideConfig {
@@ -70,6 +78,8 @@ impl RiptideConfig {
             history: HistoryStrategy::Ewma { alpha: 0.7 },
             granularity: Granularity::Host,
             trend: None,
+            guard: None,
+            table_capacity: None,
         }
     }
 
@@ -135,6 +145,12 @@ impl RiptideConfig {
             trend
                 .validate()
                 .map_err(|e| ConfigError::new(format!("trend: {e}")))?;
+        }
+        if let Some(guard) = &self.guard {
+            guard.validate()?;
+        }
+        if self.table_capacity == Some(0) {
+            return Err(ConfigError::new("table_capacity must be at least 1"));
         }
         Ok(())
     }
@@ -207,6 +223,18 @@ impl RiptideConfigBuilder {
         self
     }
 
+    /// Enables the loss-aware circuit breaker.
+    pub fn guard(mut self, v: crate::guard::GuardConfig) -> Self {
+        self.config.guard = Some(v);
+        self
+    }
+
+    /// Bounds the learned table to at most `capacity` destinations.
+    pub fn table_capacity(mut self, capacity: usize) -> Self {
+        self.config.table_capacity = Some(capacity);
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Errors
@@ -234,6 +262,8 @@ impl RiptideConfig {
     /// combine = average      # average | max | traffic-weighted
     /// granularity = host     # host | /<len>
     /// trend = off            # off | on | <drop>:<overshoot>
+    /// guard = off            # off | on | <retrans rate threshold>
+    /// capacity = unbounded   # unbounded | <max destinations>
     /// ```
     ///
     /// # Errors
@@ -316,6 +346,21 @@ impl RiptideConfig {
                                 .map_err(|e| bad(&format!("bad overshoot: {e}")))?,
                         })
                     }
+                },
+                "guard" => match value {
+                    "off" => builder,
+                    "on" => builder.guard(crate::guard::GuardConfig::default()),
+                    thr => builder.guard(crate::guard::GuardConfig {
+                        retrans_threshold: thr
+                            .parse()
+                            .map_err(|e| bad(&format!("bad guard threshold: {e}")))?,
+                        ..crate::guard::GuardConfig::default()
+                    }),
+                },
+                "capacity" => match value {
+                    "unbounded" => builder,
+                    n => builder
+                        .table_capacity(n.parse().map_err(|e| bad(&format!("bad capacity: {e}")))?),
                 },
                 other => return Err(bad(&format!("unknown key {other:?}"))),
             };
@@ -453,6 +498,31 @@ mod tests {
         assert!((trend.overshoot - 0.6).abs() < 1e-12);
         let on = RiptideConfig::from_conf_str("trend = on\n").unwrap();
         assert!(on.trend.is_some());
+    }
+
+    #[test]
+    fn conf_file_guard_and_capacity() {
+        let cfg = RiptideConfig::from_conf_str("guard = on\ncapacity = 500\n").unwrap();
+        assert_eq!(cfg.guard, Some(crate::guard::GuardConfig::default()));
+        assert_eq!(cfg.table_capacity, Some(500));
+        let cfg = RiptideConfig::from_conf_str("guard = 0.1\n").unwrap();
+        assert!((cfg.guard.unwrap().retrans_threshold - 0.1).abs() < 1e-12);
+        let off = RiptideConfig::from_conf_str("guard = off\ncapacity = unbounded\n").unwrap();
+        assert_eq!(off, RiptideConfig::deployment());
+        assert!(RiptideConfig::from_conf_str("capacity = 0\n").is_err());
+        assert!(RiptideConfig::from_conf_str("guard = vibes\n").is_err());
+    }
+
+    #[test]
+    fn guard_config_validated_at_build() {
+        let err = RiptideConfig::builder()
+            .guard(crate::guard::GuardConfig {
+                retrans_threshold: 1.5,
+                ..crate::guard::GuardConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("retrans_threshold"), "{err}");
     }
 
     #[test]

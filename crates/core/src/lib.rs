@@ -21,6 +21,8 @@
 //! | [`granularity`] | Host routes vs `/24` (PoP) prefix routes | §III-B granularity |
 //! | [`trend`] | §V trend damping (aggressive decrease on collapse) | §V |
 //! | [`advisory`] | Control-plane advisories (suspend / conservative) | §V load-balancing interplay |
+//! | [`guard`] | [`guard::LossGuard`]: per-destination loss-aware circuit breaker with BGP-style flap damping — demote jump-started destinations whose retransmit rate says the learned window became the harm | §IV-D no-harm, closed-loop |
+//! | [`reconcile`] | Anti-entropy audit: diff the kernel route table against the agent's installed view, repair drift, never touch foreign routes | §IV-D operational safety |
 //! | [`observe`] | Input seam: [`observe::WindowObserver`] (always succeeds) and [`observe::FallibleObserver`] (real `ss` polls that time out / truncate) | §III poll loop |
 //! | [`control`] | Output seam: [`control::RouteController`], command logging, startup recovery, and the [`control::CheckedController`] window-range invariant | Fig. 8; §IV-D |
 //! | [`resilience`] | Retry-with-backoff, per-call timeouts, budgets; `ss`/`ip` subprocess bridges | §IV-D graceful degradation |
@@ -40,7 +42,7 @@
 //! let mut agent = RiptideAgent::new(RiptideConfig::deployment())?;
 //! let mut routes = RouteTable::new();
 //! let mut observer = FnObserver(|| vec![
-//!     CwndObservation { dst: Ipv4Addr::new(10, 0, 0, 127), cwnd: 80, bytes_acked: 1 << 20 },
+//!     CwndObservation { dst: Ipv4Addr::new(10, 0, 0, 127), cwnd: 80, bytes_acked: 1 << 20, retrans: 0 },
 //! ]);
 //! agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
 //! // New connections to 10.0.0.127 now start at a window of 80:
@@ -57,10 +59,12 @@ pub mod combine;
 pub mod config;
 pub mod control;
 pub mod granularity;
+pub mod guard;
 pub mod history;
 pub mod kernel;
 pub mod model;
 pub mod observe;
+pub mod reconcile;
 pub mod resilience;
 pub mod table;
 pub mod trend;
@@ -76,12 +80,14 @@ pub mod prelude {
         SharedRouteController,
     };
     pub use crate::granularity::Granularity;
+    pub use crate::guard::{BreakerState, GuardConfig, GuardVerdict, LossGuard};
     pub use crate::history::HistoryStrategy;
     pub use crate::kernel::KernelAgent;
     pub use crate::observe::{
         observations_from_sock_table, CwndObservation, FallibleObserver, FnFallibleObserver,
         FnObserver, ObserveError, WindowObserver,
     };
+    pub use crate::reconcile::{audit, is_riptide_route, AuditReport};
     pub use crate::resilience::{
         retry_with_backoff, BackoffPolicy, IoStats, ResilientController, ResilientObserver,
         RetryOutcome,

@@ -23,6 +23,10 @@ pub struct CwndObservation {
     /// Bytes acknowledged over the connection's lifetime — the weight the
     /// §III-B "conservative" combiner uses.
     pub bytes_acked: u64,
+    /// Segments retransmitted over the connection's lifetime (`ss`'s
+    /// cumulative `retrans` total) — the loss signal the guard layer
+    /// differentiates into a post-install retransmit rate.
+    pub retrans: u64,
 }
 
 /// A source of congestion-window observations — the agent's view of
@@ -119,6 +123,7 @@ pub fn observations_from_sock_table(table: &SockTable) -> Vec<CwndObservation> {
             dst: e.dst,
             cwnd: e.cwnd,
             bytes_acked: e.bytes_acked,
+            retrans: e.retrans,
         })
         .collect()
 }
@@ -144,6 +149,8 @@ mod tests {
             ssthresh: None,
             rtt_ms: None,
             bytes_acked: 100,
+            retrans: 7,
+            lost: 0,
         }
     }
 
@@ -159,6 +166,7 @@ mod tests {
         let obs = observations_from_sock_table(&table);
         assert_eq!(obs.len(), 1);
         assert_eq!(obs[0].cwnd, 40);
+        assert_eq!(obs[0].retrans, 7, "loss counter flows through");
     }
 
     #[test]
@@ -170,6 +178,7 @@ mod tests {
                 dst: Ipv4Addr::new(10, 0, 1, 1),
                 cwnd: 33,
                 bytes_acked: 0,
+                retrans: 0,
             }]
         });
         assert_eq!(obs.observe().len(), 1);
@@ -185,6 +194,7 @@ mod tests {
                 dst: Ipv4Addr::new(10, 0, 1, 1),
                 cwnd: 12,
                 bytes_acked: 0,
+                retrans: 0,
             }]
         });
         assert_eq!(obs.try_observe().unwrap().len(), 1);

@@ -1,0 +1,298 @@
+//! Kernel-route reconciliation: an anti-entropy audit between what the
+//! agent believes it installed and what the kernel actually holds.
+//!
+//! The agent's learned table and the kernel routing table are two copies
+//! of the same state updated over an unreliable channel: an operator can
+//! `ip route flush` our installs, a DHCP hook can rewrite the table, a
+//! crashed predecessor can leave orphans behind, and a config-management
+//! run can inject routes that *look* like ours. Left alone, the copies
+//! drift — and every drifted route is either a lost jump-start (deleted
+//! install) or a stale window of unknown age (orphan), both of which
+//! break the paper's §IV-D no-harm argument.
+//!
+//! The audit cycle is one pass of classic anti-entropy repair:
+//!
+//! 1. **Dump** the kernel state (`ip route show`, parsed leniently so one
+//!    unparseable foreign route cannot abort the audit).
+//! 2. **Diff** it against the agent's installed view.
+//! 3. **Repair**: re-install missing or rewritten routes, withdraw
+//!    orphans that carry Riptide's exact signature, and *count but never
+//!    touch* everything else — foreign routes are someone else's.
+//!
+//! Riptide's signature is `proto static` + an `initcwnd` attribute, the
+//! same predicate startup recovery uses
+//! ([`crate::control::recover_stale_routes`]). A route missing either
+//! half of the signature is foreign by definition, even when it sits at a
+//! prefix the agent owns: the conflict is reported, not resolved, because
+//! overwriting an operator's deliberate route is worse drift than living
+//! with it.
+
+use std::collections::BTreeMap;
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_linuxnet::route::{RouteAttrs, RouteProto, RouteTable};
+
+use crate::control::{ControlError, RouteController};
+
+/// Whether a route carries Riptide's install signature (`proto static`
+/// with an `initcwnd` attribute) and may therefore be repaired or
+/// withdrawn by the reconciler.
+pub fn is_riptide_route(attrs: &RouteAttrs) -> bool {
+    attrs.proto == RouteProto::Static && attrs.initcwnd.is_some()
+}
+
+/// What one audit cycle found and did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Expected routes that were missing or rewritten in the kernel and
+    /// were re-installed: `(key, window)`.
+    pub reinstalled: Vec<(Ipv4Prefix, u32)>,
+    /// Riptide-signature routes present in the kernel with no matching
+    /// expectation — orphans — that were withdrawn.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Expected routes found present and correct.
+    pub in_sync: usize,
+    /// Kernel routes without Riptide's signature: observed, counted,
+    /// never modified. Includes foreign routes squatting on a key the
+    /// agent expects (those also suppress the re-install).
+    pub foreign_seen: usize,
+    /// Repairs the controller rejected.
+    pub errors: Vec<ControlError>,
+}
+
+impl AuditReport {
+    /// Total repairs performed (re-installs + withdrawals).
+    pub fn repairs(&self) -> usize {
+        self.reinstalled.len() + self.withdrawn.len()
+    }
+
+    /// Whether the kernel already agreed with the expected view.
+    pub fn converged(&self) -> bool {
+        self.repairs() == 0 && self.errors.is_empty()
+    }
+}
+
+/// Runs one audit cycle: diffs `expected` (the agent's installed view)
+/// against `kernel` (a parsed route dump) and issues repairs through
+/// `controller`.
+///
+/// Re-installed windows are clamped into `bounds` (`[c_min, c_max]`)
+/// so a corrupted expectation can never push an out-of-range window into
+/// the kernel — the audit upholds the same invariant as
+/// [`crate::control::CheckedController`].
+pub fn audit<C>(
+    expected: &BTreeMap<Ipv4Prefix, u32>,
+    kernel: &RouteTable,
+    bounds: (u32, u32),
+    controller: &mut C,
+) -> AuditReport
+where
+    C: RouteController + ?Sized,
+{
+    let (lo, hi) = bounds;
+    assert!(lo <= hi, "empty window range [{lo}, {hi}]");
+    let mut report = AuditReport::default();
+
+    // Pass 1 over the kernel dump: count foreign routes, withdraw
+    // Riptide-signature orphans.
+    for route in kernel.iter() {
+        if !is_riptide_route(&route.attrs) {
+            report.foreign_seen += 1;
+            continue;
+        }
+        if !expected.contains_key(&route.prefix) {
+            match controller.clear_initcwnd(route.prefix) {
+                Ok(()) => report.withdrawn.push(route.prefix),
+                Err(e) => report.errors.push(e),
+            }
+        }
+    }
+
+    // Pass 2 over expectations: re-install what is missing or rewritten.
+    for (&key, &want) in expected {
+        let want = want.clamp(lo, hi);
+        match kernel.get(key) {
+            Some(route) if !is_riptide_route(&route.attrs) => {
+                // A foreign route squats on our key. Counted in pass 1;
+                // leave it alone rather than fight an operator.
+            }
+            Some(route) if route.attrs.initcwnd == Some(want) => report.in_sync += 1,
+            // Missing entirely, or ours-but-rewritten (e.g. a stale
+            // window from a predecessor): converge it to the expectation.
+            _ => match controller.set_initcwnd(key, want) {
+                Ok(()) => report.reinstalled.push((key, want)),
+                Err(e) => report.errors.push(e),
+            },
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u8) -> Ipv4Prefix {
+        Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, n))
+    }
+
+    fn expected(pairs: &[(u8, u32)]) -> BTreeMap<Ipv4Prefix, u32> {
+        pairs.iter().map(|&(n, w)| (key(n), w)).collect()
+    }
+
+    #[test]
+    fn converged_state_is_a_no_op() {
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(1), 80).unwrap();
+        kernel.set_initcwnd(key(2), 40).unwrap();
+        let exp = expected(&[(1, 80), (2, 40)]);
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert!(report.converged());
+        assert_eq!(report.in_sync, 2);
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn externally_deleted_route_is_reinstalled() {
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(1), 80).unwrap();
+        // key(2)'s route was deleted behind our back.
+        let exp = expected(&[(1, 80), (2, 40)]);
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.reinstalled, vec![(key(2), 40)]);
+        assert_eq!(report.in_sync, 1);
+        assert_eq!(live.initcwnd_for(Ipv4Addr::new(10, 0, 1, 2)), Some(40));
+    }
+
+    #[test]
+    fn rewritten_window_is_converged() {
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(1), 97).unwrap(); // someone changed 80 → 97
+        let exp = expected(&[(1, 80)]);
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.reinstalled, vec![(key(1), 80)]);
+        assert_eq!(live.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(80));
+    }
+
+    #[test]
+    fn orphaned_riptide_route_is_withdrawn() {
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(9), 64).unwrap(); // crashed predecessor's
+        let exp = BTreeMap::new();
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.withdrawn, vec![key(9)]);
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn foreign_routes_are_counted_never_touched() {
+        let mut kernel = RouteTable::new();
+        // A kernel-proto route with initcwnd and a bare static route:
+        // neither matches the signature.
+        kernel
+            .add(
+                key(3),
+                RouteAttrs {
+                    proto: RouteProto::Kernel,
+                    initcwnd: Some(10),
+                    ..RouteAttrs::default()
+                },
+            )
+            .unwrap();
+        kernel
+            .add("10.9.0.0/16".parse().unwrap(), RouteAttrs::default())
+            .unwrap();
+        let exp = BTreeMap::new();
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.foreign_seen, 2);
+        assert!(report.withdrawn.is_empty() && report.reinstalled.is_empty());
+        assert_eq!(live.len(), 2, "foreign routes untouched");
+    }
+
+    #[test]
+    fn foreign_route_on_our_key_suppresses_reinstall() {
+        let mut kernel = RouteTable::new();
+        kernel
+            .add(
+                key(1),
+                RouteAttrs {
+                    proto: RouteProto::Boot,
+                    via: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                    ..RouteAttrs::default()
+                },
+            )
+            .unwrap();
+        let exp = expected(&[(1, 80)]);
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.foreign_seen, 1);
+        assert!(report.reinstalled.is_empty(), "never fight an operator");
+        let got = live.get(key(1)).unwrap();
+        assert_eq!(got.attrs.proto, RouteProto::Boot, "route left as-is");
+    }
+
+    #[test]
+    fn reinstalls_are_clamped_into_bounds() {
+        let kernel = RouteTable::new();
+        // A corrupted expectation outside [10, 100]:
+        let exp = expected(&[(1, 400), (2, 3)]);
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.reinstalled, vec![(key(1), 100), (key(2), 10)]);
+        assert_eq!(live.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(100));
+        assert_eq!(live.initcwnd_for(Ipv4Addr::new(10, 0, 1, 2)), Some(10));
+    }
+
+    #[test]
+    fn mixed_drift_repairs_everything_in_one_cycle() {
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(1), 80).unwrap(); // in sync
+        kernel.set_initcwnd(key(3), 55).unwrap(); // orphan
+        kernel
+            .add(
+                "10.8.0.0/16".parse().unwrap(),
+                RouteAttrs {
+                    proto: RouteProto::Kernel,
+                    ..RouteAttrs::default()
+                },
+            )
+            .unwrap(); // foreign
+        let exp = expected(&[(1, 80), (2, 40)]); // key(2) deleted externally
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.repairs(), 2);
+        assert_eq!(report.in_sync, 1);
+        assert_eq!(report.foreign_seen, 1);
+
+        // A second audit against the repaired table converges.
+        let repaired = live.clone();
+        let report = audit(&exp, &repaired, (10, 100), &mut live);
+        assert!(report.converged(), "{report:?}");
+    }
+
+    #[test]
+    fn controller_failures_are_reported_not_fatal() {
+        struct Refusing;
+        impl RouteController for Refusing {
+            fn set_initcwnd(&mut self, _: Ipv4Prefix, _: u32) -> Result<(), ControlError> {
+                Err(ControlError::new("refused"))
+            }
+            fn clear_initcwnd(&mut self, _: Ipv4Prefix) -> Result<(), ControlError> {
+                Err(ControlError::new("refused"))
+            }
+        }
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(9), 64).unwrap();
+        let exp = expected(&[(1, 80)]);
+        let report = audit(&exp, &kernel, (10, 100), &mut Refusing);
+        assert_eq!(report.errors.len(), 2);
+        assert!(!report.converged());
+    }
+}

@@ -512,6 +512,7 @@ mod tests {
                     dst: Ipv4Addr::new(10, 0, 1, 1),
                     cwnd: 42,
                     bytes_acked: 0,
+                    retrans: 0,
                 }])
             }
         });
@@ -599,6 +600,8 @@ mod tests {
             ssthresh: None,
             rtt_ms: None,
             bytes_acked: 10,
+            retrans: 0,
+            lost: 0,
         }]
         .into_iter()
         .collect();

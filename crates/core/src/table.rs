@@ -27,15 +27,59 @@ pub struct FinalEntry {
 /// Keys are routing prefixes (the configured granularity applied to
 /// destination addresses). Iteration order is deterministic (BTreeMap),
 /// so route updates replay identically across runs.
+///
+/// A table may be *capacity-bounded* ([`FinalTable::bounded`]): when an
+/// update would grow it past its capacity, the least-recently-updated
+/// entries are evicted first (ties broken by key order, so eviction is
+/// deterministic). This bounds kernel route-table growth when the agent
+/// faces millions of distinct destinations.
 #[derive(Debug, Clone, Default)]
 pub struct FinalTable {
     entries: BTreeMap<Ipv4Prefix, FinalEntry>,
+    capacity: Option<usize>,
 }
 
 impl FinalTable {
-    /// Creates an empty table.
+    /// Creates an empty, unbounded table.
     pub fn new() -> Self {
         FinalTable::default()
+    }
+
+    /// Creates an empty table holding at most `capacity` destinations.
+    pub fn bounded(capacity: usize) -> Self {
+        FinalTable {
+            entries: BTreeMap::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Evicts least-recently-updated entries (ties broken by key order)
+    /// until the table fits its capacity, returning the evicted keys in
+    /// eviction order. A no-op on unbounded tables.
+    pub fn enforce_capacity(&mut self) -> Vec<Ipv4Prefix> {
+        let Some(cap) = self.capacity else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.entries.len() > cap {
+            // BTreeMap iteration is key-ordered, so min_by on
+            // (last_updated, key) is deterministic: oldest first, lowest
+            // key among equals.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.last_updated, **k))
+                .map(|(k, _)| *k)
+                .expect("non-empty: len > cap >= 0");
+            self.entries.remove(&victim);
+            evicted.push(victim);
+        }
+        evicted
     }
 
     /// Number of live destinations.
@@ -182,6 +226,47 @@ mod tests {
         t.blend(key(1), 55.0, &strategy, SimTime::from_secs(60));
         let dead = t.expire(SimTime::from_secs(100), SimDuration::from_secs(90));
         assert!(dead.is_empty(), "refresh at t=60 keeps it alive at t=100");
+    }
+
+    #[test]
+    fn bounded_table_evicts_lru_deterministically() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::bounded(2);
+        assert_eq!(t.capacity(), Some(2));
+        t.blend(key(1), 50.0, &strategy, SimTime::from_secs(10));
+        t.blend(key(2), 50.0, &strategy, SimTime::from_secs(20));
+        t.blend(key(3), 50.0, &strategy, SimTime::from_secs(30));
+        let evicted = t.enforce_capacity();
+        assert_eq!(evicted, vec![key(1)], "oldest entry goes first");
+        assert_eq!(t.len(), 2);
+        // Refreshing key(2) makes key(3) the LRU victim.
+        t.blend(key(2), 55.0, &strategy, SimTime::from_secs(40));
+        t.blend(key(4), 50.0, &strategy, SimTime::from_secs(50));
+        assert_eq!(t.enforce_capacity(), vec![key(3)]);
+        assert!(t.get(&key(2)).is_some() && t.get(&key(4)).is_some());
+    }
+
+    #[test]
+    fn bounded_table_ties_break_by_key_order() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::bounded(1);
+        // Same timestamp: the lowest key is evicted first.
+        t.blend(key(9), 1.0, &strategy, SimTime::from_secs(5));
+        t.blend(key(3), 1.0, &strategy, SimTime::from_secs(5));
+        t.blend(key(6), 1.0, &strategy, SimTime::from_secs(5));
+        assert_eq!(t.enforce_capacity(), vec![key(3), key(6)]);
+        assert!(t.get(&key(9)).is_some());
+    }
+
+    #[test]
+    fn unbounded_table_never_evicts() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::new();
+        for n in 0..=255u8 {
+            t.blend(key(n), 1.0, &strategy, SimTime::ZERO);
+        }
+        assert!(t.enforce_capacity().is_empty());
+        assert_eq!(t.len(), 256);
     }
 
     #[test]

@@ -220,6 +220,46 @@ fn bad_config_file_fails_with_line_number() {
     std::fs::remove_file(conf).ok();
 }
 
+#[cfg(unix)]
+#[test]
+fn sigterm_in_follow_mode_withdraws_every_route() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let snap = write_snapshot("follow", SNAPSHOT_A);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_riptided"))
+        .args(["--no-history", "--follow", snap.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+
+    // Wait for the first install so the shutdown sweep has a route to
+    // withdraw, then deliver SIGTERM.
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first command printed");
+    assert_eq!(
+        first.trim(),
+        "ip route replace 10.0.9.1 proto static initcwnd 80"
+    );
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    let mut rest = String::new();
+    reader
+        .read_to_string(&mut rest)
+        .expect("daemon closes stdout");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "graceful exit, not a signal death");
+    assert!(
+        rest.lines().any(|l| l == "ip route del 10.0.9.1"),
+        "shutdown withdraws the installed route: {rest:?}"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
 #[test]
 fn trend_flag_damps_collapses() {
     let a = write_snapshot(

@@ -405,6 +405,52 @@ impl RouteTable {
         }
         Ok(table)
     }
+
+    /// Parses `ip route show`-style text, salvaging every line that
+    /// parses instead of failing on the first defect — the ingestion
+    /// mode the reconciler's audit loop needs, since a real kernel dump
+    /// contains routes (and attributes) installed by other tools that
+    /// this model does not cover. Returns one error per skipped line, in
+    /// input order; `parse_lossy(t).1.is_empty()` exactly when
+    /// [`RouteTable::parse`] succeeds.
+    pub fn parse_lossy(text: &str) -> (Self, Vec<ParseRouteError>) {
+        let mut table = RouteTable::new();
+        let mut errors = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match line.parse::<Route>() {
+                Ok(route) => {
+                    if let Err(e) = table.add(route.prefix, route.attrs) {
+                        errors.push(ParseRouteError::new(e.to_string()));
+                    }
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        (table, errors)
+    }
+
+    /// Dumps the kernel's current route state by running
+    /// `ip route show` through a [`CommandRunner`] and parsing the
+    /// output lossily — the live seam the reconciler audits through on a
+    /// real host. Unparseable lines are returned alongside the table so
+    /// the caller can count (but never touch) foreign state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ExecError`] when the command itself fails; parse
+    /// defects are not errors at this level.
+    ///
+    /// [`CommandRunner`]: crate::exec::CommandRunner
+    /// [`ExecError`]: crate::exec::ExecError
+    pub fn dump_via(
+        runner: &mut impl crate::exec::CommandRunner,
+    ) -> Result<(Self, Vec<ParseRouteError>), crate::exec::ExecError> {
+        let stdout = runner.run(&["ip", "route", "show"])?;
+        Ok(RouteTable::parse_lossy(&stdout))
+    }
 }
 
 impl<'a> IntoIterator for &'a RouteTable {
@@ -606,6 +652,44 @@ mod tests {
         assert!(RouteTable::parse(dup).is_err());
         // Blank lines are tolerated.
         assert_eq!(RouteTable::parse("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_lossy_salvages_known_routes_among_foreign_lines() {
+        // A realistic kernel dump: connected subnets, a dhcp default
+        // route with attributes we don't model, and two Riptide routes.
+        let dump = "default via 10.0.0.1 dev eth0 proto dhcp metric 100\n\
+                    10.0.0.0/24 dev eth0 proto kernel\n\
+                    10.0.1.7 proto static initcwnd 80\n\
+                    10.0.1.8 proto static initcwnd 44\n";
+        let (table, errors) = RouteTable::parse_lossy(dump);
+        assert_eq!(errors.len(), 1, "only the dhcp line is unparseable");
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.initcwnd_for(ip("10.0.1.7")), Some(80));
+        assert!(table.get(p("10.0.0.0/24")).is_some(), "kernel route kept");
+    }
+
+    #[test]
+    fn parse_lossy_agrees_with_strict_parse_on_clean_input() {
+        let mut t = RouteTable::new();
+        t.add(p("10.0.2.1"), RouteAttrs::initcwnd(80)).unwrap();
+        let (lossy, errors) = RouteTable::parse_lossy(&t.render());
+        assert!(errors.is_empty());
+        assert_eq!(lossy.render(), t.render());
+    }
+
+    #[test]
+    fn dump_via_runs_ip_route_show() {
+        use crate::exec::ScriptedRunner;
+        let mut runner = ScriptedRunner::new();
+        runner.push_ok("10.0.1.7 proto static initcwnd 80\n");
+        let (table, errors) = RouteTable::dump_via(&mut runner).unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(table.len(), 1);
+        assert_eq!(runner.calls()[0], vec!["ip", "route", "show"]);
+        // An exhausted script means the command failed to spawn: the
+        // exec error itself surfaces.
+        assert!(RouteTable::dump_via(&mut runner).is_err());
     }
 
     #[test]

@@ -67,6 +67,13 @@ pub struct SockEntry {
     pub rtt_ms: Option<f64>,
     /// Bytes acknowledged over the socket's lifetime.
     pub bytes_acked: u64,
+    /// Cumulative retransmitted segments over the socket's lifetime —
+    /// the figure after the slash in `ss`'s `retrans:cur/total`. The
+    /// loss signal the guard layer consumes.
+    pub retrans: u64,
+    /// Segments currently considered lost (`lost:`), per RFC 6582
+    /// accounting.
+    pub lost: u64,
 }
 
 /// Error from parsing rendered `ss` text.
@@ -109,6 +116,8 @@ impl std::error::Error for ParseSsError {}
 ///     ssthresh: None,
 ///     rtt_ms: Some(120.0),
 ///     bytes_acked: 1_000_000,
+///     retrans: 3,
+///     lost: 0,
 /// });
 /// let text = table.render();
 /// let parsed = SockTable::parse(&text)?;
@@ -165,7 +174,17 @@ impl SockTable {
             if let Some(rtt) = e.rtt_ms {
                 out.push_str(&format!(" rtt:{rtt:.3}"));
             }
-            out.push_str(&format!(" bytes_acked:{}\n", e.bytes_acked));
+            out.push_str(&format!(" bytes_acked:{}", e.bytes_acked));
+            // `ss` prints retrans as current/lifetime; we render the
+            // lifetime total and omit both counters when clean, matching
+            // the utility's own field elision.
+            if e.retrans > 0 {
+                out.push_str(&format!(" retrans:0/{}", e.retrans));
+            }
+            if e.lost > 0 {
+                out.push_str(&format!(" lost:{}", e.lost));
+            }
+            out.push('\n');
         }
         out
     }
@@ -263,14 +282,25 @@ fn parse_info_line(
     let mut ssthresh = None;
     let mut rtt_ms = None;
     let mut bytes_acked = 0;
+    let mut retrans = 0;
+    let mut lost = 0;
     for tok in line.split_whitespace() {
         match tok.split_once(':') {
-            None => cc = tok.to_string(),
+            // The first bare token is the congestion-control name; later
+            // bare tokens (`send 4.1Mbps`, `app_limited`…) are noise.
+            None => {
+                if cc.is_empty() {
+                    cc = tok.to_string();
+                }
+            }
             Some(("cwnd", v)) => cwnd = Some(parse_num(v)?),
             Some(("ssthresh", v)) => ssthresh = Some(parse_num(v)?),
             Some(("rtt", v)) => {
+                // Real `ss` prints `rtt:srtt/rttvar`; the smoothed RTT is
+                // before the slash.
+                let srtt = v.split_once('/').map_or(v, |(s, _)| s);
                 rtt_ms = Some(
-                    v.parse::<f64>()
+                    srtt.parse::<f64>()
                         .map_err(|e| ParseSsError::new(format!("bad rtt {v:?}: {e}")))?,
                 )
             }
@@ -278,6 +308,19 @@ fn parse_info_line(
                 bytes_acked = v
                     .parse::<u64>()
                     .map_err(|e| ParseSsError::new(format!("bad bytes_acked {v:?}: {e}")))?
+            }
+            Some(("retrans", v)) => {
+                // `retrans:cur/total` — the lifetime total is after the
+                // slash; a bare number (older ss) is taken as the total.
+                let total = v.split_once('/').map_or(v, |(_, t)| t);
+                retrans = total
+                    .parse::<u64>()
+                    .map_err(|e| ParseSsError::new(format!("bad retrans {v:?}: {e}")))?
+            }
+            Some(("lost", v)) => {
+                lost = v
+                    .parse::<u64>()
+                    .map_err(|e| ParseSsError::new(format!("bad lost {v:?}: {e}")))?
             }
             Some(_) => {} // unknown key: ignore, like real parsers must
         }
@@ -291,6 +334,8 @@ fn parse_info_line(
         ssthresh,
         rtt_ms,
         bytes_acked,
+        retrans,
+        lost,
     })
 }
 
@@ -333,6 +378,8 @@ mod tests {
             ssthresh: Some(64),
             rtt_ms: Some(118.25),
             bytes_acked: 42_000,
+            retrans: 0,
+            lost: 0,
         }
     }
 
@@ -443,5 +490,47 @@ mod tests {
     fn parse_empty_is_empty() {
         assert!(SockTable::parse("").unwrap().is_empty());
         assert!(SockTable::parse("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn retrans_and_lost_round_trip() {
+        let mut e = entry([10, 0, 1, 1], 80);
+        e.retrans = 17;
+        e.lost = 3;
+        let table: SockTable = vec![e, entry([10, 0, 2, 1], 12)].into_iter().collect();
+        let text = table.render();
+        assert!(text.contains("retrans:0/17 lost:3"));
+        assert_eq!(SockTable::parse(&text).unwrap(), table);
+        // Clean sockets omit both counters, like the real utility.
+        let second_row = text.lines().nth(3).unwrap();
+        assert!(!second_row.contains("retrans"));
+        assert!(!second_row.contains("lost"));
+    }
+
+    // A fixture captured from real `ss -ti` output (iproute2 5.15, loss
+    // on the path): the parser must pull the lifetime retrans total out
+    // of the `cur/total` pair while skipping every field we don't model.
+    const REAL_SS_TI: &str = "\
+ESTAB 10.128.0.4 10.132.0.9
+\t cubic wscale:7,7 rto:304 rtt:103.741/1.557 ato:40 mss:1408 pmtu:1500 rcvmss:536 advmss:1448 cwnd:38 ssthresh:29 bytes_sent:6561280 bytes_retrans:191488 bytes_acked:6369793 segs_out:4663 segs_in:2333 data_segs_out:4661 send 4.1Mbps lastsnd:44 lastrcv:103404 pacing_rate 4.9Mbps delivery_rate 3.3Mbps delivered:4526 busy:102120ms unacked:136 retrans:1/136 lost:9 sacked:84 reordering:27 rcv_space:14480 rcv_ssthresh:64088 notsent:1253376 minrtt:98.124
+ESTAB 10.128.0.4 10.132.0.10
+\t cubic wscale:7,7 rto:204 rtt:2.184/0.253 ato:40 mss:1448 cwnd:10 bytes_sent:1872 bytes_acked:1873 segs_out:14 segs_in:11 send 53Mbps delivery_rate 41.5Mbps delivered:14 app_limited busy:28ms rcv_space:14480 minrtt:1.918
+";
+
+    #[test]
+    fn parses_real_ss_ti_capture() {
+        let table = SockTable::parse(REAL_SS_TI).unwrap();
+        assert_eq!(table.len(), 2);
+        let lossy = &table.entries()[0];
+        assert_eq!(lossy.cc, "cubic");
+        assert_eq!(lossy.cwnd, 38);
+        assert_eq!(lossy.ssthresh, Some(29));
+        assert_eq!(lossy.rtt_ms, Some(103.741), "srtt, not rttvar");
+        assert_eq!(lossy.retrans, 136, "lifetime total, not the in-flight 1");
+        assert_eq!(lossy.lost, 9);
+        assert_eq!(lossy.bytes_acked, 6_369_793);
+        let clean = &table.entries()[1];
+        assert_eq!(clean.cwnd, 10);
+        assert_eq!((clean.retrans, clean.lost), (0, 0));
     }
 }

@@ -55,6 +55,19 @@ pub struct FaultPlan {
     pub burst_for: SimDuration,
     /// How often burst start/stop decisions are evaluated.
     pub burst_check_every: SimDuration,
+    /// Probability, per agent tick, that an external actor perturbs the
+    /// kernel route table behind the agent's back: deleting one of the
+    /// agent's installs, or injecting an orphan/foreign route (the drift
+    /// a reconciler audit must repair).
+    pub route_churn: f64,
+    /// Probability, per jump-start install, that the destination's path
+    /// immediately enters a loss episode — the adversarial case for the
+    /// loss guard, where the learned window itself becomes the harm.
+    pub targeted_loss: f64,
+    /// Packet loss rate applied during a targeted loss episode.
+    pub targeted_loss_rate: f64,
+    /// Targeted loss episode duration.
+    pub targeted_loss_for: SimDuration,
 }
 
 impl FaultPlan {
@@ -73,6 +86,29 @@ impl FaultPlan {
             burst_loss: 0.0,
             burst_for: SimDuration::from_secs(30),
             burst_check_every: SimDuration::from_secs(10),
+            route_churn: 0.0,
+            targeted_loss: 0.0,
+            targeted_loss_rate: 0.25,
+            // Long enough to cover a full default agent poll interval, so
+            // the loss is visible in at least one observation window.
+            targeted_loss_for: SimDuration::from_secs(90),
+        }
+    }
+
+    /// The guardrail plan: only the closed-loop-safety categories fire —
+    /// external route churn at `rate` per tick and a targeted loss
+    /// episode following `rate` of jump-start installs. Everything the
+    /// chaos sweep exercises (poll/install/crash/burst faults) stays
+    /// zero, so guardrail runs isolate the new failure modes.
+    pub fn guardrail(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate {rate} outside [0, 1]"
+        );
+        FaultPlan {
+            route_churn: rate,
+            targeted_loss: rate,
+            ..FaultPlan::none()
         }
     }
 
@@ -110,6 +146,8 @@ impl FaultPlan {
             self.install_delay,
             self.crash,
             self.burst_start,
+            self.route_churn,
+            self.targeted_loss,
         ]
         .iter()
         .any(|&r| r > 0.0)
@@ -125,6 +163,9 @@ impl FaultPlan {
             ("crash", self.crash),
             ("burst_start", self.burst_start),
             ("burst_loss", self.burst_loss),
+            ("route_churn", self.route_churn),
+            ("targeted_loss", self.targeted_loss),
+            ("targeted_loss_rate", self.targeted_loss_rate),
         ];
         for (name, r) in rates {
             if !(0.0..=1.0).contains(&r) || r.is_nan() {
@@ -171,6 +212,33 @@ pub enum InstallFault {
     Delayed,
 }
 
+/// What one route-churn event does to the kernel table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnFault {
+    /// No churn this opportunity.
+    None,
+    /// Delete the `pick`-th (in key order) of the agent's installed
+    /// routes — the "operator flushed our route" drift.
+    DeleteInstalled {
+        /// Index into the agent's installed routes, key-ordered.
+        pick: usize,
+    },
+    /// Inject a route carrying Riptide's exact signature at a prefix the
+    /// agent never learned — the "crashed predecessor's orphan" drift.
+    InjectOrphan {
+        /// Last octet of the orphan's destination host.
+        octet: u8,
+        /// The orphan's initcwnd value.
+        window: u32,
+    },
+    /// Inject a route *without* Riptide's signature — foreign state the
+    /// reconciler must observe but never touch.
+    InjectForeign {
+        /// Last octet of the foreign route's destination host.
+        octet: u8,
+    },
+}
+
 /// Counters for every fault the injector has fired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
@@ -186,6 +254,10 @@ pub struct FaultStats {
     pub crashes: u64,
     /// Link loss bursts started.
     pub bursts: u64,
+    /// External route-table churn events fired.
+    pub route_churns: u64,
+    /// Targeted loss episodes started on jump-started destinations.
+    pub targeted_bursts: u64,
 }
 
 /// Draws deterministic fault decisions according to a [`FaultPlan`].
@@ -200,6 +272,8 @@ pub struct FaultInjector {
     install_rng: DetRng,
     crash_rng: DetRng,
     burst_rng: DetRng,
+    churn_rng: DetRng,
+    targeted_rng: DetRng,
     stats: FaultStats,
 }
 
@@ -223,6 +297,8 @@ impl FaultInjector {
             install_rng: rng.fork(0xFA02),
             crash_rng: rng.fork(0xFA03),
             burst_rng: rng.fork(0xFA04),
+            churn_rng: rng.fork(0xFA05),
+            targeted_rng: rng.fork(0xFA06),
             stats: FaultStats::default(),
         }
     }
@@ -290,6 +366,46 @@ impl FaultInjector {
         }
         Some((a, b))
     }
+
+    /// Decides whether (and how) external route churn strikes this tick,
+    /// given how many routes the agent currently has `installed`.
+    ///
+    /// Deletions target an existing install; when there is nothing to
+    /// delete the event falls through to an injection, so an enabled
+    /// churn plan always produces drift.
+    pub fn churn_fault(&mut self, installed: usize) -> ChurnFault {
+        if !self.churn_rng.chance(self.plan.route_churn) {
+            return ChurnFault::None;
+        }
+        self.stats.route_churns += 1;
+        let kind = self.churn_rng.below(3);
+        if kind == 0 && installed > 0 {
+            return ChurnFault::DeleteInstalled {
+                pick: self.churn_rng.below(installed),
+            };
+        }
+        let octet = self.churn_rng.below(256) as u8;
+        if kind == 1 {
+            ChurnFault::InjectOrphan {
+                octet,
+                // An in-bounds-looking but stale window, like a crashed
+                // predecessor would leave.
+                window: 10 + self.churn_rng.below(91) as u32,
+            }
+        } else {
+            ChurnFault::InjectForeign { octet }
+        }
+    }
+
+    /// Decides whether a jump-start install is punished with a targeted
+    /// loss episode on its destination's path.
+    pub fn targeted_burst(&mut self) -> bool {
+        let fired = self.targeted_rng.chance(self.plan.targeted_loss);
+        if fired {
+            self.stats.targeted_bursts += 1;
+        }
+        fired
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +425,8 @@ mod tests {
             assert_eq!(inj.install_fault(), InstallFault::None);
             assert!(!inj.crashes_now());
             assert_eq!(inj.burst_starts(10), None);
+            assert_eq!(inj.churn_fault(4), ChurnFault::None);
+            assert!(!inj.targeted_burst());
         }
         assert_eq!(inj.stats(), FaultStats::default());
     }
@@ -380,6 +498,72 @@ mod tests {
         let draws_a: Vec<_> = (0..100).map(|_| a.install_fault()).collect();
         let draws_b: Vec<_> = (0..100).map(|_| b.install_fault()).collect();
         assert_eq!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn guardrail_plan_fires_only_its_own_categories() {
+        let plan = FaultPlan::guardrail(0.5);
+        assert!(plan.is_enabled());
+        plan.validate().unwrap();
+        let rng = DetRng::from_seed(21);
+        let mut inj = FaultInjector::new(plan, &rng);
+        let mut churn_kinds = [0usize; 3];
+        for _ in 0..400 {
+            // Legacy categories are zero-rate: no draws, no faults.
+            assert_eq!(inj.observe_fault(5), ObserveFault::None);
+            assert_eq!(inj.install_fault(), InstallFault::None);
+            assert!(!inj.crashes_now());
+            match inj.churn_fault(3) {
+                ChurnFault::None => {}
+                ChurnFault::DeleteInstalled { pick } => {
+                    assert!(pick < 3);
+                    churn_kinds[0] += 1;
+                }
+                ChurnFault::InjectOrphan { window, .. } => {
+                    assert!((10..=100).contains(&window));
+                    churn_kinds[1] += 1;
+                }
+                ChurnFault::InjectForeign { .. } => churn_kinds[2] += 1,
+            }
+            inj.targeted_burst();
+        }
+        let s = inj.stats();
+        assert!(churn_kinds.iter().all(|&k| k > 0), "{churn_kinds:?}");
+        assert!(s.route_churns > 0 && s.targeted_bursts > 0, "{s:?}");
+        assert_eq!(s.observe_timeouts + s.install_errors + s.crashes, 0);
+    }
+
+    #[test]
+    fn churn_with_nothing_installed_never_deletes() {
+        let rng = DetRng::from_seed(8);
+        let mut inj = FaultInjector::new(FaultPlan::guardrail(1.0), &rng);
+        for _ in 0..100 {
+            let fault = inj.churn_fault(0);
+            assert!(
+                !matches!(fault, ChurnFault::DeleteInstalled { .. }),
+                "deletion falls through to injection when the table is empty"
+            );
+            assert_ne!(fault, ChurnFault::None, "rate 1.0 always churns");
+        }
+    }
+
+    #[test]
+    fn churn_stream_is_independent_of_legacy_streams() {
+        // A plan that also draws observe/install faults must produce the
+        // same churn sequence as one that draws only churn.
+        let rng = DetRng::from_seed(17);
+        let mut only_churn = FaultInjector::new(FaultPlan::guardrail(0.4), &rng);
+        let mut plan = FaultPlan::uniform(0.4);
+        plan.route_churn = 0.4;
+        plan.targeted_loss = 0.4;
+        let mut both = FaultInjector::new(plan, &rng);
+        for _ in 0..300 {
+            both.observe_fault(6);
+            both.install_fault();
+        }
+        let a: Vec<_> = (0..100).map(|_| only_churn.churn_fault(5)).collect();
+        let b: Vec<_> = (0..100).map(|_| both.churn_fault(5)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub mod world;
 pub mod prelude {
     pub use crate::config::{CcAlgorithm, TcpConfig};
     pub use crate::conn::ConnState;
-    pub use crate::fault::{FaultInjector, FaultPlan, FaultStats, InstallFault, ObserveFault};
+    pub use crate::fault::{
+        ChurnFault, FaultInjector, FaultPlan, FaultStats, InstallFault, ObserveFault,
+    };
     pub use crate::ids::{ConnId, HostId, PopId, TransferId};
     pub use crate::link::{PathConfig, PathStats};
     pub use crate::rng::DetRng;

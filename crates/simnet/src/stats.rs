@@ -32,6 +32,11 @@ pub struct ConnStats {
     pub srtt: Option<SimDuration>,
     /// Approximate bytes acknowledged so far (`bytes_acked:`).
     pub bytes_acked: u64,
+    /// Segments placed on the wire as retransmissions so far, fast and
+    /// timeout-driven combined — the cumulative count `ss` reports after
+    /// the slash in `retrans:0/N`. The loss signal the guard layer
+    /// differentiates.
+    pub retransmits: u64,
     /// The initial congestion window the connection started with.
     pub initial_cwnd: u32,
     /// When the connection was opened.

@@ -529,6 +529,7 @@ impl World {
             ssthresh: c.sender.ssthresh_segments(),
             srtt: c.sender.srtt(),
             bytes_acked: c.sender.cum_acked() * self.cfg.mss as u64,
+            retransmits: c.sender.retransmits_total(),
             initial_cwnd: c.initial_cwnd,
             opened_at: c.opened_at,
             established_at: c.established_at,

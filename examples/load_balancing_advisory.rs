@@ -20,6 +20,7 @@ fn observe_steady() -> Vec<CwndObservation> {
             dst: dst.parse().expect("valid addr"),
             cwnd,
             bytes_acked: 5 << 20,
+            retrans: 0,
         })
         .collect()
 }
@@ -67,6 +68,7 @@ fn main() {
             dst: "10.0.1.1".parse().expect("valid addr"),
             cwnd: 200,
             bytes_acked: 5 << 20,
+            retrans: 0,
         }]
     });
     agent.tick(SimTime::from_secs(3), &mut shifted, &mut controller);

@@ -24,6 +24,7 @@ fn observations() -> Vec<CwndObservation> {
             dst: Ipv4Addr::new(10, 0, 7, (i + 1) as u8),
             cwnd: 40 + (i % 41),
             bytes_acked: 1_000_000,
+            retrans: 0,
         })
         .collect()
 }

@@ -41,6 +41,7 @@ fn main() {
                 dst,
                 cwnd,
                 bytes_acked: 5_000_000,
+                retrans: 0,
             })
             .collect()
     });

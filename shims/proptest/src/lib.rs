@@ -311,6 +311,8 @@ pub mod strategy {
         (A, B, C, D, E, F)
         (A, B, C, D, E, F, G)
         (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
     }
 
     /// `&str` patterns act as string strategies over a small regex
@@ -471,6 +473,78 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len =
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// The strategy returned by [`btree_map()`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A strategy for `BTreeMap`s with *up to* `size` entries (duplicate
+    /// generated keys collapse, as in the real crate).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len =
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// The strategy returned by [`btree_set()`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `BTreeSet`s with *up to* `size` elements
+    /// (duplicates collapse, as in the real crate).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len =
                 self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()

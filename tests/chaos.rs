@@ -58,6 +58,7 @@ fn agent_survives_flaky_route_control() {
                     dst: Ipv4Addr::new(10, 0, i, 1),
                     cwnd: 40 + t as u32 + i as u32, // keeps changing -> keeps installing
                     bytes_acked: 1 << 20,
+                    retrans: 0,
                 })
                 .collect()
         });
@@ -128,6 +129,7 @@ fn learned_windows_track_a_path_that_degrades() {
                     dst: s.dst_addr,
                     cwnd: s.cwnd,
                     bytes_acked: s.bytes_acked,
+                    retrans: s.retransmits,
                 })
                 .collect();
             let mut o = FnObserver(move || obs.clone());
@@ -211,6 +213,7 @@ fn degenerate_observations_clamp_to_floor() {
             dst: Ipv4Addr::new(10, 0, 1, 1),
             cwnd: 0,
             bytes_acked: 0,
+            retrans: 0,
         }]
     });
     agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
@@ -239,6 +242,7 @@ fn expiry_storm_after_total_silence() {
                 dst: Ipv4Addr::new(10, 0, i, 1),
                 cwnd: 50,
                 bytes_acked: 1,
+                retrans: 0,
             })
             .collect()
     });
@@ -346,6 +350,7 @@ proptest! {
             cwnd_sample_interval: SimDuration::from_secs(60),
             probe_senders: None,
             faults: FaultPlan::uniform(rate),
+            reconcile_every: None,
         };
         let mut sim = CdnSim::new(cfg);
         sim.run_for(SimDuration::from_secs(150));

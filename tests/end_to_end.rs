@@ -226,6 +226,7 @@ fn agent_commands_round_trip_through_ip_route_syntax() {
                 dst: std::net::Ipv4Addr::new(10, 0, i, 1),
                 cwnd: 30 + i as u32 * 5,
                 bytes_acked: 1 << 20,
+                retrans: 0,
             })
             .collect()
     });
@@ -257,6 +258,8 @@ fn ss_text_drives_the_agent_like_structured_input() {
             ssthresh: Some(50),
             rtt_ms: Some(100.0),
             bytes_acked: 1 << 20,
+            retrans: 0,
+            lost: 0,
         })
         .collect();
     let text = entries.render();
@@ -326,6 +329,7 @@ fn full_deployment_learns_only_within_clamp() {
         cwnd_sample_interval: SimDuration::from_secs(60),
         probe_senders: None,
         faults: riptide_simnet::fault::FaultPlan::none(),
+        reconcile_every: None,
     };
     let mut sim = CdnSim::new(cfg);
     sim.run_for(SimDuration::from_secs(600));

@@ -148,13 +148,13 @@ proptest! {
         rows in proptest::collection::vec(
             (any::<u32>(), any::<u32>(), 1u32..2000,
              proptest::option::of(1u32..2000), proptest::option::of(0.0f64..2000.0),
-             any::<u64>(), 0u8..3),
+             any::<u64>(), 0u8..3, 0u64..10_000, 0u64..1_000),
             0..20,
         )
     ) {
         let table: SockTable = rows
             .into_iter()
-            .map(|(src, dst, cwnd, ssthresh, rtt, bytes, state)| SockEntry {
+            .map(|(src, dst, cwnd, ssthresh, rtt, bytes, state, retrans, lost)| SockEntry {
                 src: Ipv4Addr::from(src),
                 dst: Ipv4Addr::from(dst),
                 state: match state {
@@ -168,6 +168,8 @@ proptest! {
                 // Rendered at 3 decimals; quantize so equality holds.
                 rtt_ms: rtt.map(|r| (r * 1000.0).round() / 1000.0),
                 bytes_acked: bytes,
+                retrans,
+                lost,
             })
             .collect();
         let parsed = SockTable::parse(&table.render()).unwrap();
@@ -190,6 +192,7 @@ proptest! {
                 dst: Ipv4Addr::new(10, 0, 0, 1),
                 cwnd,
                 bytes_acked: bytes,
+                retrans: 0,
             })
             .collect();
         let lo = group.iter().map(|o| o.cwnd as f64).fold(f64::MAX, f64::min);
@@ -401,6 +404,159 @@ proptest! {
         let first = run();
         let second = run();
         prop_assert_eq!(first, second, "identical construction must replay identically");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop safety: reconciler audit and the bounded learned table
+// ---------------------------------------------------------------------
+
+proptest! {
+    // From *any* divergent (kernel routes, learned table) pair, one
+    // reconciler audit restores agreement, never touches a foreign
+    // route, and never installs a window outside `[c_min, c_max]`.
+    #[test]
+    fn one_audit_repairs_arbitrary_drift_and_spares_foreign_routes(
+        expected_rows in proptest::collection::btree_map(1u8..250, 1u32..300, 0..24),
+        perturb in proptest::collection::vec(0u8..4, 24),
+        orphans in proptest::collection::btree_map(1u8..250, 1u32..300, 0..8),
+        foreigners in proptest::collection::btree_set(1u8..250, 0..8),
+        lo in 2u32..50,
+        extra in 0u32..120,
+    ) {
+        use riptide_repro::riptide::reconcile::{audit, is_riptide_route};
+        use std::collections::BTreeMap;
+
+        let bounds = (lo, lo + extra);
+        let exp_key = |n: u8| Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, n));
+        let orphan_key = |n: u8| Ipv4Prefix::host(Ipv4Addr::new(10, 0, 2, n));
+        let foreign_key = |n: u8| Ipv4Prefix::host(Ipv4Addr::new(10, 0, 3, n));
+
+        // Drift the kernel away from the expected view, one perturbation
+        // per expectation: in sync, deleted behind the agent's back,
+        // window rewritten, or shadowed by a foreign squatter.
+        let mut expected: BTreeMap<Ipv4Prefix, u32> = BTreeMap::new();
+        let mut kernel = RouteTable::new();
+        let mut squatted: Vec<Ipv4Prefix> = Vec::new();
+        for (i, (&n, &w)) in expected_rows.iter().enumerate() {
+            let key = exp_key(n);
+            expected.insert(key, w);
+            match perturb[i] {
+                0 => {
+                    kernel.replace(key, RouteAttrs::initcwnd(w));
+                }
+                1 => {}
+                2 => {
+                    kernel.replace(key, RouteAttrs::initcwnd(w + 7));
+                }
+                _ => {
+                    kernel.replace(
+                        key,
+                        RouteAttrs {
+                            proto: RouteProto::Boot,
+                            via: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                            ..RouteAttrs::default()
+                        },
+                    );
+                    squatted.push(key);
+                }
+            }
+        }
+        // Signature orphans (a crashed predecessor's leftovers) and
+        // unambiguously foreign routes.
+        for (&n, &w) in &orphans {
+            kernel.replace(orphan_key(n), RouteAttrs::initcwnd(w));
+        }
+        for &n in &foreigners {
+            kernel.replace(
+                foreign_key(n),
+                RouteAttrs {
+                    proto: RouteProto::Kernel,
+                    ..RouteAttrs::default()
+                },
+            );
+        }
+        let foreign_snapshot: Vec<(Ipv4Prefix, RouteAttrs)> = kernel
+            .iter()
+            .filter(|r| !is_riptide_route(&r.attrs))
+            .map(|r| (r.prefix, r.attrs.clone()))
+            .collect();
+
+        // One audit: diff the dump, repair the live table.
+        let mut live = kernel.clone();
+        let report = audit(&expected, &kernel, bounds, &mut live);
+        prop_assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+        // Foreign routes survive byte for byte.
+        for (prefix, attrs) in &foreign_snapshot {
+            prop_assert_eq!(
+                live.get(*prefix).map(|r| &r.attrs),
+                Some(attrs),
+                "foreign route modified at {}",
+                prefix
+            );
+        }
+        // Every expectation converged to its clamped window — except
+        // where a foreign squatter holds the key, which is left alone.
+        for (&key, &want) in &expected {
+            if squatted.contains(&key) {
+                continue;
+            }
+            prop_assert_eq!(
+                live.get(key).and_then(|r| r.attrs.initcwnd),
+                Some(want.clamp(bounds.0, bounds.1)),
+                "expectation not converged at {}",
+                key
+            );
+        }
+        // No signature orphan survives the audit.
+        for route in live.iter() {
+            prop_assert!(
+                !is_riptide_route(&route.attrs) || expected.contains_key(&route.prefix),
+                "orphan survived at {}",
+                route.prefix
+            );
+        }
+        // Nothing the audit installed leaves the bounds.
+        for &(_, w) in &report.reinstalled {
+            prop_assert!(w >= bounds.0 && w <= bounds.1, "installed {w} outside bounds");
+        }
+        // A second audit against the repaired table is a no-op.
+        let repaired = live.clone();
+        let second = audit(&expected, &repaired, bounds, &mut live);
+        prop_assert!(second.converged(), "second audit not converged: {second:?}");
+    }
+
+    // A capacity-bounded table never exceeds its bound, never evicts the
+    // entry that was just refreshed, and evicts deterministically.
+    #[test]
+    fn bounded_table_respects_capacity_and_lru_order(
+        cap in 1usize..12,
+        updates in proptest::collection::vec((1u8..40, 1u32..200), 1..60),
+    ) {
+        use riptide_repro::riptide::table::FinalTable;
+        use riptide_repro::riptide::history::HistoryStrategy;
+        use riptide_repro::simnet::time::SimDuration;
+
+        let strategy = HistoryStrategy::None;
+        let run = || {
+            let mut table = FinalTable::bounded(cap);
+            let mut log: Vec<Ipv4Prefix> = Vec::new();
+            for (i, &(n, w)) in updates.iter().enumerate() {
+                let now = SimTime::ZERO + SimDuration::from_secs(i as u64 + 1);
+                let key = Ipv4Prefix::host(Ipv4Addr::new(10, 0, 9, n));
+                table.update(key, w as f64, w, &strategy, now);
+                let evicted = table.enforce_capacity();
+                assert!(table.len() <= cap, "table grew past its bound");
+                assert!(
+                    !evicted.contains(&key),
+                    "evicted the entry that was just refreshed"
+                );
+                log.extend(evicted);
+            }
+            log
+        };
+        prop_assert_eq!(run(), run(), "eviction order must be deterministic");
     }
 }
 

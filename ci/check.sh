@@ -28,4 +28,14 @@ run cargo run --release -p riptide-bench --bin guardrail -- \
 run grep -q '"drift_unrepaired": 0' BENCH_guardrail.json
 run grep -q '"foreign_touched": 0' BENCH_guardrail.json
 
+# Telemetry smoke: a quick-scale probe plan with the metrics bundle
+# attached must keep merged snapshots thread-count invariant, leave
+# uninstrumented digests bit-identical (zero overhead), and move the
+# key counters; the golden test pins the exposition format itself.
+run cargo run --release -p riptide-bench --bin telemetry -- \
+    --scale test --seeds 1
+run grep -q '"thread_invariant": true' BENCH_telemetry.json
+run grep -q '"zero_overhead": true' BENCH_telemetry.json
+run cargo test -q --release --test golden_exposition
+
 echo "==> all checks passed"

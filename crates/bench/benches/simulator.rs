@@ -65,6 +65,7 @@ fn bench_cdn_deployment_minute(c: &mut Criterion) {
                     probe_senders: None,
                     faults: riptide_simnet::fault::FaultPlan::none(),
                     reconcile_every: None,
+                    telemetry: false,
                 };
                 let mut sim = CdnSim::new(cfg);
                 sim.run_for(SimDuration::from_secs(60));

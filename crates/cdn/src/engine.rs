@@ -33,6 +33,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use riptide::config::RiptideConfig;
+use riptide::telemetry::MetricsSnapshot;
 use riptide_simnet::rng::stream_seed;
 use riptide_simnet::time::{SimDuration, SimTime};
 
@@ -41,7 +42,7 @@ use crate::experiment::{
     probe_sender_sites, probe_sim_config, traffic_profile_sites, traffic_sim_config,
     ExperimentScale, ProbeComparison, StackTweaks,
 };
-use crate::sim::{CdnSim, ChaosReport, ProbeOutcome};
+use crate::sim::{CdnSim, CdnSimConfig, ChaosReport, ProbeOutcome};
 use crate::stats::{Cdf, Histogram};
 
 /// The coordinates of one shard inside a plan.
@@ -138,6 +139,10 @@ pub struct ShardSpec {
     pub scale: ExperimentScale,
     /// The simulation to run.
     pub work: ShardWork,
+    /// Whether the shard's deployment attaches the telemetry bundle
+    /// (see [`RunPlan::with_telemetry`]). Off by default so digests of
+    /// existing plans are unchanged.
+    pub telemetry: bool,
 }
 
 /// An enumerated, ready-to-execute experiment.
@@ -226,6 +231,9 @@ pub struct ShardResult {
     pub stats: ShardStats,
     /// The measurement.
     pub data: ShardData,
+    /// Deployment-wide metrics snapshot — empty unless the plan ran
+    /// [`RunPlan::with_telemetry`].
+    pub metrics: MetricsSnapshot,
 }
 
 /// The merged outcome of running a [`RunPlan`].
@@ -270,7 +278,22 @@ impl RunPlan {
             seed,
             scale: shard_scale,
             work,
+            telemetry: false,
         }
+    }
+
+    /// Enables the telemetry bundle on every shard: each deployment
+    /// records metrics and decisions, and [`ShardResult::metrics`]
+    /// carries a per-shard snapshot merged by
+    /// [`RunReport::merged_metrics`]. Digests gain one `metrics=` token
+    /// per shard but are otherwise unchanged, and stay thread-count
+    /// invariant because snapshots merge in plan order.
+    #[must_use]
+    pub fn with_telemetry(mut self) -> RunPlan {
+        for shard in &mut self.shards {
+            shard.telemetry = true;
+        }
+        self
     }
 
     /// Fig. 10: one shard per (`c_max` arm × replicate).
@@ -549,9 +572,13 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
     let started = Instant::now();
     let scale = &spec.scale;
     let cutoff = SimTime::ZERO + scale.warmup;
-    let (data, world) = match &spec.work {
+    let build = |mut cfg: CdnSimConfig| {
+        cfg.telemetry = spec.telemetry;
+        CdnSim::new(cfg)
+    };
+    let (data, world, metrics) = match &spec.work {
         ShardWork::CwndDistribution { c_max } => {
-            let mut sim = CdnSim::new(cwnd_sim_config(scale, *c_max));
+            let mut sim = build(cwnd_sim_config(scale, *c_max));
             sim.run_for(scale.total());
             let cdf = Cdf::new(
                 sim.cwnd_samples()
@@ -559,11 +586,15 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
                     .filter(|s| s.at >= cutoff)
                     .map(|s| s.cwnd as f64),
             );
-            (ShardData::Cwnd(cdf), sim.testbed().world.stats())
+            (
+                ShardData::Cwnd(cdf),
+                sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
+            )
         }
         ShardWork::TrafficProfile => {
             let (probe_only_site, busy_site) = traffic_profile_sites(scale);
-            let mut sim = CdnSim::new(traffic_sim_config(scale));
+            let mut sim = build(traffic_sim_config(scale));
             sim.run_for(scale.total());
             let at_site = |site: usize| {
                 Cdf::new(
@@ -579,6 +610,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
                     busy: at_site(busy_site),
                 },
                 sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
             )
         }
         ShardWork::ProbeArm {
@@ -587,7 +619,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             senders,
         } => {
             let cfg = probe_sim_config(scale, riptide.clone(), *tweaks, senders.clone());
-            let mut sim = CdnSim::new(cfg);
+            let mut sim = build(cfg);
             sim.run_for(scale.total());
             let probes = sim
                 .probe_outcomes()
@@ -595,10 +627,14 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
                 .filter(|p| p.requested_at >= cutoff)
                 .copied()
                 .collect();
-            (ShardData::Probes(probes), sim.testbed().world.stats())
+            (
+                ShardData::Probes(probes),
+                sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
+            )
         }
         ShardWork::Convergence { step } => {
-            let mut sim = CdnSim::new(cwnd_sim_config(scale, Some(100)));
+            let mut sim = build(cwnd_sim_config(scale, Some(100)));
             let steps = (scale.total().as_secs_f64() / step.as_secs_f64()).ceil() as u64;
             let mut points = Vec::with_capacity(steps as usize);
             for i in 1..=steps {
@@ -611,7 +647,11 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
                     route_updates: sim.agent_stats_total().route_updates,
                 });
             }
-            (ShardData::Convergence(points), sim.testbed().world.stats())
+            (
+                ShardData::Convergence(points),
+                sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
+            )
         }
         ShardWork::ChaosArm {
             riptide,
@@ -619,7 +659,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             senders,
         } => {
             let cfg = chaos_sim_config(scale, riptide.clone(), senders.clone(), *fault_rate);
-            let mut sim = CdnSim::new(cfg);
+            let mut sim = build(cfg);
             sim.run_for(scale.total());
             let probes = sim
                 .probe_outcomes()
@@ -631,6 +671,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             (
                 ShardData::Chaos { probes, report },
                 sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
             )
         }
         ShardWork::GuardrailArm {
@@ -639,7 +680,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             senders,
         } => {
             let cfg = guardrail_sim_config(scale, riptide.clone(), senders.clone(), *fault_rate);
-            let mut sim = CdnSim::new(cfg);
+            let mut sim = build(cfg);
             sim.run_for(scale.total());
             // Closing audit: the last churn instant may postdate the last
             // scheduled audit, and the repair claim is about convergence.
@@ -656,6 +697,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             (
                 ShardData::Guardrail { probes, report },
                 sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
             )
         }
     };
@@ -670,6 +712,7 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             transfers: world.transfers_completed,
         },
         data,
+        metrics,
     }
 }
 
@@ -852,7 +895,7 @@ impl RunReport {
         ));
         for s in &self.shards {
             out.push_str(&format!(
-                "{} label={} seed={} events={} retransmits={} transfers={} data={:016x}\n",
+                "{} label={} seed={} events={} retransmits={} transfers={} data={:016x}",
                 s.id,
                 s.label,
                 s.seed,
@@ -861,8 +904,30 @@ impl RunReport {
                 s.stats.transfers,
                 fnv1a(format!("{:?}", s.data).as_bytes())
             ));
+            // Telemetry-off shards carry an empty snapshot and emit no
+            // token, keeping historical digests byte-identical.
+            if !s.metrics.is_empty() {
+                out.push_str(&format!(
+                    " metrics={:016x}",
+                    fnv1a(s.metrics.render_prometheus().as_bytes())
+                ));
+            }
+            out.push('\n');
         }
         out
+    }
+
+    /// The union of every shard's metrics snapshot, merged in plan
+    /// order. Counters sum, gauges sum, histogram buckets add
+    /// element-wise — all commutative, so the result is invariant to
+    /// worker count and completion order. Empty unless the plan ran
+    /// [`RunPlan::with_telemetry`].
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for s in &self.shards {
+            merged.merge(&s.metrics);
+        }
+        merged
     }
 }
 

@@ -116,6 +116,7 @@ pub fn cwnd_sim_config(scale: &ExperimentScale, c_max: Option<u32>) -> CdnSimCon
         probe_senders: None,
         faults: FaultPlan::none(),
         reconcile_every: None,
+        telemetry: false,
     }
 }
 
@@ -160,6 +161,7 @@ pub fn traffic_sim_config(scale: &ExperimentScale) -> CdnSimConfig {
         probe_senders: None,
         faults: FaultPlan::none(),
         reconcile_every: None,
+        telemetry: false,
     }
 }
 
@@ -268,6 +270,7 @@ pub fn probe_sim_config(
         probe_senders: Some(senders),
         faults: FaultPlan::none(),
         reconcile_every: None,
+        telemetry: false,
     }
 }
 

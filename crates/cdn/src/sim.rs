@@ -59,6 +59,10 @@ pub struct CdnSimConfig {
     /// kernel route dump (`None` disables auditing — the paper's
     /// open-loop deployment).
     pub reconcile_every: Option<SimDuration>,
+    /// Attach a shared telemetry bundle (metrics registry + decision
+    /// journal) to every agent. Off by default: a disabled registry does
+    /// no telemetry work and leaves run digests bit-identical.
+    pub telemetry: bool,
 }
 
 impl Default for CdnSimConfig {
@@ -72,6 +76,7 @@ impl Default for CdnSimConfig {
             probe_senders: None,
             faults: FaultPlan::none(),
             reconcile_every: None,
+            telemetry: false,
         }
     }
 }
@@ -340,7 +345,18 @@ pub struct CdnSim {
     cwnd_samples: Vec<CwndSample>,
     organic_completed: u64,
     organic_started: u64,
+    /// Shared telemetry bundle, when `cfg.telemetry` is on: every agent
+    /// (including crash-restart incarnations) registers on one registry,
+    /// so counters aggregate across the whole deployment.
+    telemetry: Option<AgentTelemetry>,
+    /// I/O counters on the same registry, mirrored out of the resilient
+    /// wrappers the chaos path builds each tick.
+    io_counters: Option<IoCounters>,
 }
+
+/// Decision-journal depth for simulated deployments. Large enough to hold
+/// the tail of a bench-scale run, small enough to bound memory.
+const TELEMETRY_JOURNAL_CAPACITY: usize = 256;
 
 impl CdnSim {
     /// Builds the deployment.
@@ -380,6 +396,10 @@ impl CdnSim {
             })
             .collect();
 
+        let telemetry = (cfg.telemetry && cfg.riptide.is_some())
+            .then(|| AgentTelemetry::standalone(TELEMETRY_JOURNAL_CAPACITY));
+        let io_counters = telemetry.as_ref().map(|t| t.io_counters());
+
         let mut agents: Vec<Option<RiptideAgent>> = Vec::with_capacity(host_count);
         let mut controllers: Vec<Option<CheckedController<SharedRouteController>>> =
             Vec::with_capacity(host_count);
@@ -398,9 +418,12 @@ impl CdnSim {
                         rc.cwnd_min,
                         rc.cwnd_max,
                     )));
-                    agents.push(Some(
-                        RiptideAgent::new(rc.clone()).expect("validated riptide config"),
-                    ));
+                    let mut agent =
+                        RiptideAgent::new(rc.clone()).expect("validated riptide config");
+                    if let Some(t) = &telemetry {
+                        agent.attach_telemetry(t.clone());
+                    }
+                    agents.push(Some(agent));
                 }
                 None => {
                     agents.push(None);
@@ -461,7 +484,25 @@ impl CdnSim {
             cwnd_samples: Vec::new(),
             organic_completed: 0,
             organic_started: 0,
+            telemetry,
+            io_counters,
         }
+    }
+
+    /// Point-in-time snapshot of the deployment-wide metrics registry.
+    ///
+    /// Empty (and therefore absent from run digests) unless
+    /// [`CdnSimConfig::telemetry`] was set.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.registry().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The shared decision journal, when telemetry is enabled.
+    pub fn decision_journal(&self) -> Option<&DecisionJournal> {
+        self.telemetry.as_ref().map(|t| t.journal())
     }
 
     /// Whether this run has Riptide agents.
@@ -735,8 +776,12 @@ impl CdnSim {
                                 chaos.report.guard_trips += old.stats().guard_trips;
                                 chaos.report.reconcile_repairs += old.stats().reconcile_repairs;
                                 let rc = self.cfg.riptide.clone().expect("agent implies config");
-                                self.agents[h] =
-                                    Some(RiptideAgent::new(rc).expect("validated riptide config"));
+                                let mut fresh =
+                                    RiptideAgent::new(rc).expect("validated riptide config");
+                                if let Some(t) = &self.telemetry {
+                                    fresh.attach_telemetry(t.clone());
+                                }
+                                self.agents[h] = Some(fresh);
                                 chaos.down_until[h] =
                                     Some(now + chaos.injector.plan().restart_after);
                                 continue;
@@ -801,6 +846,9 @@ impl CdnSim {
                             SimDuration::from_millis(200),
                             update_interval,
                         );
+                        if let Some(io) = &self.io_counters {
+                            resilient.set_counters(io.clone());
+                        }
                         let polled = resilient.observe();
                         (polled, resilient.stats().retries)
                     };
@@ -823,6 +871,9 @@ impl CdnSim {
                                 host: h,
                             };
                             let mut rctl = ResilientController::new(chaos_ctl, *policy);
+                            if let Some(io) = &self.io_counters {
+                                rctl.set_counters(io.clone());
+                            }
                             let mut observer = FnObserver(move || polled_rows.clone());
                             let tick = agent.tick(now, &mut observer, &mut rctl);
                             let io = rctl.stats();
@@ -1177,6 +1228,7 @@ mod tests {
             probe_senders: None,
             faults: FaultPlan::none(),
             reconcile_every: None,
+            telemetry: false,
         }
     }
 

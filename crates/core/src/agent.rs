@@ -25,6 +25,7 @@ use crate::config::RiptideConfig;
 use crate::control::{ControlError, RouteController};
 use crate::observe::{CwndObservation, WindowObserver};
 use crate::table::FinalTable;
+use crate::telemetry::{AgentTelemetry, DecisionAction, DecisionCause};
 
 /// What one agent tick did, for logging and tests.
 #[derive(Debug, Clone, Default)]
@@ -174,6 +175,11 @@ pub struct RiptideAgent {
     /// state reconciler audits diff against, and the withdrawal list a
     /// graceful shutdown walks.
     installed: BTreeMap<Ipv4Prefix, u32>,
+    /// Optional observability bundle; `None` means zero telemetry work.
+    telemetry: Option<AgentTelemetry>,
+    /// The most recent tick instant, used to stamp journal records for
+    /// actions that happen outside a tick (reconcile, shutdown).
+    last_now: SimTime,
 }
 
 impl RiptideAgent {
@@ -196,7 +202,21 @@ impl RiptideAgent {
             advisory: crate::advisory::Advisory::Normal,
             guard,
             installed: BTreeMap::new(),
+            telemetry: None,
+            last_now: SimTime::ZERO,
         })
+    }
+
+    /// Attaches an observability bundle: from here on every tick updates
+    /// its counters and gauges and every route decision is journaled.
+    /// Agents without one (the default) skip all telemetry work.
+    pub fn attach_telemetry(&mut self, telemetry: AgentTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn telemetry(&self) -> Option<&AgentTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Sets the control-plane advisory shaping future installs (§V).
@@ -265,11 +285,16 @@ impl RiptideAgent {
     {
         let mut report = TickReport::default();
         self.stats.ticks += 1;
+        self.last_now = now;
 
         // 1. observed table ← current windows of all connections.
         let observations = observer.observe();
         report.observed_connections = observations.len();
         self.stats.observations += observations.len() as u64;
+        if let Some(t) = &self.telemetry {
+            t.ticks.inc();
+            t.observations.add(observations.len() as u64);
+        }
 
         // 2. group by destination (BTreeMap: deterministic order).
         let mut groups: BTreeMap<Ipv4Prefix, Vec<CwndObservation>> = BTreeMap::new();
@@ -298,6 +323,7 @@ impl RiptideAgent {
                 continue;
             };
             let window = self.config.clamp(shaped);
+            let clamped = window as f64 != shaped.round();
             self.table.set_window(&key, window);
 
             // Guard: feed the group's cumulative loss counters and, when
@@ -305,6 +331,7 @@ impl RiptideAgent {
             // window — the kernel default, as if Riptide never touched
             // this destination.
             let mut effective = window;
+            let mut suppressed_by = None;
             if let Some(guard) = &mut self.guard {
                 let retrans_total: u64 = group.iter().map(|o| o.retrans).sum();
                 let bytes_total: u64 = group.iter().map(|o| o.bytes_acked).sum();
@@ -316,9 +343,13 @@ impl RiptideAgent {
                 if verdict.tripped {
                     self.stats.guard_trips += 1;
                     report.guard_trips.push(key);
+                    if let Some(t) = &self.telemetry {
+                        t.guard_trips.inc();
+                    }
                 }
                 if guard.suppressed(&key) {
                     effective = self.config.clamp(guard.config().probe_window as f64);
+                    suppressed_by = Some(guard.state(&key));
                 }
             }
 
@@ -329,10 +360,42 @@ impl RiptideAgent {
                     Ok(()) => {
                         self.stats.route_updates += 1;
                         report.updates.push((key, effective));
+                        if let Some(t) = &self.telemetry {
+                            t.route_updates.inc();
+                            t.installed_window.observe(effective as u64);
+                            match suppressed_by {
+                                Some(state) => {
+                                    t.suppressed_installs.inc();
+                                    t.journal_decision(
+                                        now,
+                                        key,
+                                        DecisionAction::Suppress { window: effective },
+                                        DecisionCause::Guard { state },
+                                    );
+                                }
+                                None => {
+                                    if clamped {
+                                        t.clamped_installs.inc();
+                                    }
+                                    t.journal_decision(
+                                        now,
+                                        key,
+                                        DecisionAction::Install { window: effective },
+                                        DecisionCause::Learned {
+                                            fresh: fresh.round() as u32,
+                                            clamped,
+                                        },
+                                    );
+                                }
+                            }
+                        }
                     }
                     Err(e) => {
                         self.stats.errors += 1;
                         report.errors.push(e);
+                        if let Some(t) = &self.telemetry {
+                            t.errors.inc();
+                        }
                     }
                 }
                 // The view tracks what was *issued*, successful or not,
@@ -354,15 +417,38 @@ impl RiptideAgent {
             if let Some(guard) = &mut self.guard {
                 guard.forget(&key);
             }
+            if let Some(t) = &self.telemetry {
+                t.table_evictions.inc();
+                t.journal_decision(now, key, DecisionAction::Evict, DecisionCause::Capacity);
+            }
             if self.installed.remove(&key).is_some() {
                 if let Err(e) = controller.clear_initcwnd(key) {
                     self.stats.errors += 1;
                     report.errors.push(e);
+                    if let Some(t) = &self.telemetry {
+                        t.errors.inc();
+                    }
                 }
             }
         }
 
+        self.refresh_gauges();
         report
+    }
+
+    /// Re-derives the point-in-time gauges from live state. Cheap enough
+    /// to run at the end of every tick.
+    fn refresh_gauges(&self) {
+        let Some(t) = &self.telemetry else { return };
+        t.table_entries.set(self.table.len() as u64);
+        t.installed_routes.set(self.installed.len() as u64);
+        let (_, open, half_open) = self
+            .guard
+            .as_ref()
+            .map(|g| g.breaker_counts())
+            .unwrap_or((0, 0, 0));
+        t.breaker_open.set(open as u64);
+        t.breaker_half_open.set(half_open as u64);
     }
 
     /// Runs one reconciler audit cycle against a kernel route dump:
@@ -381,6 +467,29 @@ impl RiptideAgent {
         let report = crate::reconcile::audit(&self.installed, kernel, bounds, controller);
         self.stats.reconcile_repairs += report.repairs() as u64;
         self.stats.errors += report.errors.len() as u64;
+        if let Some(t) = &self.telemetry {
+            t.reconcile_repairs.add(report.repairs() as u64);
+            t.errors.add(report.errors.len() as u64);
+            let verdict = report.verdict();
+            for &(key, window) in &report.reinstalled {
+                t.journal_decision(
+                    self.last_now,
+                    key,
+                    DecisionAction::Repair {
+                        window: Some(window),
+                    },
+                    DecisionCause::Reconcile { verdict },
+                );
+            }
+            for &key in &report.withdrawn {
+                t.journal_decision(
+                    self.last_now,
+                    key,
+                    DecisionAction::Repair { window: None },
+                    DecisionCause::Reconcile { verdict },
+                );
+            }
+        }
         report
     }
 
@@ -397,11 +506,29 @@ impl RiptideAgent {
         let keys: Vec<Ipv4Prefix> = self.installed.keys().copied().collect();
         for &key in &keys {
             match controller.clear_initcwnd(key) {
-                Ok(()) => self.stats.route_expirations += 1,
-                Err(_) => self.stats.errors += 1,
+                Ok(()) => {
+                    self.stats.route_expirations += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.route_expirations.inc();
+                        t.shutdown_withdrawals.inc();
+                        t.journal_decision(
+                            self.last_now,
+                            key,
+                            DecisionAction::Withdraw,
+                            DecisionCause::Shutdown,
+                        );
+                    }
+                }
+                Err(_) => {
+                    self.stats.errors += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.errors.inc();
+                    }
+                }
             }
         }
         self.installed.clear();
+        self.refresh_gauges();
         keys
     }
 
@@ -428,7 +555,13 @@ impl RiptideAgent {
         };
         self.stats.ticks += 1;
         self.stats.degraded_ticks += 1;
+        self.last_now = now;
+        if let Some(t) = &self.telemetry {
+            t.ticks.inc();
+            t.degraded_ticks.inc();
+        }
         self.expire_into(now, controller, &mut report);
+        self.refresh_gauges();
         report
     }
 
@@ -445,10 +578,22 @@ impl RiptideAgent {
                 Ok(()) => {
                     self.stats.route_expirations += 1;
                     report.expired.push(key);
+                    if let Some(t) = &self.telemetry {
+                        t.route_expirations.inc();
+                        t.journal_decision(
+                            now,
+                            key,
+                            DecisionAction::Withdraw,
+                            DecisionCause::TtlExpired,
+                        );
+                    }
                 }
                 Err(e) => {
                     self.stats.errors += 1;
                     report.errors.push(e);
+                    if let Some(t) = &self.telemetry {
+                        t.errors.inc();
+                    }
                 }
             }
         }
@@ -890,6 +1035,139 @@ mod tests {
         // Converged: a second audit is a no-op.
         let dump = routes.clone();
         assert!(a.reconcile(&dump, &mut routes).converged());
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_agent_stats() {
+        use crate::telemetry::AgentTelemetry;
+
+        let cfg = RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .guard(crate::guard::GuardConfig::default())
+            .table_capacity(2)
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        a.attach_telemetry(AgentTelemetry::standalone(64));
+
+        // Installs for three destinations through a 2-slot table (one
+        // eviction), then loss trips the guard, then TTL expiry.
+        for (t, n) in [(1u64, 1u8), (2, 2), (3, 3)] {
+            let mut o = FnObserver(move || vec![obs([10, 0, n, 1], 50)]);
+            a.tick(SimTime::from_secs(t), &mut o, &mut routes);
+        }
+        let mut bad = FnObserver(|| vec![lossy_obs([10, 0, 3, 1], 80, 500, 2_000_000)]);
+        a.tick(SimTime::from_secs(4), &mut bad, &mut routes);
+        a.tick(SimTime::from_secs(5), &mut bad, &mut routes);
+        let mut silent = FnObserver(Vec::new);
+        a.tick(SimTime::from_secs(200), &mut silent, &mut routes);
+
+        let s = a.stats();
+        let snap = a.telemetry().unwrap().registry().snapshot();
+        for (name, want) in [
+            ("riptide_ticks_total", s.ticks),
+            ("riptide_observations_total", s.observations),
+            ("riptide_route_updates_total", s.route_updates),
+            ("riptide_route_expirations_total", s.route_expirations),
+            ("riptide_control_errors_total", s.errors),
+            ("riptide_degraded_ticks_total", s.degraded_ticks),
+            ("riptide_guard_trips_total", s.guard_trips),
+            ("riptide_table_evictions_total", s.table_evictions),
+            ("riptide_reconcile_repairs_total", s.reconcile_repairs),
+        ] {
+            assert_eq!(snap.value(name), Some(want), "{name}");
+        }
+        assert!(s.guard_trips >= 1 && s.table_evictions >= 1 && s.route_expirations >= 1);
+        assert_eq!(
+            snap.value("riptide_table_entries"),
+            Some(a.table().len() as u64)
+        );
+        assert_eq!(
+            snap.value("riptide_installed_routes"),
+            Some(a.installed_view().len() as u64)
+        );
+    }
+
+    #[test]
+    fn journal_records_the_decision_taxonomy() {
+        use crate::telemetry::{AgentTelemetry, DecisionAction, DecisionCause};
+
+        let (mut a, mut routes) = agent(guarded());
+        a.attach_telemetry(AgentTelemetry::standalone(64));
+
+        let mut o = FnObserver(|| vec![lossy_obs([10, 0, 1, 1], 80, 0, 1_000_000)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        let mut bad = FnObserver(|| vec![lossy_obs([10, 0, 1, 1], 80, 500, 2_000_000)]);
+        a.tick(SimTime::from_secs(2), &mut bad, &mut routes);
+        let mut silent = FnObserver(Vec::new);
+        a.tick(SimTime::from_secs(200), &mut silent, &mut routes);
+
+        let records = a.telemetry().unwrap().journal().snapshot();
+        assert!(
+            matches!(
+                records[0],
+                crate::telemetry::DecisionRecord {
+                    action: DecisionAction::Install { window: 80 },
+                    cause: DecisionCause::Learned { clamped: false, .. },
+                    ..
+                }
+            ),
+            "{:?}",
+            records[0]
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.action, DecisionAction::Suppress { window: 10 })),
+            "guard demotion journaled: {records:?}"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.cause, DecisionCause::TtlExpired)),
+            "expiry journaled: {records:?}"
+        );
+
+        // Shutdown of a fresh install journals a Shutdown withdrawal.
+        let mut o = FnObserver(|| vec![obs([10, 0, 2, 1], 50)]);
+        a.tick(SimTime::from_secs(201), &mut o, &mut routes);
+        a.shutdown(&mut routes);
+        let records = a.telemetry().unwrap().journal().snapshot();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.cause, DecisionCause::Shutdown)));
+    }
+
+    #[test]
+    fn reconcile_repairs_are_journaled_with_verdict() {
+        use crate::telemetry::{AgentTelemetry, DecisionAction, DecisionCause};
+
+        let (mut a, mut routes) = agent(no_history());
+        a.attach_telemetry(AgentTelemetry::standalone(64));
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 50)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        routes.clear_initcwnd("10.0.1.1".parse().unwrap()).unwrap();
+        routes
+            .set_initcwnd("10.0.9.9".parse().unwrap(), 64)
+            .unwrap();
+
+        let dump = routes.clone();
+        a.reconcile(&dump, &mut routes);
+        let records = a.telemetry().unwrap().journal().snapshot();
+        assert!(records.iter().any(|r| matches!(
+            (r.action, r.cause),
+            (
+                DecisionAction::Repair { window: Some(50) },
+                DecisionCause::Reconcile {
+                    verdict: crate::reconcile::AuditVerdict::Repaired
+                }
+            )
+        )));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.action, DecisionAction::Repair { window: None })));
+        let snap = a.telemetry().unwrap().registry().snapshot();
+        assert_eq!(snap.value("riptide_reconcile_repairs_total"), Some(2));
     }
 
     #[test]

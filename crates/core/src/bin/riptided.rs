@@ -24,10 +24,15 @@
 //!                        last one every interval until SIGTERM/SIGINT
 //!   --show-table         print the final learned table
 //!   --metrics            print Prometheus counters to stderr at exit
+//!   --metrics-file <p>   rewrite <p> with a Prometheus text-exposition
+//!                        snapshot after every poll (and at shutdown)
 //! ```
 //!
 //! On SIGTERM or SIGINT the daemon withdraws every route it installed
-//! before exiting, so a stopped agent leaves no stale windows behind.
+//! before exiting, so a stopped agent leaves no stale windows behind;
+//! the final metrics snapshot and the decision journal are flushed as
+//! part of the same sweep. SIGUSR1 dumps the decision journal to stderr
+//! on demand at the next poll boundary.
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -38,8 +43,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// shutdown sweep instead of exiting with routes still installed.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
+/// Set by SIGUSR1; the follow loop dumps the decision journal to stderr
+/// at the next poll boundary and clears it.
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
 extern "C" fn note_shutdown(_signum: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn note_dump(_signum: i32) {
+    DUMP_REQUESTED.store(true, Ordering::SeqCst);
 }
 
 #[cfg(unix)]
@@ -52,9 +65,14 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(target_os = "linux")]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(target_os = "linux"))]
+    const SIGUSR1: i32 = 30;
     unsafe {
         signal(SIGINT, note_shutdown);
         signal(SIGTERM, note_shutdown);
+        signal(SIGUSR1, note_dump);
     }
 }
 
@@ -124,6 +142,7 @@ fn main() -> ExitCode {
     let mut follow = false;
     let mut show_table = false;
     let mut show_metrics = false;
+    let mut metrics_file: Option<String> = None;
     let mut trend = false;
     let mut interval = SimDuration::from_secs(1);
 
@@ -203,6 +222,10 @@ fn main() -> ExitCode {
             "--follow" => follow = true,
             "--show-table" => show_table = true,
             "--metrics" => show_metrics = true,
+            "--metrics-file" => match value("--metrics-file") {
+                Ok(p) => metrics_file = Some(p),
+                Err(e) => return fail(&e),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: riptided [options] <ss-snapshot>...  (see --help header in source)"
@@ -229,6 +252,19 @@ fn main() -> ExitCode {
     let mut agent = match RiptideAgent::new(config) {
         Ok(a) => a,
         Err(e) => return fail(&e.to_string()),
+    };
+    // Telemetry is always on in the daemon: the registry is a handful of
+    // atomics and the journal a small ring buffer, and both feed
+    // `--metrics`, `--metrics-file` and the SIGUSR1 journal dump.
+    let telemetry = AgentTelemetry::standalone(256);
+    agent.attach_telemetry(telemetry.clone());
+
+    let flush_metrics = |telemetry: &AgentTelemetry| {
+        if let Some(path) = &metrics_file {
+            if let Err(e) = std::fs::write(path, telemetry.registry().render_prometheus()) {
+                eprintln!("# cannot write metrics file {path}: {e}");
+            }
+        }
     };
 
     let table = Rc::new(RefCell::new(RouteTable::new()));
@@ -272,6 +308,7 @@ fn main() -> ExitCode {
         if let Err(e) = poll_once(&mut agent, &mut controller, path, now) {
             return fail(&e);
         }
+        flush_metrics(&telemetry);
     }
 
     if follow {
@@ -281,22 +318,30 @@ fn main() -> ExitCode {
         let path = snapshots.last().expect("checked non-empty above");
         let wait = std::time::Duration::from_secs_f64(interval.as_secs_f64());
         while !sleep_interruptibly(wait) {
+            if DUMP_REQUESTED.swap(false, Ordering::SeqCst) {
+                eprint!("{}", telemetry.journal().render());
+            }
             polls += 1;
             let now = SimTime::ZERO + interval * polls;
             if let Err(e) = poll_once(&mut agent, &mut controller, path, now) {
                 return fail(&e);
             }
+            flush_metrics(&telemetry);
         }
     }
 
     if SHUTDOWN.load(Ordering::SeqCst) {
         // Graceful exit: withdraw everything we installed so the host
-        // reverts to kernel defaults the moment the daemon is gone.
+        // reverts to kernel defaults the moment the daemon is gone, then
+        // flush the final metrics snapshot (withdrawals included) and
+        // dump the decision journal.
         let withdrawn = agent.shutdown(&mut controller);
         for cmd in &controller.command_log()[printed..] {
             println!("{cmd}");
         }
         eprintln!("# shutdown: withdrew {} route(s)", withdrawn.len());
+        flush_metrics(&telemetry);
+        eprint!("{}", telemetry.journal().render());
     }
 
     if show_table {
@@ -304,7 +349,7 @@ fn main() -> ExitCode {
         eprint!("{}", table.borrow().render());
     }
     if show_metrics {
-        eprint!("{}", agent.stats().render_prometheus());
+        eprint!("{}", telemetry.registry().render_prometheus());
     }
     ExitCode::SUCCESS
 }

@@ -233,6 +233,20 @@ impl LossGuard {
         self.states.is_empty()
     }
 
+    /// Destinations per breaker state, as `(closed, open, half_open)` —
+    /// the telemetry gauges' source.
+    pub fn breaker_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for s in self.states.values() {
+            match s.breaker {
+                BreakerState::Closed => counts.0 += 1,
+                BreakerState::Open => counts.1 += 1,
+                BreakerState::HalfOpen => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
     /// The breaker state for `key` (Closed when untracked).
     pub fn state(&self, key: &Ipv4Prefix) -> BreakerState {
         self.states.get(key).map(|s| s.breaker).unwrap_or_default()

@@ -27,6 +27,7 @@
 //! | [`control`] | Output seam: [`control::RouteController`], command logging, startup recovery, and the [`control::CheckedController`] window-range invariant | Fig. 8; §IV-D |
 //! | [`resilience`] | Retry-with-backoff, per-call timeouts, budgets; `ss`/`ip` subprocess bridges | §IV-D graceful degradation |
 //! | [`table`] | The TTL'd per-destination final-values table | §III "final table", Table I `t` |
+//! | [`telemetry`] | Metrics registry (counters/gauges/histograms) + bounded decision journal; Prometheus text exposition | §V operational story |
 //! | [`kernel`] | The §V in-kernel event-driven variant | §V |
 //! | [`model`] | §II-B analytic slow-start model (Figures 3/4/6) | §II-B |
 //!
@@ -67,6 +68,7 @@ pub mod observe;
 pub mod reconcile;
 pub mod resilience;
 pub mod table;
+pub mod telemetry;
 pub mod trend;
 
 /// The types most users need, importable in one line.
@@ -87,11 +89,15 @@ pub mod prelude {
         observations_from_sock_table, CwndObservation, FallibleObserver, FnFallibleObserver,
         FnObserver, ObserveError, WindowObserver,
     };
-    pub use crate::reconcile::{audit, is_riptide_route, AuditReport};
+    pub use crate::reconcile::{audit, is_riptide_route, AuditReport, AuditVerdict};
     pub use crate::resilience::{
         retry_with_backoff, BackoffPolicy, IoStats, ResilientController, ResilientObserver,
         RetryOutcome,
     };
     pub use crate::table::FinalTable;
+    pub use crate::telemetry::{
+        AgentTelemetry, DecisionAction, DecisionCause, DecisionJournal, DecisionRecord, IoCounters,
+        MetricValue, MetricsRegistry, MetricsSnapshot,
+    };
     pub use crate::trend::TrendPolicy;
 }

@@ -41,6 +41,18 @@ pub fn is_riptide_route(attrs: &RouteAttrs) -> bool {
     attrs.proto == RouteProto::Static && attrs.initcwnd.is_some()
 }
 
+/// The overall outcome of one audit cycle, summarising an
+/// [`AuditReport`] for counters and the decision journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// The kernel already agreed with the expected view.
+    Converged,
+    /// Drift was found and every repair succeeded.
+    Repaired,
+    /// At least one repair was rejected by the controller.
+    Failed,
+}
+
 /// What one audit cycle found and did.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditReport {
@@ -69,6 +81,17 @@ impl AuditReport {
     /// Whether the kernel already agreed with the expected view.
     pub fn converged(&self) -> bool {
         self.repairs() == 0 && self.errors.is_empty()
+    }
+
+    /// Collapses the report into its [`AuditVerdict`].
+    pub fn verdict(&self) -> AuditVerdict {
+        if !self.errors.is_empty() {
+            AuditVerdict::Failed
+        } else if self.repairs() > 0 {
+            AuditVerdict::Repaired
+        } else {
+            AuditVerdict::Converged
+        }
     }
 }
 
@@ -275,6 +298,20 @@ mod tests {
         let repaired = live.clone();
         let report = audit(&exp, &repaired, (10, 100), &mut live);
         assert!(report.converged(), "{report:?}");
+    }
+
+    #[test]
+    fn verdict_tracks_report_outcome() {
+        let mut kernel = RouteTable::new();
+        kernel.set_initcwnd(key(1), 80).unwrap();
+        let exp = expected(&[(1, 80)]);
+        let mut live = kernel.clone();
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.verdict(), AuditVerdict::Converged);
+
+        let exp = expected(&[(1, 80), (2, 40)]);
+        let report = audit(&exp, &kernel, (10, 100), &mut live);
+        assert_eq!(report.verdict(), AuditVerdict::Repaired);
     }
 
     #[test]

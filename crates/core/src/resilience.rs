@@ -32,6 +32,7 @@ use crate::control::{ControlError, RouteController};
 use crate::observe::{
     observations_from_sock_table, CwndObservation, FallibleObserver, ObserveError,
 };
+use crate::telemetry::IoCounters;
 
 /// Exponential-backoff retry schedule for one I/O call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,6 +177,7 @@ pub struct ResilientObserver<O> {
     per_call: SimDuration,
     budget: SimDuration,
     stats: IoStats,
+    counters: Option<IoCounters>,
 }
 
 impl<O: FallibleObserver> ResilientObserver<O> {
@@ -195,7 +197,14 @@ impl<O: FallibleObserver> ResilientObserver<O> {
             per_call,
             budget,
             stats: IoStats::default(),
+            counters: None,
         }
+    }
+
+    /// Mirrors this wrapper's [`IoStats`] increments into shared
+    /// telemetry counters (see [`crate::telemetry`]).
+    pub fn set_counters(&mut self, counters: IoCounters) {
+        self.counters = Some(counters);
     }
 
     /// One logical observation: up to `max_attempts` polls.
@@ -209,12 +218,16 @@ impl<O: FallibleObserver> ResilientObserver<O> {
         let inner = &mut self.inner;
         let per_call = self.per_call;
         let timeouts = &mut self.stats.timeouts;
+        let timeout_counter = self.counters.as_ref().map(|c| c.timeouts.clone());
         let outcome = retry_with_backoff(
             &self.policy,
             Some(self.budget),
             |e: &ObserveError| {
                 if *e == ObserveError::Timeout {
                     *timeouts += 1;
+                    if let Some(c) = &timeout_counter {
+                        c.inc();
+                    }
                     per_call
                 } else {
                     SimDuration::ZERO
@@ -225,6 +238,13 @@ impl<O: FallibleObserver> ResilientObserver<O> {
         self.stats.retries += u64::from(outcome.attempts - 1);
         if outcome.result.is_err() {
             self.stats.gave_up += 1;
+        }
+        if let Some(c) = &self.counters {
+            c.calls.inc();
+            c.retries.add(u64::from(outcome.attempts - 1));
+            if outcome.result.is_err() {
+                c.gave_up.inc();
+            }
         }
         outcome.result
     }
@@ -248,6 +268,7 @@ pub struct ResilientController<C> {
     inner: C,
     policy: BackoffPolicy,
     stats: IoStats,
+    counters: Option<IoCounters>,
 }
 
 impl<C: RouteController> ResilientController<C> {
@@ -258,7 +279,14 @@ impl<C: RouteController> ResilientController<C> {
             inner,
             policy,
             stats: IoStats::default(),
+            counters: None,
         }
+    }
+
+    /// Mirrors this wrapper's [`IoStats`] increments into shared
+    /// telemetry counters (see [`crate::telemetry`]).
+    pub fn set_counters(&mut self, counters: IoCounters) {
+        self.counters = Some(counters);
     }
 
     /// Counters so far.
@@ -291,6 +319,13 @@ impl<C: RouteController> ResilientController<C> {
         self.stats.retries += u64::from(outcome.attempts - 1);
         if outcome.result.is_err() {
             self.stats.gave_up += 1;
+        }
+        if let Some(c) = &self.counters {
+            c.calls.inc();
+            c.retries.add(u64::from(outcome.attempts - 1));
+            if outcome.result.is_err() {
+                c.gave_up.inc();
+            }
         }
         outcome.result
     }
@@ -587,6 +622,46 @@ mod tests {
         );
         assert!(dead.set_initcwnd(key(2), 50).is_err());
         assert_eq!(dead.stats().gave_up, 1);
+    }
+
+    #[test]
+    fn io_counters_mirror_io_stats() {
+        use crate::telemetry::{IoCounters, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        let inner = FnFallibleObserver(|| Err(ObserveError::Timeout));
+        let mut obs = ResilientObserver::new(
+            inner,
+            BackoffPolicy::agent_default(),
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(1),
+        );
+        obs.set_counters(IoCounters::attach(&registry));
+        let _ = obs.observe();
+        let s = obs.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("riptide_io_calls_total"), Some(s.calls));
+        assert_eq!(snap.value("riptide_io_retries_total"), Some(s.retries));
+        assert_eq!(snap.value("riptide_io_timeouts_total"), Some(s.timeouts));
+        assert_eq!(snap.value("riptide_io_gave_up_total"), Some(s.gave_up));
+        assert!(s.gave_up == 1 && s.timeouts > 0);
+
+        // The controller shares the same counters on the same registry.
+        struct Refusing;
+        impl RouteController for Refusing {
+            fn set_initcwnd(&mut self, _: Ipv4Prefix, _: u32) -> Result<(), ControlError> {
+                Err(ControlError::new("refused"))
+            }
+            fn clear_initcwnd(&mut self, _: Ipv4Prefix) -> Result<(), ControlError> {
+                Err(ControlError::new("refused"))
+            }
+        }
+        let mut ctl = ResilientController::new(Refusing, BackoffPolicy::none());
+        ctl.set_counters(IoCounters::attach(&registry));
+        let _ = ctl.set_initcwnd(key(1), 80);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("riptide_io_calls_total"), Some(s.calls + 1));
+        assert_eq!(snap.value("riptide_io_gave_up_total"), Some(s.gave_up + 1));
     }
 
     #[test]

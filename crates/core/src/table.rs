@@ -92,6 +92,13 @@ impl FinalTable {
         self.entries.is_empty()
     }
 
+    /// Occupancy as a fraction of capacity, in `[0, 1]` (`None` for
+    /// unbounded tables) — telemetry's view of eviction pressure.
+    pub fn utilization(&self) -> Option<f64> {
+        self.capacity
+            .map(|cap| self.entries.len() as f64 / cap.max(1) as f64)
+    }
+
     /// The entry for `key`, if present.
     pub fn get(&self, key: &Ipv4Prefix) -> Option<&FinalEntry> {
         self.entries.get(key)
@@ -256,6 +263,17 @@ mod tests {
         t.blend(key(6), 1.0, &strategy, SimTime::from_secs(5));
         assert_eq!(t.enforce_capacity(), vec![key(3), key(6)]);
         assert!(t.get(&key(9)).is_some());
+    }
+
+    #[test]
+    fn utilization_reports_eviction_pressure() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::bounded(4);
+        assert_eq!(t.utilization(), Some(0.0));
+        t.blend(key(1), 1.0, &strategy, SimTime::ZERO);
+        t.blend(key(2), 1.0, &strategy, SimTime::ZERO);
+        assert_eq!(t.utilization(), Some(0.5));
+        assert_eq!(FinalTable::new().utilization(), None, "unbounded");
     }
 
     #[test]

@@ -261,6 +261,93 @@ fn sigterm_in_follow_mode_withdraws_every_route() {
 }
 
 #[test]
+fn metrics_file_is_written_after_each_poll() {
+    let snap = write_snapshot("mf", SNAPSHOT_A);
+    let mut mf = std::env::temp_dir();
+    mf.push(format!("riptided-test-{}-metrics.prom", std::process::id()));
+    let out = run(&[
+        "--no-history",
+        "--metrics-file",
+        mf.to_str().unwrap(),
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&mf).expect("metrics file written");
+    assert!(text.contains("riptide_ticks_total 1"), "{text}");
+    assert!(text.contains("riptide_installed_routes 1"), "{text}");
+    assert!(
+        text.contains("# TYPE riptide_installed_window histogram"),
+        "{text}"
+    );
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(mf).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn follow_mode_shutdown_flushes_metrics_and_journal() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let snap = write_snapshot("mf-follow", SNAPSHOT_A);
+    let mut mf = std::env::temp_dir();
+    mf.push(format!(
+        "riptided-test-{}-follow-metrics.prom",
+        std::process::id()
+    ));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_riptided"))
+        .args([
+            "--no-history",
+            "--follow",
+            "--metrics-file",
+            mf.to_str().unwrap(),
+            snap.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first command printed");
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("stdout closes");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .expect("stderr closes");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+
+    // The final metrics flush runs after the withdrawal sweep, so the
+    // file on disk accounts for the shutdown itself.
+    let text = std::fs::read_to_string(&mf).expect("final metrics snapshot flushed");
+    assert!(
+        text.contains("riptide_shutdown_withdrawals_total 1"),
+        "{text}"
+    );
+    assert!(text.contains("riptide_installed_routes 0"), "{text}");
+    // And the decision journal is dumped to stderr, install first.
+    assert!(stderr.contains("install w=80"), "{stderr}");
+    assert!(stderr.contains("cause=shutdown"), "{stderr}");
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(mf).ok();
+}
+
+#[test]
 fn trend_flag_damps_collapses() {
     let a = write_snapshot(
         "trend-a",

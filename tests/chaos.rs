@@ -351,6 +351,7 @@ proptest! {
             probe_senders: None,
             faults: FaultPlan::uniform(rate),
             reconcile_every: None,
+            telemetry: false,
         };
         let mut sim = CdnSim::new(cfg);
         sim.run_for(SimDuration::from_secs(150));

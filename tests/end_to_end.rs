@@ -330,6 +330,7 @@ fn full_deployment_learns_only_within_clamp() {
         probe_senders: None,
         faults: riptide_simnet::fault::FaultPlan::none(),
         reconcile_every: None,
+        telemetry: false,
     };
     let mut sim = CdnSim::new(cfg);
     sim.run_for(SimDuration::from_secs(600));

@@ -561,6 +561,123 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Telemetry: counters, the decision journal, and snapshot merging
+// ---------------------------------------------------------------------
+
+proptest! {
+    // A counter only moves forward, by exactly what was added.
+    #[test]
+    fn counters_are_monotone_under_arbitrary_increments(
+        increments in proptest::collection::vec(0u64..1_000, 0..100),
+    ) {
+        use riptide_repro::riptide::telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("riptide_prop_total", "property fixture");
+        let mut prev = counter.get();
+        prop_assert_eq!(prev, 0);
+        for inc in increments {
+            counter.add(inc);
+            let cur = counter.get();
+            prop_assert!(cur >= prev, "counter moved backwards: {prev} -> {cur}");
+            prop_assert_eq!(cur, prev + inc);
+            prev = cur;
+        }
+        // The registry hands back the same underlying cell, not a fresh one.
+        prop_assert_eq!(
+            registry.counter("riptide_prop_total", "property fixture").get(),
+            prev
+        );
+    }
+
+    // The journal holds at most `capacity` records, drops only from the
+    // front, and keeps arrival order among whatever it retains.
+    #[test]
+    fn journal_is_bounded_and_preserves_order(
+        capacity in 1usize..32,
+        pushes in 0usize..150,
+    ) {
+        use riptide_repro::riptide::telemetry::{
+            DecisionAction, DecisionCause, DecisionJournal, DecisionRecord,
+        };
+        let journal = DecisionJournal::bounded(capacity);
+        for i in 0..pushes {
+            journal.record(DecisionRecord {
+                at: SimTime::from_secs(i as u64),
+                key: Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 1)),
+                // Encode the sequence number in the window so order is
+                // observable from the outside.
+                action: DecisionAction::Install { window: i as u32 },
+                cause: DecisionCause::TtlExpired,
+            });
+            prop_assert!(journal.len() <= capacity, "journal grew past capacity");
+        }
+        prop_assert_eq!(journal.total_recorded(), pushes as u64);
+        prop_assert_eq!(journal.len(), pushes.min(capacity));
+        let held = journal.snapshot();
+        let first_kept = pushes.saturating_sub(capacity);
+        for (slot, record) in held.iter().enumerate() {
+            prop_assert!(
+                matches!(
+                    record.action,
+                    DecisionAction::Install { window } if window as usize == first_kept + slot
+                ),
+                "slot {slot} holds {record:?}, expected sequence {}",
+                first_kept + slot
+            );
+        }
+    }
+
+    // Sharded metric collection is equivalent to unsharded: however the
+    // same operations are split across shard registries, and in whatever
+    // order the per-shard snapshots merge, the result equals one registry
+    // that saw everything.
+    #[test]
+    fn snapshot_merge_is_interleaving_invariant(
+        ops in proptest::collection::vec((0usize..5, 0u8..2, 1u64..120), 1..120),
+        shard_count in 1usize..5,
+        rotate_by in 0usize..5,
+    ) {
+        use riptide_repro::riptide::telemetry::{MetricsRegistry, MetricsSnapshot};
+        const BOUNDS: [u64; 3] = [10, 50, 100];
+        let apply = |registry: &MetricsRegistry, &(_, kind, value): &(usize, u8, u64)| {
+            match kind {
+                0 => registry
+                    .counter("riptide_prop_ops_total", "property fixture")
+                    .add(value),
+                _ => registry
+                    .histogram("riptide_prop_window", "property fixture", &BOUNDS)
+                    .observe(value),
+            }
+        };
+
+        let pooled = MetricsRegistry::new();
+        let shards: Vec<MetricsRegistry> =
+            (0..shard_count).map(|_| MetricsRegistry::new()).collect();
+        for op in &ops {
+            apply(&pooled, op);
+            apply(&shards[op.0 % shard_count], op);
+        }
+
+        let merge_in = |order: &[usize]| {
+            let mut merged = MetricsSnapshot::default();
+            for &i in order {
+                merged.merge(&shards[i].snapshot());
+            }
+            merged
+        };
+        let plan_order: Vec<usize> = (0..shard_count).collect();
+        let mut rotated = plan_order.clone();
+        rotated.rotate_left(rotate_by % shard_count);
+        let reversed: Vec<usize> = plan_order.iter().rev().copied().collect();
+
+        let want = pooled.snapshot();
+        prop_assert_eq!(&merge_in(&plan_order), &want, "sharded merge equals unsharded");
+        prop_assert_eq!(&merge_in(&rotated), &want, "merge order cannot matter");
+        prop_assert_eq!(&merge_in(&reversed), &want, "merge order cannot matter");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Statistics
 // ---------------------------------------------------------------------
 

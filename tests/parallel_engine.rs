@@ -92,6 +92,44 @@ fn manifest_counts_events_and_retransmits_per_shard() {
     );
 }
 
+#[test]
+fn telemetry_plan_metrics_are_thread_count_invariant() {
+    let plan = RunPlan::probe_comparison(&small_scale(), 2).with_telemetry();
+    let serial = plan.run_with_threads(1);
+    let parallel = plan.run_with_threads(8);
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "metrics tokens must not break thread-count invariance"
+    );
+    let merged = serial.merged_metrics();
+    assert_eq!(merged, parallel.merged_metrics());
+    // The riptide arm produced real counts that survive the merge.
+    assert!(merged.value("riptide_ticks_total").unwrap_or(0) > 0);
+    assert!(merged.value("riptide_route_updates_total").unwrap_or(0) > 0);
+}
+
+#[test]
+fn telemetry_off_leaves_digests_bit_identical() {
+    let plan = RunPlan::probe_comparison(&small_scale(), 1);
+    let with = plan.clone().with_telemetry().run_with_threads(2);
+    let without = plan.run_with_threads(2);
+    // Attaching the bundle must not perturb the simulation: stripping
+    // the metrics tokens from the telemetry run's digest recovers the
+    // plain run's digest byte for byte.
+    let stripped: String = with
+        .digest()
+        .lines()
+        .map(|l| match l.find(" metrics=") {
+            Some(cut) => format!("{}\n", &l[..cut]),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    assert_eq!(stripped, without.digest());
+    assert!(with.digest().contains(" metrics="));
+    assert!(without.merged_metrics().is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

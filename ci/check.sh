@@ -38,4 +38,11 @@ run grep -q '"thread_invariant": true' BENCH_telemetry.json
 run grep -q '"zero_overhead": true' BENCH_telemetry.json
 run cargo test -q --release --test golden_exposition
 
+# Hot-path smoke: replay the quick-scale probe comparison against the
+# checked-in BENCH_simperf.json. Any digest drift is fatal (the
+# optimisations must be behaviour-preserving, bit for bit), as is an
+# events/sec regression past the recorded baseline's floor.
+run cargo run --release -p riptide-bench --bin simperf -- \
+    --scale quick --check
+
 echo "==> all checks passed"

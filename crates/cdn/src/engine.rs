@@ -917,6 +917,12 @@ impl RunReport {
         out
     }
 
+    /// The FNV-1a 64-bit hash of [`RunReport::digest`] — a compact
+    /// fingerprint for bench baselines and smoke checks.
+    pub fn digest_fnv64(&self) -> u64 {
+        fnv1a(self.digest().as_bytes())
+    }
+
     /// The union of every shard's metrics snapshot, merged in plan
     /// order. Counters sum, gauges sum, histogram buckets add
     /// element-wise — all commutative, so the result is invariant to

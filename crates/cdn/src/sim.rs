@@ -340,6 +340,20 @@ pub struct CdnSim {
     probe_schedule: Vec<(SimTime, HostId, usize)>,
     /// Per ordered busy pair: (next arrival, src site, dst site).
     organic_schedule: Vec<(SimTime, usize, usize)>,
+    /// Min-heap of `(fire time, index into probe_schedule)`. Every entry
+    /// is current (an index is rescheduled only when popped), and ties
+    /// pop in index order — the same order the linear scan fired them,
+    /// so RNG draw order is unchanged.
+    probe_heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
+    /// Min-heap of `(arrival time, index into organic_schedule)`.
+    organic_heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
+    /// Cached minimum of `probe_schedule` fire times (`SimTime::MAX` when
+    /// empty), maintained by `fire_due_probes` so the event loop's outer
+    /// step avoids rescanning the schedule.
+    next_probe_due: SimTime,
+    /// Cached minimum of `organic_schedule` arrival times (`SimTime::MAX`
+    /// when empty).
+    next_organic_due: SimTime,
     probe_tags: HashMap<TransferId, (usize, usize, u64)>,
     probe_outcomes: Vec<ProbeOutcome>,
     cwnd_samples: Vec<CwndSample>,
@@ -466,6 +480,19 @@ impl CdnSim {
             .map(|r| r.update_interval)
             .unwrap_or(SimDuration::from_secs(1));
 
+        let probe_heap: std::collections::BinaryHeap<_> = probe_schedule
+            .iter()
+            .enumerate()
+            .map(|(idx, e)| std::cmp::Reverse((e.0, idx)))
+            .collect();
+        let organic_heap: std::collections::BinaryHeap<_> = organic_schedule
+            .iter()
+            .enumerate()
+            .map(|(idx, e)| std::cmp::Reverse((e.0, idx)))
+            .collect();
+        let next_probe_due = probe_heap.peek().map(|r| (r.0).0).unwrap_or(SimTime::MAX);
+        let next_organic_due = organic_heap.peek().map(|r| (r.0).0).unwrap_or(SimTime::MAX);
+
         CdnSim {
             tb,
             next_agent_tick: SimTime::ZERO + agent_interval,
@@ -479,6 +506,10 @@ impl CdnSim {
             rng,
             probe_schedule,
             organic_schedule,
+            probe_heap,
+            organic_heap,
+            next_probe_due,
+            next_organic_due,
             probe_tags: HashMap::new(),
             probe_outcomes: Vec::new(),
             cwnd_samples: Vec::new(),
@@ -664,12 +695,8 @@ impl CdnSim {
                 next = next.min(self.next_agent_tick);
             }
             next = next.min(self.next_cwnd_sample);
-            if let Some(&(t, _, _)) = self.probe_schedule.iter().min_by_key(|e| e.0) {
-                next = next.min(t);
-            }
-            if let Some(&(t, _, _)) = self.organic_schedule.iter().min_by_key(|e| e.0) {
-                next = next.min(t);
-            }
+            next = next.min(self.next_probe_due);
+            next = next.min(self.next_organic_due);
             if let Some(chaos) = &self.chaos {
                 next = next.min(chaos.next_burst_check);
                 if let Some(t) = chaos.bursts.iter().map(|b| b.until).min() {
@@ -796,22 +823,24 @@ impl CdnSim {
             let controller = self.controllers[h]
                 .as_mut()
                 .expect("controller exists when agent does");
-            let observations: Vec<CwndObservation> = self
-                .tb
-                .world
-                .host_conn_stats(host)
-                .into_iter()
-                .filter(|s| s.state == ConnState::Established)
-                .map(|s| CwndObservation {
-                    dst: s.dst_addr,
-                    cwnd: s.cwnd,
-                    bytes_acked: s.bytes_acked,
-                    retrans: s.retransmits,
-                })
-                .collect();
+            let mut observations: Vec<CwndObservation> = Vec::new();
+            self.tb.world.each_host_conn_stat(host, |s| {
+                if s.state == ConnState::Established {
+                    observations.push(CwndObservation {
+                        dst: s.dst_addr,
+                        cwnd: s.cwnd,
+                        bytes_acked: s.bytes_acked,
+                        retrans: s.retransmits,
+                    });
+                }
+            });
             match self.chaos.as_mut() {
                 None => {
-                    let mut observer = FnObserver(move || observations.clone());
+                    // The agent polls exactly once per tick; hand the rows
+                    // over instead of cloning them per poll.
+                    let mut rows = Some(observations);
+                    let mut observer =
+                        FnObserver(move || rows.take().expect("agent polls once per tick"));
                     agent.tick(now, &mut observer, controller);
                 }
                 Some(chaos) => {
@@ -874,7 +903,10 @@ impl CdnSim {
                             if let Some(io) = &self.io_counters {
                                 rctl.set_counters(io.clone());
                             }
-                            let mut observer = FnObserver(move || polled_rows.clone());
+                            let mut polled_rows = Some(polled_rows);
+                            let mut observer = FnObserver(move || {
+                                polled_rows.take().expect("agent polls once per tick")
+                            });
                             let tick = agent.tick(now, &mut observer, &mut rctl);
                             let io = rctl.stats();
                             report.install_retries += io.retries;
@@ -1124,31 +1156,44 @@ impl CdnSim {
         for h in 0..self.tb.world.host_count() {
             let host = HostId::from_index(h as u32);
             let site = self.tb.world.pop_of(host).index();
-            for s in self.tb.world.host_conn_stats(host) {
+            let world = &self.tb.world;
+            let samples = &mut self.cwnd_samples;
+            world.each_host_conn_stat(host, |s| {
                 // The paper's filter: only connections created after
                 // Riptide was started (t = 0 here), in ESTAB state.
                 if s.state != ConnState::Established {
-                    continue;
+                    return;
                 }
-                self.cwnd_samples.push(CwndSample {
+                samples.push(CwndSample {
                     site,
-                    dst_site: self.tb.world.pop_of(s.dst).index(),
+                    dst_site: world.pop_of(s.dst).index(),
                     cwnd: s.cwnd,
                     at: now,
                 });
-            }
+            });
         }
     }
 
     fn fire_due_probes(&mut self, now: SimTime) {
-        for idx in 0..self.probe_schedule.len() {
-            let (due, host, site) = self.probe_schedule[idx];
-            if due > now {
-                continue;
-            }
-            self.probe_one_machine(host, site);
-            self.probe_schedule[idx].0 = now + self.cfg.probes.interval;
+        if now < self.next_probe_due {
+            return;
         }
+        while let Some(&std::cmp::Reverse((due, idx))) = self.probe_heap.peek() {
+            if due > now {
+                break;
+            }
+            self.probe_heap.pop();
+            let (_, host, site) = self.probe_schedule[idx];
+            self.probe_one_machine(host, site);
+            let next = now + self.cfg.probes.interval;
+            self.probe_schedule[idx].0 = next;
+            self.probe_heap.push(std::cmp::Reverse((next, idx)));
+        }
+        self.next_probe_due = self
+            .probe_heap
+            .peek()
+            .map(|r| (r.0).0)
+            .unwrap_or(SimTime::MAX);
     }
 
     fn probe_one_machine(&mut self, host: HostId, site: usize) {
@@ -1158,14 +1203,14 @@ impl CdnSim {
             .iter()
             .position(|&h| h == host)
             .expect("host belongs to its site");
-        let sizes = self.cfg.probes.sizes.clone();
         for dst_site in 0..self.tb.pop_count() {
             if dst_site == site {
                 continue;
             }
             let targets = self.tb.machines(dst_site);
             let target = targets[machine_slot % targets.len()];
-            for &size in &sizes {
+            for size_idx in 0..self.cfg.probes.sizes.len() {
+                let size = self.cfg.probes.sizes[size_idx];
                 // §II-A churn: some idle connections have been closed by
                 // application behaviour since the last round.
                 if self.rng.chance(self.cfg.probes.churn) {
@@ -1183,11 +1228,15 @@ impl CdnSim {
     }
 
     fn fire_due_organic(&mut self, now: SimTime) {
-        for idx in 0..self.organic_schedule.len() {
-            let (due, src_site, dst_site) = self.organic_schedule[idx];
+        if now < self.next_organic_due {
+            return;
+        }
+        while let Some(&std::cmp::Reverse((due, idx))) = self.organic_heap.peek() {
             if due > now {
-                continue;
+                break;
             }
+            self.organic_heap.pop();
+            let (_, src_site, dst_site) = self.organic_schedule[idx];
             let src_hosts = self.tb.machines(src_site);
             let dst_hosts = self.tb.machines(dst_site);
             let src = src_hosts[self.rng.below(src_hosts.len())];
@@ -1207,7 +1256,13 @@ impl CdnSim {
                 .rng
                 .exp_duration(SimDuration::from_secs_f64(1.0 / rate));
             self.organic_schedule[idx].0 = now + gap;
+            self.organic_heap.push(std::cmp::Reverse((now + gap, idx)));
         }
+        self.next_organic_due = self
+            .organic_heap
+            .peek()
+            .map(|r| (r.0).0)
+            .unwrap_or(SimTime::MAX);
     }
 }
 

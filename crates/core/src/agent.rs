@@ -23,7 +23,7 @@ use riptide_simnet::time::SimTime;
 
 use crate::config::RiptideConfig;
 use crate::control::{ControlError, RouteController};
-use crate::observe::{CwndObservation, WindowObserver};
+use crate::observe::WindowObserver;
 use crate::table::FinalTable;
 use crate::telemetry::{AgentTelemetry, DecisionAction, DecisionCause};
 
@@ -296,27 +296,39 @@ impl RiptideAgent {
             t.observations.add(observations.len() as u64);
         }
 
-        // 2. group by destination (BTreeMap: deterministic order).
-        let mut groups: BTreeMap<Ipv4Prefix, Vec<CwndObservation>> = BTreeMap::new();
-        for obs in observations {
-            groups
-                .entry(self.config.granularity.key(obs.dst))
-                .or_default()
-                .push(obs);
-        }
-        report.groups = groups.len();
+        // 2. group by destination: a stable sort by key makes each run of
+        // equal keys one group, visited in ascending key order — the same
+        // groups, group order, and within-group order a BTreeMap of Vecs
+        // would produce, without its per-destination allocations.
+        let mut observations = observations;
+        observations.sort_by_key(|obs| self.config.granularity.key(obs.dst));
 
         // 3–5. combine, blend with history, shape (trend + advisory),
         // clamp, guard, install.
-        for (key, group) in groups {
-            let Some(fresh) = self.config.combine.combine(&group) else {
+        let mut start = 0;
+        while start < observations.len() {
+            let key = self.config.granularity.key(observations[start].dst);
+            let mut end = start + 1;
+            while end < observations.len()
+                && self.config.granularity.key(observations[end].dst) == key
+            {
+                end += 1;
+            }
+            let group = &observations[start..end];
+            start = end;
+            report.groups += 1;
+            let Some(fresh) = self.config.combine.combine(group) else {
                 continue;
             };
             let previous_fresh = self.table.last_fresh(&key);
             let blended = self.table.blend(key, fresh, &self.config.history, now);
-            let shaped = match &self.config.trend {
-                Some(trend) => trend.shape(previous_fresh, fresh, blended),
-                None => blended,
+            let (shaped, trend_damped) = match &self.config.trend {
+                Some(trend) => {
+                    let s =
+                        trend.shape(previous_fresh, fresh, blended, self.config.cwnd_min as f64);
+                    (s, s != blended)
+                }
+                None => (blended, false),
             };
             let Some(shaped) = self.advisory.shape(shaped) else {
                 // Suspended: keep learning but install nothing.
@@ -384,6 +396,7 @@ impl RiptideAgent {
                                         DecisionCause::Learned {
                                             fresh: fresh.round() as u32,
                                             clamped,
+                                            trend_damped,
                                         },
                                     );
                                 }
@@ -606,7 +619,7 @@ mod tests {
     use crate::combine::CombineStrategy;
     use crate::granularity::Granularity;
     use crate::history::HistoryStrategy;
-    use crate::observe::FnObserver;
+    use crate::observe::{CwndObservation, FnObserver};
     use riptide_linuxnet::route::RouteTable;
     use std::net::Ipv4Addr;
 
@@ -881,6 +894,44 @@ mod tests {
             routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)),
             Some(10),
             "aggressive decrease beyond the blend"
+        );
+    }
+
+    #[test]
+    fn trend_collapse_to_near_zero_still_installs_c_min() {
+        use crate::telemetry::{AgentTelemetry, DecisionCause};
+
+        let cfg = RiptideConfig::builder()
+            .alpha(0.9)
+            .trend(crate::trend::TrendPolicy::default())
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg.clone());
+        a.attach_telemetry(AgentTelemetry::standalone(64));
+        let mut high = FnObserver(|| vec![obs([10, 0, 1, 1], 100)]);
+        a.tick(SimTime::from_secs(1), &mut high, &mut routes);
+
+        // Windows collapse 100 -> 2: the overshoot cap alone would ask
+        // for 1, below the kernel floor. The policy's floor keeps the
+        // damped value installable, so the journal attributes the low
+        // window to trend damping, not to the clamp papering over it.
+        let mut low = FnObserver(|| vec![obs([10, 0, 1, 1], 2)]);
+        a.tick(SimTime::from_secs(2), &mut low, &mut routes);
+        let installed = routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)).unwrap();
+        assert_eq!(installed, cfg.cwnd_min, "never below the kernel floor");
+
+        let records = a.telemetry().unwrap().journal().snapshot();
+        assert!(
+            matches!(
+                records.last().unwrap().cause,
+                DecisionCause::Learned {
+                    trend_damped: true,
+                    clamped: false,
+                    ..
+                }
+            ),
+            "{:?}",
+            records.last().unwrap()
         );
     }
 

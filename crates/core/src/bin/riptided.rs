@@ -259,9 +259,19 @@ fn main() -> ExitCode {
     let telemetry = AgentTelemetry::standalone(256);
     agent.attach_telemetry(telemetry.clone());
 
+    // Write-then-rename so a scraper racing a flush always reads a
+    // complete exposition, never a truncated one: `std::fs::write`
+    // truncates in place, and node_exporter-style textfile collectors
+    // poll on their own clock. The temp file is a sibling (same
+    // directory, pid-suffixed) so the rename stays on one filesystem
+    // and therefore atomic.
     let flush_metrics = |telemetry: &AgentTelemetry| {
         if let Some(path) = &metrics_file {
-            if let Err(e) = std::fs::write(path, telemetry.registry().render_prometheus()) {
+            let tmp = format!("{path}.{}.tmp", std::process::id());
+            let write = std::fs::write(&tmp, telemetry.registry().render_prometheus())
+                .and_then(|()| std::fs::rename(&tmp, path));
+            if let Err(e) = write {
+                let _ = std::fs::remove_file(&tmp);
                 eprintln!("# cannot write metrics file {path}: {e}");
             }
         }

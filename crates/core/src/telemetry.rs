@@ -492,6 +492,8 @@ pub enum DecisionCause {
         fresh: u32,
         /// Whether the `[c_min, c_max]` clamp changed the blended value.
         clamped: bool,
+        /// Whether trend damping (§V) overrode the history blend.
+        trend_damped: bool,
     },
     /// The loss guard's breaker forced the decision.
     Guard {
@@ -536,8 +538,12 @@ impl DecisionRecord {
             DecisionAction::Repair { window: None } => "repair withdraw-orphan".to_string(),
         };
         let cause = match self.cause {
-            DecisionCause::Learned { fresh, clamped } => {
-                format!("learned fresh={fresh} clamped={clamped}")
+            DecisionCause::Learned {
+                fresh,
+                clamped,
+                trend_damped,
+            } => {
+                format!("learned fresh={fresh} clamped={clamped} trend_damped={trend_damped}")
             }
             DecisionCause::Guard { state } => format!("guard {state:?}"),
             DecisionCause::TtlExpired => "ttl-expired".to_string(),
@@ -1019,6 +1025,7 @@ mod tests {
             DecisionCause::Learned {
                 fresh: 80,
                 clamped: false,
+                trend_damped: false,
             },
         );
         assert!(

@@ -59,9 +59,17 @@ impl TrendPolicy {
     /// Applies the policy: given the previous and current fresh combined
     /// values and the history-blended value, returns the value to
     /// install.
-    pub fn shape(&self, previous_fresh: Option<f64>, fresh: f64, blended: f64) -> f64 {
+    ///
+    /// `floor` is the deployment's `c_min`: on a deep collapse the
+    /// overshoot cap `fresh × (1 − overshoot)` can land arbitrarily close
+    /// to zero, and a window below the kernel floor is never installable,
+    /// so the damped value is raised back to `floor` rather than handing
+    /// callers a number the clamp would silently rewrite.
+    pub fn shape(&self, previous_fresh: Option<f64>, fresh: f64, blended: f64, floor: f64) -> f64 {
         match previous_fresh {
-            Some(prev) if self.triggers(prev, fresh) => blended.min(fresh * (1.0 - self.overshoot)),
+            Some(prev) if self.triggers(prev, fresh) => {
+                blended.min(fresh * (1.0 - self.overshoot)).max(floor)
+            }
             _ => blended,
         }
     }
@@ -74,8 +82,8 @@ mod tests {
     #[test]
     fn steady_values_pass_through() {
         let p = TrendPolicy::default();
-        assert_eq!(p.shape(Some(80.0), 78.0, 79.0), 79.0);
-        assert_eq!(p.shape(None, 80.0, 80.0), 80.0);
+        assert_eq!(p.shape(Some(80.0), 78.0, 79.0, 10.0), 79.0);
+        assert_eq!(p.shape(None, 80.0, 80.0, 10.0), 80.0);
     }
 
     #[test]
@@ -83,7 +91,7 @@ mod tests {
         let p = TrendPolicy::default();
         // Fresh collapsed 80 -> 20 (75% drop); EWMA would still say 62.
         assert!(p.triggers(80.0, 20.0));
-        let installed = p.shape(Some(80.0), 20.0, 62.0);
+        let installed = p.shape(Some(80.0), 20.0, 62.0, 1.0);
         assert_eq!(installed, 10.0, "fresh x (1 - overshoot)");
     }
 
@@ -91,8 +99,19 @@ mod tests {
     fn damping_never_raises() {
         let p = TrendPolicy::default();
         // Blended already below the damped value: keep the lower one.
-        let installed = p.shape(Some(100.0), 30.0, 10.0);
+        let installed = p.shape(Some(100.0), 30.0, 10.0, 1.0);
         assert_eq!(installed, 10.0);
+    }
+
+    #[test]
+    fn damping_respects_the_window_floor() {
+        let p = TrendPolicy::default();
+        // Fresh collapsed 100 -> 2: the overshoot cap alone would say
+        // 2 x 0.5 = 1, below any sane c_min. The policy must not ask for
+        // a window the kernel floor forbids.
+        assert!(p.triggers(100.0, 2.0));
+        let installed = p.shape(Some(100.0), 2.0, 50.0, 10.0);
+        assert_eq!(installed, 10.0, "damped value raised to the floor");
     }
 
     #[test]

@@ -347,6 +347,53 @@ fn follow_mode_shutdown_flushes_metrics_and_journal() {
     std::fs::remove_file(mf).ok();
 }
 
+#[cfg(unix)]
+#[test]
+fn metrics_file_is_replaced_atomically() {
+    use std::os::unix::fs::MetadataExt;
+
+    // A scraper polling the exposition file must never observe a
+    // truncated write. The daemon therefore writes a sibling temp file
+    // and renames it over the target, which swaps the inode — an
+    // in-place rewrite (the old bug) would keep it.
+    let snap = write_snapshot("mf-atomic", SNAPSHOT_A);
+    let mut mf = std::env::temp_dir();
+    mf.push(format!(
+        "riptided-test-{}-atomic-metrics.prom",
+        std::process::id()
+    ));
+    std::fs::write(&mf, "# stale exposition from a previous run\n").unwrap();
+    let before = std::fs::metadata(&mf).unwrap().ino();
+
+    let out = run(&[
+        "--no-history",
+        "--metrics-file",
+        mf.to_str().unwrap(),
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let after = std::fs::metadata(&mf).unwrap().ino();
+    assert_ne!(before, after, "flush must rename a fresh file into place");
+    let text = std::fs::read_to_string(&mf).unwrap();
+    assert!(text.contains("riptide_ticks_total 1"), "{text}");
+    assert!(!text.contains("stale exposition"), "fully replaced: {text}");
+    // No temp residue next to the target.
+    let dir = mf.parent().unwrap();
+    let leftovers: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains("atomic-metrics.prom.") && n.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(mf).ok();
+}
+
 #[test]
 fn trend_flag_damps_collapses() {
     let a = write_snapshot(

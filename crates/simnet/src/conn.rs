@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use crate::config::TcpConfig;
-use crate::ids::{ConnId, HostId, PopId, TransferId};
+use crate::ids::{ConnId, HostId, PathId, PopId, TransferId};
 use crate::packet::SegIndex;
 use crate::tcp::{Receiver, Sender};
 use crate::time::SimTime;
@@ -53,6 +53,12 @@ pub struct Connection {
     pub(crate) dst: HostId,
     pub(crate) src_pop: PopId,
     pub(crate) dst_pop: PopId,
+    /// The path `src_pop → dst_pop`, resolved once at open time — path ids
+    /// are stable for the life of a PoP pair, so the per-packet hot path
+    /// skips the world's path-index lookup.
+    pub(crate) fwd_path: PathId,
+    /// The reverse path `dst_pop → src_pop` (ACKs, SYN-ACKs).
+    pub(crate) rev_path: PathId,
     pub(crate) src_addr: Ipv4Addr,
     pub(crate) dst_addr: Ipv4Addr,
     pub(crate) state: ConnState,
@@ -73,6 +79,8 @@ impl Connection {
         dst: HostId,
         src_pop: PopId,
         dst_pop: PopId,
+        fwd_path: PathId,
+        rev_path: PathId,
         src_addr: Ipv4Addr,
         dst_addr: Ipv4Addr,
         initial_cwnd: u32,
@@ -86,6 +94,8 @@ impl Connection {
             dst,
             src_pop,
             dst_pop,
+            fwd_path,
+            rev_path,
             src_addr,
             dst_addr,
             state: ConnState::Connecting,

@@ -4,35 +4,46 @@
 //! scheduled for the same instant pop in the order they were scheduled, so a
 //! simulation run is a pure function of its inputs and RNG seed — never of
 //! hash-map iteration order or heap tie-breaking accidents.
+//!
+//! # Layout
+//!
+//! Payloads live in a slab (`slots`) and the binary heap orders 24-byte
+//! `(SimTime, seq, slot)` index entries, so heap sift operations move three
+//! words instead of a full event payload. Freed slots are recycled through a
+//! free list, so a steady-state run stops allocating once the queue has
+//! reached its high-water mark. The pop order is a pure function of
+//! `(at, seq)` — the slab index never participates in comparisons — which
+//! keeps the ordering contract identical to the original payload-in-heap
+//! layout.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A scheduled entry: fires `payload` at `at`.
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
+/// A heap entry: fires the payload in `slot` at `at`.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
     at: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Scheduled<E> {}
+impl Eq for Scheduled {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first.
@@ -60,7 +71,11 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<Scheduled>,
+    /// Payload slab indexed by `Scheduled::slot`; `None` marks a free slot.
+    slots: Vec<Option<E>>,
+    /// Recycled slab indices.
+    free: Vec<u32>,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -76,6 +91,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             scheduled_total: 0,
         }
@@ -88,12 +105,28 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab full");
+                self.slots.push(Some(payload));
+                slot
+            }
+        };
+        self.heap.push(Scheduled { at, seq, slot });
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        let s = self.heap.pop()?;
+        let payload = self.slots[s.slot as usize]
+            .take()
+            .expect("scheduled slot holds a payload");
+        self.free.push(s.slot);
+        Some((s.at, payload))
     }
 
     /// The instant of the earliest pending event.
@@ -164,5 +197,38 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_pop() {
+        // Interleaved schedule/pop must not grow the slab past the
+        // high-water mark of concurrently pending events.
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            q.schedule(SimTime::from_millis(round), round);
+            q.schedule(SimTime::from_millis(round), round + 1);
+            let (_, v) = q.pop().unwrap();
+            assert_eq!(v, round);
+            q.pop().unwrap();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2000);
+        assert!(
+            q.slots.len() <= 2,
+            "slab bounded by peak pending events, got {}",
+            q.slots.len()
+        );
+    }
+
+    #[test]
+    fn clone_preserves_pending_order() {
+        let mut q = EventQueue::new();
+        for i in (0..50).rev() {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        let mut c = q.clone();
+        let a: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let b: Vec<u64> = std::iter::from_fn(|| c.pop().map(|(_, e)| e)).collect();
+        assert_eq!(a, b);
     }
 }

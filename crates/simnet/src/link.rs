@@ -152,6 +152,11 @@ pub struct Path {
     busy_until: SimTime,
     /// Arrival time of the most recently admitted packet (FIFO clamp).
     last_arrival: SimTime,
+    /// Memoized `(wire_bytes, serialization_time(wire_bytes))` for the
+    /// common case of one fixed segment size per run — the value is
+    /// exactly what [`PathConfig::serialization_time`] returns, just
+    /// without redoing the wide division per packet.
+    ser_memo: (u32, SimDuration),
     stats: PathStats,
 }
 
@@ -170,6 +175,7 @@ impl Path {
             rng,
             busy_until: SimTime::ZERO,
             last_arrival: SimTime::ZERO,
+            ser_memo: (0, SimDuration::ZERO),
             stats: PathStats::default(),
         }
     }
@@ -189,6 +195,7 @@ impl Path {
     pub fn reconfigure(&mut self, config: PathConfig) {
         assert!(config.validate().is_ok(), "invalid path config");
         self.config = config;
+        self.ser_memo = (0, SimDuration::ZERO);
     }
 
     /// Current queueing backlog, expressed as time until the transmitter
@@ -215,7 +222,10 @@ impl Path {
             return Admission::LostRandom;
         }
         let start = self.busy_until.max(now);
-        let departure = start + self.config.serialization_time(wire_bytes);
+        if self.ser_memo.0 != wire_bytes {
+            self.ser_memo = (wire_bytes, self.config.serialization_time(wire_bytes));
+        }
+        let departure = start + self.ser_memo.1;
         self.busy_until = departure;
         let mut arrival = departure + self.config.delay + self.rng.jitter(self.config.jitter);
         // FIFO: never deliver before a previously admitted packet.

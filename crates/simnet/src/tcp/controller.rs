@@ -122,6 +122,10 @@ pub struct Cubic {
     beta: f64,
     /// CUBIC aggressiveness constant.
     c: f64,
+    /// Memoized `K = cbrt(w_max·(1−beta)/c)`, refreshed whenever `w_max`
+    /// changes — the same bits recomputing per ack would produce, without
+    /// the per-ack cube root.
+    k: f64,
 }
 
 impl Cubic {
@@ -140,20 +144,21 @@ impl Cubic {
             beta > 0.0 && beta < 1.0,
             "beta must be in (0,1), got {beta}"
         );
+        let c = 0.4;
         Cubic {
             cwnd: initial_cwnd.max(1) as f64,
             ssthresh: initial_ssthresh as f64,
             w_max: 0.0,
             epoch_start: None,
             beta,
-            c: 0.4,
+            c,
+            k: (0.0f64 * (1.0 - beta) / c).cbrt(),
         }
     }
 
     /// The cubic target window at time `t` seconds into the epoch.
     fn target(&self, t: f64) -> f64 {
-        let k = (self.w_max * (1.0 - self.beta) / self.c).cbrt();
-        self.w_max + self.c * (t - k).powi(3)
+        self.w_max + self.c * (t - self.k).powi(3)
     }
 }
 
@@ -182,6 +187,7 @@ impl CongestionControl for Cubic {
             // metric): treat the current window as the plateau.
             if self.w_max < self.cwnd {
                 self.w_max = self.cwnd;
+                self.k = (self.w_max * (1.0 - self.beta) / self.c).cbrt();
             }
             now
         });
@@ -200,6 +206,7 @@ impl CongestionControl for Cubic {
 
     fn on_loss(&mut self, now: SimTime) {
         self.w_max = self.cwnd;
+        self.k = (self.w_max * (1.0 - self.beta) / self.c).cbrt();
         self.ssthresh = (self.cwnd * self.beta).max(2.0);
         self.cwnd = self.ssthresh;
         self.epoch_start = Some(now);
@@ -207,6 +214,7 @@ impl CongestionControl for Cubic {
 
     fn on_timeout(&mut self, now: SimTime) {
         self.w_max = self.cwnd;
+        self.k = (self.w_max * (1.0 - self.beta) / self.c).cbrt();
         self.ssthresh = (self.cwnd * self.beta).max(2.0);
         self.cwnd = 1.0;
         self.epoch_start = Some(now);

@@ -139,10 +139,17 @@ impl Receiver {
             return self.emit_now();
         }
         self.segments_received += 1;
-        self.out_of_order.insert(seq);
-        // Advance the frontier through any now-contiguous run.
-        while self.out_of_order.remove(&self.cum) {
+        if seq == self.cum {
+            // In-order arrival (the common case): advance the frontier
+            // directly, touching the out-of-order tree only if it might
+            // hold the continuation of the run.
             self.cum += 1;
+            while !self.out_of_order.is_empty() && self.out_of_order.remove(&self.cum) {
+                self.cum += 1;
+            }
+        } else {
+            // Above the frontier with a hole below: park it.
+            self.out_of_order.insert(seq);
         }
         // Receive-window autotuning: grow with received traffic, two
         // segments per segment, so it outpaces the sender's window.

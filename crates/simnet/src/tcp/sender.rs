@@ -14,7 +14,7 @@
 //! [`Sender::take_timer_request`] (RTO re-arm requests); the
 //! [`crate::world::World`] turns those into events.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::config::TcpConfig;
 use crate::packet::{Ack, SegIndex};
@@ -83,9 +83,15 @@ pub struct Sender {
     rto_epoch: u64,
     rto_armed: bool,
 
-    /// Send timestamps for in-flight segments; `true` = retransmitted
-    /// (Karn's rule: never RTT-sample those).
-    send_times: BTreeMap<SegIndex, (SimTime, bool)>,
+    /// Send timestamps for in-flight segments, indexed by offset from
+    /// `send_base`; `true` = retransmitted (Karn's rule: never RTT-sample
+    /// those). A ring buffer rather than a map: live entries always fall
+    /// in `[cum_acked, stream_end)`, so cumulative ACKs prune from the
+    /// front and sends append near the back, with no per-segment node
+    /// allocation.
+    send_times: VecDeque<Option<(SimTime, bool)>>,
+    /// Stream position of `send_times[0]`; advances with `cum_acked`.
+    send_base: SegIndex,
 
     /// Whether SACK-based recovery is enabled (RFC 2018/6675-lite).
     sack_enabled: bool,
@@ -138,7 +144,8 @@ impl Sender {
             rto_backoff: 0,
             rto_epoch: 0,
             rto_armed: false,
-            send_times: BTreeMap::new(),
+            send_times: VecDeque::new(),
+            send_base: 0,
             sack_enabled: cfg.sack,
             sacked: BTreeSet::new(),
             recovery_retx: BTreeSet::new(),
@@ -250,6 +257,30 @@ impl Sender {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Appends the queued segments to `out` and empties the internal
+    /// outbox, retaining both buffers' capacity — the allocation-free
+    /// variant of [`Sender::take_outbox`] used by the event loop.
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<Outgoing>) {
+        out.append(&mut self.outbox);
+    }
+
+    /// The recorded `(sent_at, retransmitted)` pair for `seq`, if it has
+    /// been transmitted and is not yet cumulatively acknowledged.
+    fn send_time(&self, seq: SegIndex) -> Option<(SimTime, bool)> {
+        let idx = seq.checked_sub(self.send_base)?;
+        self.send_times.get(idx as usize).copied().flatten()
+    }
+
+    /// Records (or overwrites) the send timestamp for `seq`.
+    fn record_send(&mut self, seq: SegIndex, at: SimTime, retransmit: bool) {
+        debug_assert!(seq >= self.send_base, "sends never precede cum_acked");
+        let idx = (seq - self.send_base) as usize;
+        if idx >= self.send_times.len() {
+            self.send_times.resize(idx + 1, None);
+        }
+        self.send_times[idx] = Some((at, retransmit));
+    }
+
     /// Takes the pending timer re-arm request, if any.
     pub fn take_timer_request(&mut self) -> Option<TimerRequest> {
         self.timer_request.take()
@@ -319,21 +350,24 @@ impl Sender {
         };
         // RTT sample from the most recently acknowledged, never-
         // retransmitted segment (Karn's algorithm).
-        if let Some(&(sent_at, retx)) = self.send_times.get(&(new_cum - 1)) {
+        if let Some((sent_at, retx)) = self.send_time(new_cum - 1) {
             if !retx {
                 self.rtt.on_sample(now.saturating_since(sent_at));
             }
         }
-        let below: Vec<SegIndex> = self.send_times.range(..new_cum).map(|(&k, _)| k).collect();
-        for k in below {
-            self.send_times.remove(&k);
-        }
+        let acked = ((new_cum - self.send_base) as usize).min(self.send_times.len());
+        self.send_times.drain(..acked);
+        self.send_base = new_cum;
         self.cum_acked = new_cum;
         // A late ACK from a pre-timeout flight can pass a rewound
         // `next_seq` (go-back-N); those segments need no resending.
         self.next_seq = self.next_seq.max(new_cum);
-        self.sacked = self.sacked.split_off(&new_cum);
-        self.recovery_retx = self.recovery_retx.split_off(&new_cum);
+        if !self.sacked.is_empty() {
+            self.sacked = self.sacked.split_off(&new_cum);
+        }
+        if !self.recovery_retx.is_empty() {
+            self.recovery_retx = self.recovery_retx.split_off(&new_cum);
+        }
         self.dup_acks = 0;
         self.rto_backoff = 0;
 
@@ -394,10 +428,10 @@ impl Sender {
     /// recovery point that the receiver has not selectively acknowledged,
     /// at most once per recovery episode.
     fn fill_holes(&mut self, now: SimTime) {
-        let holes: Vec<SegIndex> = (self.cum_acked..self.recover_point.min(self.next_seq))
-            .filter(|seq| !self.sacked.contains(seq) && !self.recovery_retx.contains(seq))
-            .collect();
-        for seq in holes {
+        for seq in self.cum_acked..self.recover_point.min(self.next_seq) {
+            if self.sacked.contains(&seq) || self.recovery_retx.contains(&seq) {
+                continue;
+            }
             self.recovery_retx.insert(seq);
             self.retransmit(seq, now);
         }
@@ -433,7 +467,7 @@ impl Sender {
 
     fn retransmit(&mut self, seq: SegIndex, now: SimTime) {
         self.retransmits_total += 1;
-        self.send_times.insert(seq, (now, true));
+        self.record_send(seq, now, true);
         self.outbox.push(Outgoing {
             seq,
             retransmit: true,
@@ -447,11 +481,11 @@ impl Sender {
             .min(self.peer_rwnd as u64);
         while self.next_seq < self.stream_end && self.pipe() < wnd {
             let seq = self.next_seq;
-            let retx = self.send_times.contains_key(&seq);
+            let retx = self.send_time(seq).is_some();
             if retx {
                 self.retransmits_total += 1;
             }
-            self.send_times.insert(seq, (now, retx));
+            self.record_send(seq, now, retx);
             self.outbox.push(Outgoing {
                 seq,
                 retransmit: retx,

@@ -41,14 +41,17 @@ impl SimTime {
         SimTime(ns)
     }
 
-    /// Creates an instant `secs` seconds after simulation start.
+    /// Creates an instant `secs` seconds after simulation start,
+    /// saturating to [`SimTime::MAX`] if the nanosecond count would
+    /// overflow `u64`.
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
+        SimTime(secs.saturating_mul(1_000_000_000))
     }
 
-    /// Creates an instant `ms` milliseconds after simulation start.
+    /// Creates an instant `ms` milliseconds after simulation start,
+    /// saturating to [`SimTime::MAX`] on overflow.
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
     /// Raw nanoseconds since simulation start.
@@ -86,19 +89,20 @@ impl SimDuration {
         SimDuration(ns)
     }
 
-    /// Creates a span from microseconds.
+    /// Creates a span from microseconds, saturating to the maximum
+    /// representable span on overflow.
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
-    /// Creates a span from milliseconds.
+    /// Creates a span from milliseconds, saturating on overflow.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// Creates a span from whole seconds.
+    /// Creates a span from whole seconds, saturating on overflow.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(secs.saturating_mul(1_000_000_000))
     }
 
     /// Creates a span from fractional seconds.
@@ -298,6 +302,42 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_seconds_panics() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        // Before the fix these silently wrapped: e.g. u64::MAX seconds
+        // times 1e9 truncates to a small instant in release builds.
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_millis(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        // The largest exactly-representable inputs still convert exactly.
+        let max_secs = u64::MAX / 1_000_000_000;
+        assert_eq!(
+            SimTime::from_secs(max_secs).as_nanos(),
+            max_secs * 1_000_000_000
+        );
+        assert_eq!(
+            SimDuration::from_secs(max_secs).as_nanos(),
+            max_secs * 1_000_000_000
+        );
+        // One past the boundary saturates rather than wrapping.
+        assert_eq!(SimTime::from_secs(max_secs + 1), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_secs(max_secs + 1),
+            SimDuration::from_nanos(u64::MAX)
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ use crate::link::{Admission, Path, PathConfig, PathStats};
 use crate::packet::{Ack, Control, Segment};
 use crate::rng::DetRng;
 use crate::stats::{ConnStats, TransferRecord, WorldStats};
+use crate::tcp::sender::Outgoing;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ConnTrace, TraceEvent};
 
@@ -109,6 +110,9 @@ pub struct World {
     next_transfer: u64,
     stats: WorldStats,
     traces: HashMap<ConnId, ConnTrace>,
+    /// Reusable buffer for draining sender outboxes in [`World::flush`];
+    /// kept across events so the hot path stops allocating once warm.
+    outbox_scratch: Vec<Outgoing>,
 }
 
 impl World {
@@ -136,6 +140,7 @@ impl World {
             next_transfer: 0,
             stats: WorldStats::default(),
             traces: HashMap::new(),
+            outbox_scratch: Vec::new(),
         }
     }
 
@@ -151,6 +156,10 @@ impl World {
     }
 
     fn trace_push(&mut self, conn: ConnId, event: TraceEvent) {
+        // Tracing is off in every large-scale run; skip the hash lookup.
+        if self.traces.is_empty() {
+            return;
+        }
         if let Some(t) = self.traces.get_mut(&conn) {
             t.push(event);
         }
@@ -341,12 +350,16 @@ impl World {
             self.cfg.initial_ssthresh
         };
         let id = ConnId::from_index(self.conns.len() as u64);
+        let fwd_path = self.path_index[&(src_pop, dst_pop)];
+        let rev_path = self.path_index[&(dst_pop, src_pop)];
         let conn = Connection::new(
             id,
             src,
             dst,
             src_pop,
             dst_pop,
+            fwd_path,
+            rev_path,
             src_addr,
             dst_addr,
             iw,
@@ -359,8 +372,7 @@ impl World {
         self.stats.connections_opened += 1;
         // SYN travels to the peer; SYN-ACK comes back (handshake packets
         // are delay-only and lossless, see crate docs).
-        let pid = self.path_index[&(src_pop, dst_pop)];
-        if let Some(arrival) = self.paths[pid.index()].admit_control(self.now, false) {
+        if let Some(arrival) = self.paths[fwd_path.index()].admit_control(self.now, false) {
             self.queue
                 .schedule(arrival, Event::Ctl(Control::Syn { conn: id }));
         }
@@ -546,6 +558,15 @@ impl World {
             .collect()
     }
 
+    /// Visits the same snapshots as [`World::host_conn_stats`] without
+    /// materialising the intermediate `Vec` — the streaming form the
+    /// per-tick `ss` pollers use.
+    pub fn each_host_conn_stat(&self, host: HostId, mut f: impl FnMut(ConnStats)) {
+        for &cid in &self.hosts[host.index()].open_conns {
+            f(self.conn_stats(cid));
+        }
+    }
+
     /// Drains the records of transfers completed since the last call.
     pub fn drain_completed(&mut self) -> Vec<TransferRecord> {
         std::mem::take(&mut self.completed)
@@ -637,11 +658,7 @@ impl World {
 
     /// Sends an acknowledgement over the reverse path (delay-only).
     fn send_ack_back(&mut self, conn: ConnId, ack: Ack) {
-        let (src_pop, dst_pop) = {
-            let c = &self.conns[conn.index()];
-            (c.src_pop, c.dst_pop)
-        };
-        let pid = self.path_index[&(dst_pop, src_pop)];
+        let pid = self.conns[conn.index()].rev_path;
         if let Some(arrival) = self.paths[pid.index()].admit_control(self.now, false) {
             self.queue.schedule(arrival, Event::AckPkt(ack));
         }
@@ -654,7 +671,7 @@ impl World {
         }
         self.stats.acks_delivered += 1;
         self.conns[conn.index()].sender.on_ack(ack, self.now);
-        if self.traces.contains_key(&conn) {
+        if !self.traces.is_empty() && self.traces.contains_key(&conn) {
             let cwnd_after = self.conns[conn.index()].sender.cwnd_segments();
             self.trace_push(
                 conn,
@@ -675,11 +692,7 @@ impl World {
                 if self.conns[conn.index()].state == ConnState::Closed {
                     return;
                 }
-                let (src_pop, dst_pop) = {
-                    let c = &self.conns[conn.index()];
-                    (c.src_pop, c.dst_pop)
-                };
-                let pid = self.path_index[&(dst_pop, src_pop)];
+                let pid = self.conns[conn.index()].rev_path;
                 if let Some(arrival) = self.paths[pid.index()].admit_control(self.now, false) {
                     self.queue
                         .schedule(arrival, Event::Ctl(Control::SynAck { conn }));
@@ -697,10 +710,10 @@ impl World {
                 self.trace_push(conn, TraceEvent::Established { at: self.now });
                 // Release transfers that were waiting on the handshake;
                 // the first of them is the fresh-connection transfer.
-                let pending: Vec<PendingTransfer> =
-                    self.conns[conn.index()].pending.drain(..).collect();
-                for (i, p) in pending.into_iter().enumerate() {
-                    self.begin_transfer(conn, p.id, p.bytes, p.requested_at, i == 0);
+                let mut released = 0usize;
+                while let Some(p) = self.conns[conn.index()].pending.pop_front() {
+                    self.begin_transfer(conn, p.id, p.bytes, p.requested_at, released == 0);
+                    released += 1;
                 }
                 self.flush(conn);
             }
@@ -720,17 +733,20 @@ impl World {
     /// Moves the sender's queued work onto the wire and into the timer
     /// queue.
     fn flush(&mut self, conn: ConnId) {
-        let (src_pop, dst_pop, wire_bytes) = {
+        let (pid, wire_bytes) = {
             let c = &self.conns[conn.index()];
-            (c.src_pop, c.dst_pop, self.cfg.wire_bytes())
+            (c.fwd_path, self.cfg.wire_bytes())
         };
-        let outbox = self.conns[conn.index()].sender.take_outbox();
+        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+        outbox.clear();
+        self.conns[conn.index()]
+            .sender
+            .drain_outbox_into(&mut outbox);
         if !outbox.is_empty() {
-            let pid = self.path_index[&(src_pop, dst_pop)];
             let path = &mut self.paths[pid.index()];
-            let tracing = self.traces.contains_key(&conn);
+            let tracing = !self.traces.is_empty() && self.traces.contains_key(&conn);
             let mut trace_events = Vec::new();
-            for out in outbox {
+            for &out in &outbox {
                 if out.retransmit {
                     self.stats.retransmits += 1;
                 }
@@ -778,6 +794,8 @@ impl World {
                 self.trace_push(conn, e);
             }
         }
+        outbox.clear();
+        self.outbox_scratch = outbox;
         if let Some(req) = self.conns[conn.index()].sender.take_timer_request() {
             self.queue.schedule(
                 req.deadline,

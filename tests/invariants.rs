@@ -705,3 +705,45 @@ proptest! {
         prop_assert!(cdf.fraction_at_or_below(q) >= p - 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------
+// Simulated time: constructors never wrap
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sim_time_constructors_never_wrap(v in 0u64..=u64::MAX) {
+        use riptide_repro::simnet::time::{SimDuration, SimTime};
+        // A wrapped multiply would produce an instant *smaller* than an
+        // exact widening conversion; saturation can only pin at MAX.
+        let exact_secs = (v as u128) * 1_000_000_000;
+        let got = SimTime::from_secs(v).as_nanos() as u128;
+        prop_assert_eq!(got, exact_secs.min(u64::MAX as u128));
+
+        let exact_ms = (v as u128) * 1_000_000;
+        let got = SimTime::from_millis(v).as_nanos() as u128;
+        prop_assert_eq!(got, exact_ms.min(u64::MAX as u128));
+
+        let exact_us = (v as u128) * 1_000;
+        let got = SimDuration::from_micros(v).as_nanos() as u128;
+        prop_assert_eq!(got, exact_us.min(u64::MAX as u128));
+
+        let got = SimDuration::from_millis(v).as_nanos() as u128;
+        prop_assert_eq!(got, exact_ms.min(u64::MAX as u128));
+
+        let got = SimDuration::from_secs(v).as_nanos() as u128;
+        prop_assert_eq!(got, exact_secs.min(u64::MAX as u128));
+    }
+
+    #[test]
+    fn sim_time_constructors_monotone(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        use riptide_repro::simnet::time::{SimDuration, SimTime};
+        // Wrapping breaks monotonicity; saturation preserves it.
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(SimTime::from_secs(lo) <= SimTime::from_secs(hi));
+        prop_assert!(SimTime::from_millis(lo) <= SimTime::from_millis(hi));
+        prop_assert!(SimDuration::from_micros(lo) <= SimDuration::from_micros(hi));
+        prop_assert!(SimDuration::from_millis(lo) <= SimDuration::from_millis(hi));
+        prop_assert!(SimDuration::from_secs(lo) <= SimDuration::from_secs(hi));
+    }
+}

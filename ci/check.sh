@@ -1,48 +1,83 @@
 #!/usr/bin/env bash
 # The tier-1 gate: everything CI enforces, runnable locally with
-#   ./ci/check.sh
-# The workspace is fully self-contained (no registry deps; `proptest`
-# and `criterion` are in-repo shims), so every step below works
-# offline. Pass --offline through to cargo via CARGO_NET_OFFLINE=true
-# if your environment has no network at all.
+#   ./ci/check.sh [lint|build|all]
+#
+# Stages (default: all):
+#   lint   fast fail-early checks — fmt, clippy, rustdoc -D warnings
+#   build  release build, tests, and the bench smoke gates
+#
+# CI runs the stages as separate jobs (lint gates build), so a
+# formatting error never burns a long bench run. The workspace is
+# fully self-contained (no registry deps; `proptest` and `criterion`
+# are in-repo shims), so every step below works offline. Pass
+# --offline through to cargo via CARGO_NET_OFFLINE=true if your
+# environment has no network at all.
+#
+# Bench smoke runs write their BENCH_*.json output to a scratch
+# directory (--out), never to the checked-in baselines: the gate must
+# leave the git tree clean. Regression checks (simperf/shardscale
+# --check) read the checked-in baselines and write nothing.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+case "$stage" in
+    lint|build|all) ;;
+    *) echo "usage: ci/check.sh [lint|build|all]" >&2; exit 2 ;;
+esac
 
 run() {
     echo "==> $*"
     "$@"
 }
 
-run cargo fmt --all -- --check
-run cargo clippy --workspace --all-targets -- -D warnings
-run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
-run cargo build --release --workspace
-run cargo test -q --release --workspace
+if [[ "$stage" == "lint" || "$stage" == "all" ]]; then
+    run cargo fmt --all -- --check
+    run cargo clippy --workspace --all-targets -- -D warnings
+    run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+fi
 
-# Closed-loop safety smoke: the guardrail sweep at test scale asserts
-# its own invariants (drift repaired, foreign routes untouched, bounds
-# held, breaker reduces harm) and exits nonzero on any violation.
-run cargo run --release -p riptide-bench --bin guardrail -- \
-    --scale test --seeds 2
-run grep -q '"drift_unrepaired": 0' BENCH_guardrail.json
-run grep -q '"foreign_touched": 0' BENCH_guardrail.json
+if [[ "$stage" == "build" || "$stage" == "all" ]]; then
+    run cargo build --release --workspace
+    run cargo test -q --release --workspace
 
-# Telemetry smoke: a quick-scale probe plan with the metrics bundle
-# attached must keep merged snapshots thread-count invariant, leave
-# uninstrumented digests bit-identical (zero overhead), and move the
-# key counters; the golden test pins the exposition format itself.
-run cargo run --release -p riptide-bench --bin telemetry -- \
-    --scale test --seeds 1
-run grep -q '"thread_invariant": true' BENCH_telemetry.json
-run grep -q '"zero_overhead": true' BENCH_telemetry.json
-run cargo test -q --release --test golden_exposition
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' EXIT
 
-# Hot-path smoke: replay the quick-scale probe comparison against the
-# checked-in BENCH_simperf.json. Any digest drift is fatal (the
-# optimisations must be behaviour-preserving, bit for bit), as is an
-# events/sec regression past the recorded baseline's floor.
-run cargo run --release -p riptide-bench --bin simperf -- \
-    --scale quick --check
+    # Closed-loop safety smoke: the guardrail sweep at test scale asserts
+    # its own invariants (drift repaired, foreign routes untouched, bounds
+    # held, breaker reduces harm) and exits nonzero on any violation.
+    run cargo run --release -p riptide-bench --bin guardrail -- \
+        --scale test --seeds 2 --out "$scratch/BENCH_guardrail.json"
+    run grep -q '"drift_unrepaired": 0' "$scratch/BENCH_guardrail.json"
+    run grep -q '"foreign_touched": 0' "$scratch/BENCH_guardrail.json"
+    run grep -q '"invariant_breaches": 0' "$scratch/BENCH_guardrail.json"
 
-echo "==> all checks passed"
+    # Telemetry smoke: a quick-scale probe plan with the metrics bundle
+    # attached must keep merged snapshots thread-count invariant, leave
+    # uninstrumented digests bit-identical (zero overhead), and move the
+    # key counters; the golden test pins the exposition format itself.
+    run cargo run --release -p riptide-bench --bin telemetry -- \
+        --scale test --seeds 1 --out "$scratch/BENCH_telemetry.json"
+    run grep -q '"thread_invariant": true' "$scratch/BENCH_telemetry.json"
+    run grep -q '"zero_overhead": true' "$scratch/BENCH_telemetry.json"
+    run cargo test -q --release --test golden_exposition
+
+    # Hot-path smoke: replay the quick-scale probe comparison against the
+    # checked-in BENCH_simperf.json. Any digest drift is fatal (the
+    # optimisations must be behaviour-preserving, bit for bit), as is an
+    # events/sec regression past the recorded baseline's floor.
+    run cargo run --release -p riptide-bench --bin simperf -- \
+        --scale quick --check
+
+    # Shard-scaling smoke: the work-stealing scheduler must reproduce
+    # the checked-in serial digest (drift fatal), merge identically at
+    # threads=1 and threads=4 (steal-order divergence fatal), and — on
+    # a runner with >= 4 hardware threads — hit the speedup floor at
+    # threads=4.
+    run cargo run --release -p riptide-bench --bin shardscale -- \
+        --scale quick --check
+fi
+
+echo "==> stage '$stage' passed"

@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use riptide_bench::{banner, parse_args, resolved_threads};
+use riptide_bench::{banner, parse_args, resolved_threads, write_bench_json};
 use riptide_cdn::engine::{RunPlan, RunReport};
 
 fn timed(plan: &RunPlan, threads: usize) -> (RunReport, u64) {
@@ -68,7 +68,7 @@ fn main() {
         parallel_ms,
         speedup
     );
-    std::fs::write("BENCH_parallel.json", &json).expect("writing BENCH_parallel.json");
+    write_bench_json(&opts, "BENCH_parallel.json", &json);
     print!("{json}");
     println!(
         "# serial {serial_ms} ms vs {parallel_threads} threads {parallel_ms} ms \

@@ -25,7 +25,7 @@
 //!
 //! [`FaultPlan::guardrail`]: riptide_simnet::fault::FaultPlan::guardrail
 
-use riptide_bench::{banner, execute_plan, parse_args};
+use riptide_bench::{banner, execute_plan, parse_args, write_bench_json};
 use riptide_cdn::engine::RunPlan;
 use riptide_cdn::sim::ProbeOutcome;
 use riptide_cdn::stats::Cdf;
@@ -212,7 +212,7 @@ fn main() {
         top.guard_trips,
         runs.join(",\n")
     );
-    std::fs::write("BENCH_guardrail.json", &json).expect("writing BENCH_guardrail.json");
+    write_bench_json(&opts, "BENCH_guardrail.json", &json);
     print!("{json}");
     println!("# closed loop: breaker + reconciler held every safety invariant at every rate");
 }

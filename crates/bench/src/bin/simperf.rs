@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release --bin simperf -- [--scale test|quick|paper]
-//!     [--seeds N] [--threads N] [--record-seed] [--check]
+//!     [--seeds N] [--threads N] [--record-seed] [--check] [--out PATH]
 //! ```
 //!
 //! * Default mode measures the plan **serially** (stable events/sec,
@@ -36,6 +36,9 @@ struct Options {
     threads: usize,
     record_seed: bool,
     check: bool,
+    /// The bench file: read in `--check` mode, rewritten otherwise.
+    /// `--out` points smoke runs away from the checked-in baseline.
+    out: std::path::PathBuf,
 }
 
 fn parse() -> Options {
@@ -46,6 +49,7 @@ fn parse() -> Options {
         threads: 1,
         record_seed: false,
         check: false,
+        out: std::path::PathBuf::from(BENCH_FILE),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,10 +80,11 @@ fn parse() -> Options {
             }
             "--record-seed" => opts.record_seed = true,
             "--check" => opts.check = true,
+            "--out" => opts.out = std::path::PathBuf::from(value("--out")),
             "--help" | "-h" => {
                 println!(
                     "usage: simperf [--scale test|quick|paper] [--seeds N] \
-                     [--threads N] [--record-seed] [--check]"
+                     [--threads N] [--record-seed] [--check] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -122,18 +127,19 @@ fn main() -> ExitCode {
     let digest_fnv = format!("{:016x}", report.digest_fnv64());
 
     if opts.check {
-        let text = match std::fs::read_to_string(BENCH_FILE) {
+        let text = match std::fs::read_to_string(&opts.out) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("simperf: cannot read {BENCH_FILE}: {e}");
+                eprintln!("simperf: cannot read {}: {e}", opts.out.display());
                 return ExitCode::FAILURE;
             }
         };
         let want_scale = json_field(&text, "scale").unwrap_or_default();
         if want_scale != opts.scale_name {
             eprintln!(
-                "simperf: {BENCH_FILE} was recorded at --scale {want_scale}, \
+                "simperf: {} was recorded at --scale {want_scale}, \
                  this run used --scale {}",
+                opts.out.display(),
                 opts.scale_name
             );
             return ExitCode::FAILURE;
@@ -167,7 +173,7 @@ fn main() -> ExitCode {
 
     // Carry the recorded pre-optimisation baseline forward (or stamp it
     // from this run under --record-seed).
-    let existing = std::fs::read_to_string(BENCH_FILE).unwrap_or_default();
+    let existing = std::fs::read_to_string(&opts.out).unwrap_or_default();
     let (seed_wall_ms, seed_eps) = if opts.record_seed {
         (wall_ms, events_per_sec)
     } else {
@@ -199,7 +205,8 @@ fn main() -> ExitCode {
         seed_eps,
         speedup
     );
-    std::fs::write(BENCH_FILE, &json).expect("writing BENCH_simperf.json");
+    std::fs::write(&opts.out, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", opts.out.display()));
     print!("{json}");
     println!(
         "# {events} events in {wall_ms} ms = {events_per_sec:.0} events/sec \

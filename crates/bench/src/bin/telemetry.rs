@@ -14,7 +14,7 @@
 //! cargo run --release --bin telemetry -- --scale test --seeds 1
 //! ```
 
-use riptide_bench::{banner, parse_args, resolved_threads};
+use riptide_bench::{banner, parse_args, resolved_threads, write_bench_json};
 use riptide_cdn::engine::RunPlan;
 
 fn main() {
@@ -79,7 +79,7 @@ fn main() {
         expirations,
         merged.len()
     );
-    std::fs::write("BENCH_telemetry.json", &json).expect("writing BENCH_telemetry.json");
+    write_bench_json(&opts, "BENCH_telemetry.json", &json);
     print!("{json}");
     println!(
         "# {} shards: thread-invariant metrics, zero-overhead digests, \

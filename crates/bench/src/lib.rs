@@ -10,6 +10,10 @@
 //! --threads N                worker threads (default: RIPTIDE_THREADS
 //!                            or all cores)
 //! --manifest PATH            write the JSON-lines run manifest here
+//! --out PATH                 write the BENCH_*.json summary here
+//!                            instead of the checked-in default (CI
+//!                            smoke runs point this at a scratch dir
+//!                            so baselines stay clean)
 //! ```
 //!
 //! Simulation-backed binaries run through the parallel experiment
@@ -40,6 +44,9 @@ pub struct RunOptions {
     pub threads: Option<usize>,
     /// Where to write the JSON-lines run manifest, if anywhere.
     pub manifest: Option<std::path::PathBuf>,
+    /// Override for the binary's `BENCH_*.json` output path; `None`
+    /// keeps the checked-in default next to the workspace root.
+    pub out: Option<std::path::PathBuf>,
 }
 
 /// Parses `std::env::args` into [`RunOptions`].
@@ -54,6 +61,7 @@ pub fn parse_args() -> RunOptions {
     let mut seeds = 1usize;
     let mut threads = None;
     let mut manifest = None;
+    let mut out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -91,10 +99,13 @@ pub fn parse_args() -> RunOptions {
             "--manifest" => {
                 manifest = Some(std::path::PathBuf::from(value("--manifest")));
             }
+            "--out" => {
+                out = Some(std::path::PathBuf::from(value("--out")));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: [--scale test|quick|paper] [--seed N] [--points N] [--seeds N] \
-                     [--threads N] [--manifest PATH]"
+                     [--threads N] [--manifest PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -107,7 +118,26 @@ pub fn parse_args() -> RunOptions {
         seeds,
         threads,
         manifest,
+        out,
     }
+}
+
+/// The `BENCH_*.json` path a binary should write: the `--out` override
+/// when given, else `default` (the checked-in baseline location).
+pub fn out_file(opts: &RunOptions, default: &str) -> std::path::PathBuf {
+    opts.out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from(default))
+}
+
+/// Writes a bench summary to [`out_file`]'s resolution of the path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_json(opts: &RunOptions, default: &str, json: &str) {
+    let path = out_file(opts, default);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }
 
 /// The worker-pool size these options resolve to.

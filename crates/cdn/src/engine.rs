@@ -24,18 +24,27 @@
 //!
 //! [`RunPlan::run`] sizes the pool from `RIPTIDE_THREADS` (when set to
 //! a positive integer) or [`std::thread::available_parallelism`];
-//! [`RunPlan::run_with_threads`] pins it explicitly. Workers pull the
-//! next unstarted shard from a shared atomic cursor, so long shards
-//! don't starve the pool.
+//! [`RunPlan::run_with_threads`] pins it explicitly. Scheduling is
+//! work-stealing with LPT seeding (see [`crate::schedule`]): shards are
+//! dealt to per-worker deques slowest-first by estimated event count,
+//! and a worker that drains its deque steals the cheapest remaining
+//! shard from a victim, so one long scenario never serializes the
+//! tail. Each worker reuses a `WorkerScratch` across its shards —
+//! the digest-accumulator buffer is allocated once per worker, not
+//! once per shard — and writes results into plan-position slots, so
+//! merged reports (and digests) are invariant under thread count and
+//! steal order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use riptide::config::RiptideConfig;
 use riptide::telemetry::MetricsSnapshot;
-use riptide_simnet::rng::stream_seed;
+use riptide_simnet::rng::{stream_seed, DetRng};
 use riptide_simnet::time::{SimDuration, SimTime};
+
+use crate::schedule::{estimated_events, StealPool};
 
 use crate::experiment::{
     chaos_sim_config, cwnd_sim_config, guarded_riptide_config, guardrail_sim_config,
@@ -234,6 +243,13 @@ pub struct ShardResult {
     /// Deployment-wide metrics snapshot — empty unless the plan ran
     /// [`RunPlan::with_telemetry`].
     pub metrics: MetricsSnapshot,
+    /// FNV-1a of the `{:?}` rendering of `data`, precomputed on the
+    /// worker (into its reusable scratch buffer) so [`RunReport::digest`]
+    /// hashes in parallel instead of re-rendering every shard serially.
+    pub data_fnv: u64,
+    /// FNV-1a of the Prometheus exposition of `metrics`, or 0 when the
+    /// snapshot is empty (telemetry off).
+    pub metrics_fnv: u64,
 }
 
 /// The merged outcome of running a [`RunPlan`].
@@ -523,20 +539,36 @@ impl RunPlan {
     ///
     /// Panics if `threads` is 0 or a worker thread panics.
     pub fn run_with_threads(&self, threads: usize) -> RunReport {
+        self.run_with_steal_seed(threads, 0)
+    }
+
+    /// [`RunPlan::run_with_threads`] with the steal-victim scan seeded
+    /// explicitly. Different seeds change *which worker* executes a
+    /// stolen shard — never the shard's result or the merged report,
+    /// which `tests/scheduler.rs` property-tests across adversarial
+    /// seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or a worker thread panics.
+    pub fn run_with_steal_seed(&self, threads: usize, steal_seed: u64) -> RunReport {
         assert!(threads >= 1, "need at least one worker");
         let workers = threads.min(self.shards.len()).max(1);
-        let cursor = AtomicUsize::new(0);
+        let costs: Vec<u64> = self.shards.iter().map(estimated_events).collect();
+        let pool = StealPool::new(&costs, workers);
         let slots: Vec<Mutex<Option<ShardResult>>> =
             self.shards.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = self.shards.get(i) else {
-                        break;
-                    };
-                    let result = run_shard(spec);
-                    *slots[i].lock().expect("result slot") = Some(result);
+            for w in 0..workers {
+                let pool = &pool;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut scratch = WorkerScratch::default();
+                    let mut steal_rng = DetRng::for_stream(steal_seed, w as u64);
+                    while let Some(i) = pool.next(w, &mut steal_rng) {
+                        let result = run_shard(&self.shards[i], &mut scratch);
+                        *slots[i].lock().expect("result slot") = Some(result);
+                    }
                 });
             }
         });
@@ -568,7 +600,38 @@ pub struct ProbeVariant {
     pub tweaks: StackTweaks,
 }
 
-fn run_shard(spec: &ShardSpec) -> ShardResult {
+/// Per-worker reusable state: buffers allocated once per worker and
+/// recycled across every shard it executes (owned or stolen), so the
+/// hot loop does not hit the global allocator once per shard from
+/// every thread at once.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Digest accumulator: the `{:?}` rendering of a shard's data (and
+    /// its metrics exposition) is formatted into this buffer and
+    /// hashed, then the buffer is cleared for the next shard.
+    fmt_buf: String,
+}
+
+impl WorkerScratch {
+    /// FNV-1a of `value`'s `Debug` rendering, via the reusable buffer.
+    fn fnv_of_debug(&mut self, value: &impl std::fmt::Debug) -> u64 {
+        self.fmt_buf.clear();
+        write!(self.fmt_buf, "{value:?}").expect("writing to a String cannot fail");
+        fnv1a(self.fmt_buf.as_bytes())
+    }
+
+    /// FNV-1a of the metrics exposition, or 0 for an empty snapshot.
+    fn fnv_of_metrics(&mut self, metrics: &MetricsSnapshot) -> u64 {
+        if metrics.is_empty() {
+            return 0;
+        }
+        self.fmt_buf.clear();
+        self.fmt_buf.push_str(&metrics.render_prometheus());
+        fnv1a(self.fmt_buf.as_bytes())
+    }
+}
+
+fn run_shard(spec: &ShardSpec, scratch: &mut WorkerScratch) -> ShardResult {
     let started = Instant::now();
     let scale = &spec.scale;
     let cutoff = SimTime::ZERO + scale.warmup;
@@ -701,6 +764,8 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
             )
         }
     };
+    let data_fnv = scratch.fnv_of_debug(&data);
+    let metrics_fnv = scratch.fnv_of_metrics(&metrics);
     ShardResult {
         id: spec.id,
         label: spec.label.clone(),
@@ -713,6 +778,8 @@ fn run_shard(spec: &ShardSpec) -> ShardResult {
         },
         data,
         metrics,
+        data_fnv,
+        metrics_fnv,
     }
 }
 
@@ -902,15 +969,12 @@ impl RunReport {
                 s.stats.events,
                 s.stats.retransmits,
                 s.stats.transfers,
-                fnv1a(format!("{:?}", s.data).as_bytes())
+                s.data_fnv
             ));
             // Telemetry-off shards carry an empty snapshot and emit no
             // token, keeping historical digests byte-identical.
             if !s.metrics.is_empty() {
-                out.push_str(&format!(
-                    " metrics={:016x}",
-                    fnv1a(s.metrics.render_prometheus().as_bytes())
-                ));
+                out.push_str(&format!(" metrics={:016x}", s.metrics_fnv));
             }
             out.push('\n');
         }

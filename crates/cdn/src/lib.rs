@@ -16,6 +16,7 @@
 //! | [`sim`] | The deployment loop: agents, probes, sampling, chaos | §IV-A/§IV-D |
 //! | [`experiment`] | One runner per figure (Figs. 10–16) | §IV |
 //! | [`engine`] | Parallel sharded execution, digests, manifests | — (reproduction infrastructure) |
+//! | [`schedule`] | LPT-seeded work-stealing shard scheduler | — (reproduction infrastructure) |
 //! | [`stats`] | CDFs, percentile gains, histograms | Figs. 10–16 metrics |
 //!
 //! See `DESIGN.md` at the repository root for the experiment index.
@@ -36,6 +37,7 @@
 pub mod engine;
 pub mod experiment;
 pub mod geo;
+pub mod schedule;
 pub mod sim;
 pub mod stats;
 pub mod topology;

@@ -1,0 +1,110 @@
+//! The work-stealing scheduler's load-bearing guarantees:
+//!
+//! 1. **Schedule determinism** — LPT ordering is a pure function of
+//!    the plan: equal-cost shards (every shard of one arm at one
+//!    scale) always seed the pool in enumeration order.
+//! 2. **Merge invariance** — digests and merged metrics are invariant
+//!    under thread count *and* adversarial steal interleavings
+//!    (property-tested over random `(threads, steal_seed)` pairs via
+//!    [`RunPlan::run_with_steal_seed`]).
+//!
+//! [`RunPlan::run_with_steal_seed`]: riptide_repro::cdn::engine::RunPlan::run_with_steal_seed
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use riptide_repro::cdn::engine::RunPlan;
+use riptide_repro::cdn::experiment::ExperimentScale;
+use riptide_repro::cdn::schedule::{estimated_events, lpt_order, StealPool};
+use riptide_repro::simnet::time::SimDuration;
+
+fn small_scale() -> ExperimentScale {
+    let mut scale = ExperimentScale::test();
+    scale.duration = SimDuration::from_secs(180);
+    scale
+}
+
+fn reference_plan() -> RunPlan {
+    // Telemetry on, so the invariance claim covers the `metrics=`
+    // digest tokens and `merged_metrics()` too.
+    RunPlan::probe_comparison(&small_scale(), 1).with_telemetry()
+}
+
+/// The serial run every property case compares against, computed once.
+fn serial_reference() -> &'static (String, riptide_repro::riptide::telemetry::MetricsSnapshot) {
+    static REFERENCE: OnceLock<(String, riptide_repro::riptide::telemetry::MetricsSnapshot)> =
+        OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let report = reference_plan().run_with_threads(1);
+        (report.digest(), report.merged_metrics())
+    })
+}
+
+#[test]
+fn lpt_ordering_is_deterministic_for_equal_cost_shards() {
+    // All shards of one probe arm share scale and work shape, so their
+    // cost estimates tie; the schedule must fall back to enumeration
+    // order, identically on every call.
+    let plan = RunPlan::probe_comparison(&small_scale(), 2);
+    let costs: Vec<u64> = plan.shards.iter().map(estimated_events).collect();
+    assert!(
+        costs.windows(2).all(|w| w[0] == w[1]),
+        "probe shards at one scale should estimate equal"
+    );
+    let first = lpt_order(&costs);
+    assert_eq!(first, (0..plan.shards.len()).collect::<Vec<_>>());
+    for _ in 0..5 {
+        assert_eq!(lpt_order(&costs), first, "LPT order must be stable");
+    }
+    // And the pool deal is equally deterministic.
+    for _ in 0..3 {
+        let a = StealPool::new(&costs, 3);
+        let b = StealPool::new(&costs, 3);
+        for w in 0..3 {
+            assert_eq!(a.seeded_queue(w), b.seeded_queue(w));
+        }
+    }
+}
+
+#[test]
+fn lpt_starts_the_most_expensive_shard_family_first() {
+    // A guardrail shard simulates the same wall of organic traffic
+    // plus probe senders, so it must estimate at least as expensive as
+    // a sender-free cwnd shard at the same scale — and LPT must
+    // schedule it first.
+    let scale = small_scale();
+    let cwnd = RunPlan::cwnd_sweep(&scale, &[None], 1);
+    let guard = RunPlan::guardrail_sweep(&scale, &[0.3], 1);
+    let cheap = estimated_events(&cwnd.shards[0]);
+    let costly = estimated_events(&guard.shards[0]);
+    assert!(costly > cheap, "probing shards carry extra estimated load");
+    let order = lpt_order(&[cheap, costly]);
+    assert_eq!(order[0], 1, "the costlier shard schedules first");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn digests_and_metrics_survive_adversarial_steal_interleavings(
+        threads in 1usize..9,
+        steal_seed in any::<u64>(),
+    ) {
+        let (want_digest, want_metrics) = serial_reference();
+        let report = reference_plan().run_with_steal_seed(threads, steal_seed);
+        prop_assert_eq!(
+            &report.digest(),
+            want_digest,
+            "digest diverged at threads={} steal_seed={}",
+            threads,
+            steal_seed
+        );
+        prop_assert_eq!(
+            &report.merged_metrics(),
+            want_metrics,
+            "merged metrics diverged at threads={} steal_seed={}",
+            threads,
+            steal_seed
+        );
+    }
+}

@@ -41,6 +41,10 @@ fi
 if [[ "$stage" == "build" || "$stage" == "all" ]]; then
     run cargo build --release --workspace
     run cargo test -q --release --workspace
+    # Doc-tests explicitly: the `# Examples` blocks across the crates
+    # are executable documentation and must stay honest on their own,
+    # even if a future flag trims them from the default test run.
+    run cargo test -q --release --doc --workspace
 
     scratch="$(mktemp -d)"
     trap 'rm -rf "$scratch"' EXIT
@@ -77,6 +81,19 @@ if [[ "$stage" == "build" || "$stage" == "all" ]]; then
     # a runner with >= 4 hardware threads — hit the speedup floor at
     # threads=4.
     run cargo run --release -p riptide-bench --bin shardscale -- \
+        --scale quick --check
+
+    # Destination-table smoke: a small megacdn run exercises the trie,
+    # the aggregation round trip, reconcile and grouped eviction end to
+    # end (scratch --out keeps the baseline untouched)...
+    run cargo run --release -p riptide-bench --bin megacdn -- \
+        --scale test --out "$scratch/BENCH_megacdn.json"
+    run grep -q '"roundtrip_ok": true' "$scratch/BENCH_megacdn.json"
+    # ...and the full gate replays 1M+ destinations against the
+    # checked-in BENCH_megacdn.json: lookup/round-trip digest drift is
+    # fatal, as are the aggregation-ratio floor and the sublinear
+    # grouped-eviction ceiling.
+    run cargo run --release -p riptide-bench --bin megacdn -- \
         --scale quick --check
 fi
 

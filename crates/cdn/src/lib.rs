@@ -12,7 +12,8 @@
 //! |---|---|---|
 //! | [`geo`] | The 34 PoP sites with coordinates | Table II |
 //! | [`topology`] | Testbed: PoPs, machines, geography-derived paths | §IV-A; Fig. 5 |
-//! | [`workload`] | Probe harness + organic traffic (file-size model) | §IV-A; Fig. 2 |
+//! | [`workload`] | Probe harness + organic traffic (file-size model, Zipf popularity) | §IV-A; Fig. 2 |
+//! | [`megacdn`] | Million-destination fleet generator for table-scale runs | §III-B at internet scale |
 //! | [`sim`] | The deployment loop: agents, probes, sampling, chaos | §IV-A/§IV-D |
 //! | [`experiment`] | One runner per figure (Figs. 10–16) | §IV |
 //! | [`engine`] | Parallel sharded execution, digests, manifests | — (reproduction infrastructure) |
@@ -37,6 +38,7 @@
 pub mod engine;
 pub mod experiment;
 pub mod geo;
+pub mod megacdn;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
@@ -48,8 +50,9 @@ pub mod prelude {
     pub use crate::engine::{RunPlan, RunReport, ShardData, ShardId, ShardSpec, ShardWork};
     pub use crate::experiment::{probe_comparison, ExperimentScale, ProbeComparison};
     pub use crate::geo::{Continent, PopSite, POP_SITES};
+    pub use crate::megacdn::MegaCdnConfig;
     pub use crate::sim::{CdnSim, CdnSimConfig, ChaosReport, CwndSample, ProbeOutcome};
     pub use crate::stats::{average_gains, percentile_gains, Cdf, PercentileGain};
     pub use crate::topology::{RttBucket, Testbed, TestbedConfig};
-    pub use crate::workload::{FileSizeDist, OrganicConfig, ProbeConfig};
+    pub use crate::workload::{FileSizeDist, OrganicConfig, ProbeConfig, Zipf};
 }

@@ -1,0 +1,354 @@
+//! Mega-CDN topology/workload generator: a synthetic back-office fleet
+//! large enough to exercise the destination table at a **million-plus
+//! learned prefixes** — far past the paper's 34-PoP testbed, at the
+//! scale §III-B's "destinations as routes" discussion worries about.
+//!
+//! The generator is purely deterministic (seeded [`DetRng`] streams, no
+//! wall clock) and deliberately simple in structure:
+//!
+//! * every PoP owns one `/20` carved out of `10.0.0.0/8`, hosts
+//!   numbered consecutively from the PoP base;
+//! * each PoP has a **base window** drawn once from `[24, 100]` — paths
+//!   into one PoP share fate, so its hosts' learned windows cluster;
+//! * within a PoP, each `/24` slab is independently marked *divergent*
+//!   with probability [`MegaCdnConfig::divergent_fraction`]. A
+//!   convergent slab jitters its hosts by at most 2 segments (inside
+//!   the default aggregation band, so the slab coalesces to one `/24`
+//!   route); a divergent slab splits its hosts across two windows a
+//!   half-base apart (outside any sane band, so it never merges);
+//! * destination *popularity* for lookup workloads is Zipf-ranked
+//!   ([`Zipf`]), the classic CDN fit: a handful of origins draw most of
+//!   the traffic while a million-entry tail is touched rarely.
+//!
+//! # Examples
+//!
+//! ```
+//! use riptide_cdn::megacdn::MegaCdnConfig;
+//!
+//! let cfg = MegaCdnConfig::test();
+//! assert_eq!(cfg.total_destinations(), 48 * 256);
+//! // Hosts of PoP 1 live in its own /20.
+//! assert_eq!(cfg.host_addr(1, 0).to_string(), "10.0.16.0");
+//! // Windows are deterministic in (seed, pop, host).
+//! assert_eq!(cfg.window_for(3, 17, false), cfg.window_for(3, 17, false));
+//! ```
+
+use std::net::Ipv4Addr;
+
+use riptide::prelude::CwndObservation;
+use riptide_simnet::rng::{stream_seed, DetRng};
+
+use crate::workload::Zipf;
+
+/// Hosts per `/24` slab.
+const SLAB: usize = 256;
+
+/// RNG stream tags, so the per-PoP and per-slab streams never collide.
+const STREAM_BASE_WINDOW: u64 = 0x5741_4c4c; // "WALL"
+const STREAM_DIVERGENCE: u64 = 0x4449_5647; // "DIVG"
+
+/// Shape of the synthetic mega-CDN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaCdnConfig {
+    /// Number of PoPs; each owns one `/20` (up to 4096 hosts).
+    pub pops: usize,
+    /// Hosts per PoP, consecutive from the PoP base address.
+    pub hosts_per_pop: usize,
+    /// Zipf exponent for destination popularity (≈ 1 for CDNs).
+    pub zipf_exponent: f64,
+    /// Fraction of `/24` slabs whose hosts *disagree* about the window
+    /// (they never aggregate; everything else coalesces per slab).
+    pub divergent_fraction: f64,
+    /// Master seed for every derived stream.
+    pub seed: u64,
+}
+
+impl Default for MegaCdnConfig {
+    fn default() -> Self {
+        MegaCdnConfig::quick()
+    }
+}
+
+impl MegaCdnConfig {
+    /// Smoke-test shape: 48 PoPs × 256 hosts = 12,288 destinations.
+    pub fn test() -> Self {
+        MegaCdnConfig {
+            pops: 48,
+            hosts_per_pop: 256,
+            zipf_exponent: 1.07,
+            divergent_fraction: 0.04,
+            seed: 11,
+        }
+    }
+
+    /// CI shape: 512 PoPs × 2048 hosts = 1,048,576 destinations — the
+    /// million-prefix point the destination table is sized for.
+    pub fn quick() -> Self {
+        MegaCdnConfig {
+            pops: 512,
+            hosts_per_pop: 2048,
+            ..MegaCdnConfig::test()
+        }
+    }
+
+    /// Full-scale shape: 1024 PoPs × 4096 hosts = 4,194,304 destinations.
+    pub fn paper() -> Self {
+        MegaCdnConfig {
+            pops: 1024,
+            hosts_per_pop: 4096,
+            ..MegaCdnConfig::test()
+        }
+    }
+
+    /// Checks the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if a dimension is zero, a PoP would
+    /// overflow its `/20`, the fleet would leave `10.0.0.0/8`, or the
+    /// divergent fraction is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pops == 0 || self.hosts_per_pop == 0 {
+            return Err("pops and hosts_per_pop must be non-zero".into());
+        }
+        if self.hosts_per_pop > 4096 {
+            return Err(format!(
+                "hosts_per_pop {} overflows the /20 a PoP owns (max 4096)",
+                self.hosts_per_pop
+            ));
+        }
+        if self.pops > 4096 {
+            return Err(format!(
+                "pops {} would leave 10.0.0.0/8 (max 4096 /20s)",
+                self.pops
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.divergent_fraction) {
+            return Err(format!(
+                "divergent_fraction must be in [0,1], got {}",
+                self.divergent_fraction
+            ));
+        }
+        if !(self.zipf_exponent >= 0.0 && self.zipf_exponent.is_finite()) {
+            return Err(format!(
+                "zipf_exponent must be finite and non-negative, got {}",
+                self.zipf_exponent
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total destinations across the fleet.
+    pub fn total_destinations(&self) -> usize {
+        self.pops * self.hosts_per_pop
+    }
+
+    /// The `/20` base address of PoP `pop`.
+    pub fn pop_base(&self, pop: usize) -> Ipv4Addr {
+        debug_assert!(pop < self.pops);
+        let base = u32::from(Ipv4Addr::new(10, 0, 0, 0)) + (pop as u32) * 4096;
+        Ipv4Addr::from(base)
+    }
+
+    /// The address of host `host` inside PoP `pop`.
+    pub fn host_addr(&self, pop: usize, host: usize) -> Ipv4Addr {
+        debug_assert!(host < self.hosts_per_pop);
+        let base = u32::from(self.pop_base(pop));
+        Ipv4Addr::from(base + host as u32)
+    }
+
+    /// The flat destination index of `(pop, host)`, and back: index
+    /// `i` is host `i % hosts_per_pop` of PoP `i / hosts_per_pop`.
+    pub fn addr_of_index(&self, index: usize) -> Ipv4Addr {
+        self.host_addr(index / self.hosts_per_pop, index % self.hosts_per_pop)
+    }
+
+    /// The PoP's base congestion window, uniform in `[24, 100]`.
+    pub fn base_window(&self, pop: usize) -> u32 {
+        let mut rng = DetRng::for_stream(stream_seed(self.seed, STREAM_BASE_WINDOW), pop as u64);
+        24 + rng.below(77) as u32
+    }
+
+    /// Whether the given `/24` slab of a PoP diverges (its hosts never
+    /// agree on a window).
+    pub fn slab_diverges(&self, pop: usize, slab: usize) -> bool {
+        let mut rng = DetRng::for_stream(
+            stream_seed(self.seed, STREAM_DIVERGENCE),
+            (pop as u64) << 16 | slab as u64,
+        );
+        rng.chance(self.divergent_fraction)
+    }
+
+    /// The learned-window ground truth for one host.
+    ///
+    /// With `diverge` false every slab is convergent (hosts within two
+    /// segments of the PoP base); with `diverge` true the slabs marked
+    /// by [`MegaCdnConfig::slab_diverges`] split their hosts across two
+    /// windows half a base apart — far outside any aggregation band.
+    pub fn window_for(&self, pop: usize, host: usize, diverge: bool) -> u32 {
+        let base = self.base_window(pop);
+        if diverge && self.slab_diverges(pop, host / SLAB) && host % 2 == 1 {
+            return (base / 2).max(10);
+        }
+        base + (host % 3) as u32
+    }
+
+    /// One full-fleet observation sweep, in destination order: every
+    /// host reports its ground-truth window (see
+    /// [`MegaCdnConfig::window_for`]) with clean loss counters.
+    pub fn observations(&self, diverge: bool) -> Vec<CwndObservation> {
+        let mut out = Vec::with_capacity(self.total_destinations());
+        for pop in 0..self.pops {
+            for host in 0..self.hosts_per_pop {
+                out.push(CwndObservation {
+                    dst: self.host_addr(pop, host),
+                    cwnd: self.window_for(pop, host, diverge),
+                    bytes_acked: 1_000_000,
+                    retrans: 0,
+                });
+            }
+        }
+        out
+    }
+
+    /// The Zipf popularity ranking over all destinations, for lookup
+    /// workloads. Rank is mapped to a destination by a fixed stride
+    /// walk so popular destinations spread across PoPs instead of
+    /// clustering in PoP 0.
+    pub fn popularity(&self) -> Zipf {
+        Zipf::new(self.total_destinations(), self.zipf_exponent)
+    }
+
+    /// Maps a popularity rank to a destination index: a coprime stride
+    /// walk over the index space, so the hot head of the Zipf is spread
+    /// across PoPs rather than packed into PoP 0.
+    pub fn rank_to_index(&self, rank: usize) -> usize {
+        // 0x9E37_79B1 is odd (coprime with any power of two) and close
+        // to 2^32/φ, the classic multiplicative-hash constant.
+        let n = self.total_destinations();
+        (rank.wrapping_mul(0x9E37_79B1)) % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn shapes_validate() {
+        for cfg in [
+            MegaCdnConfig::test(),
+            MegaCdnConfig::quick(),
+            MegaCdnConfig::paper(),
+        ] {
+            cfg.validate().unwrap();
+        }
+        assert_eq!(MegaCdnConfig::quick().total_destinations(), 1_048_576);
+        assert!(MegaCdnConfig {
+            hosts_per_pop: 5000,
+            ..MegaCdnConfig::test()
+        }
+        .validate()
+        .is_err());
+        assert!(MegaCdnConfig {
+            pops: 5000,
+            ..MegaCdnConfig::test()
+        }
+        .validate()
+        .is_err());
+        assert!(MegaCdnConfig {
+            divergent_fraction: 1.5,
+            ..MegaCdnConfig::test()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn pops_own_disjoint_slash_20s() {
+        let cfg = MegaCdnConfig::test();
+        let mut seen = BTreeSet::new();
+        for pop in 0..cfg.pops {
+            let base = u32::from(cfg.pop_base(pop));
+            assert_eq!(base % 4096, 0, "PoP base is /20-aligned");
+            assert!(seen.insert(base), "PoP bases are distinct");
+            let last = u32::from(cfg.host_addr(pop, cfg.hosts_per_pop - 1));
+            assert!(last < base + 4096, "hosts stay inside the PoP's /20");
+        }
+    }
+
+    #[test]
+    fn windows_are_deterministic_and_clustered() {
+        let cfg = MegaCdnConfig::test();
+        let other = MegaCdnConfig::test();
+        for pop in [0, 7, 47] {
+            let base = cfg.base_window(pop);
+            assert!((24..=100).contains(&base));
+            assert_eq!(base, other.base_window(pop), "seeded, not time-varying");
+            for host in 0..cfg.hosts_per_pop {
+                let w = cfg.window_for(pop, host, false);
+                assert!(w >= base && w - base <= 2, "convergent jitter stays tight");
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_slabs_split_past_any_band() {
+        let cfg = MegaCdnConfig {
+            divergent_fraction: 1.0,
+            ..MegaCdnConfig::test()
+        };
+        let base = cfg.base_window(0);
+        let lo = cfg.window_for(0, 1, true);
+        let hi = cfg.window_for(0, 0, true);
+        assert_eq!(lo, (base / 2).max(10));
+        assert!(hi - lo >= 12, "spread {} never fits a sane band", hi - lo);
+        // The same host converges when divergence is off.
+        assert_eq!(cfg.window_for(0, 1, false), base + 1);
+    }
+
+    #[test]
+    fn divergence_marks_about_the_configured_fraction() {
+        let cfg = MegaCdnConfig::quick();
+        let slabs_per_pop = cfg.hosts_per_pop / SLAB;
+        let total = cfg.pops * slabs_per_pop;
+        let divergent = (0..cfg.pops)
+            .flat_map(|p| (0..slabs_per_pop).map(move |s| (p, s)))
+            .filter(|&(p, s)| cfg.slab_diverges(p, s))
+            .count();
+        let frac = divergent as f64 / total as f64;
+        assert!(
+            (frac - cfg.divergent_fraction).abs() < 0.02,
+            "divergent fraction {frac} vs configured {}",
+            cfg.divergent_fraction
+        );
+    }
+
+    #[test]
+    fn observation_sweep_covers_every_destination_once() {
+        let cfg = MegaCdnConfig::test();
+        let obs = cfg.observations(false);
+        assert_eq!(obs.len(), cfg.total_destinations());
+        let distinct: BTreeSet<_> = obs.iter().map(|o| o.dst).collect();
+        assert_eq!(distinct.len(), obs.len(), "no duplicate destinations");
+    }
+
+    #[test]
+    fn rank_walk_is_a_permutation_over_a_power_of_two_fleet() {
+        let cfg = MegaCdnConfig::test(); // 12,288 = 3 · 2^12 — not a power
+        let n = cfg.total_destinations();
+        let distinct: BTreeSet<_> = (0..n).map(|r| cfg.rank_to_index(r)).collect();
+        // The stride is odd; over non-power-of-two n it can collide, but
+        // coverage must stay near-total so the hot set isn't degenerate.
+        assert!(
+            distinct.len() > n / 2,
+            "{} of {n} indices hit",
+            distinct.len()
+        );
+        let quick = MegaCdnConfig::quick(); // 2^20: odd stride ⇒ bijection
+        let m = 100_000;
+        let hit: BTreeSet<_> = (0..m).map(|r| quick.rank_to_index(r)).collect();
+        assert_eq!(hit.len(), m, "odd stride is a bijection mod 2^20");
+    }
+}

@@ -140,6 +140,87 @@ fn standard_normal_quantile(p: f64) -> f64 {
     }
 }
 
+/// Zipf-distributed popularity over `n` ranked items (rank 0 most
+/// popular), the classic fit for CDN destination popularity: a few
+/// origins take most of the back-office traffic while a long tail is
+/// touched rarely. Sampling is a binary search over the precomputed
+/// CDF, so a million-rank table costs one `partition_point` per draw.
+///
+/// # Examples
+///
+/// ```
+/// use riptide_cdn::workload::Zipf;
+/// use riptide_simnet::rng::DetRng;
+///
+/// let zipf = Zipf::new(1_000, 1.07);
+/// let mut rng = DetRng::from_seed(7);
+/// let head = (0..10_000).filter(|_| zipf.sample(&mut rng) == 0).count();
+/// // Rank 0 alone draws a double-digit share of all samples.
+/// assert!(head > 1_000, "head rank drew {head}/10000");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[k] = P(rank <= k)`; the last entry
+    /// is 1 (up to rounding).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with the given exponent
+    /// (`s = 0` is uniform; CDN popularity is typically fit near 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the exponent is negative or non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "a Zipf over zero items cannot be sampled");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "Zipf exponent must be finite and non-negative, got {exponent}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has no ranks (never true for a
+    /// constructed value; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn probability(&self, rank: usize) -> f64 {
+        match rank {
+            0 => self.cdf[0],
+            _ => self.cdf[rank] - self.cdf[rank - 1],
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 /// The paper's probe harness parameters (§IV-A).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbeConfig {
@@ -366,6 +447,48 @@ mod tests {
         // Constant when amplitude is zero.
         let flat = OrganicConfig::among(vec![0, 1], 2.0);
         assert_eq!(flat.rate_at(12345.0), 2.0);
+    }
+
+    #[test]
+    fn zipf_head_ranks_follow_theory() {
+        let zipf = Zipf::new(10_000, 1.07);
+        let mut rng = DetRng::from_seed(42);
+        let n = 100_000;
+        let mut head_counts = [0usize; 3];
+        for _ in 0..n {
+            let r = zipf.sample(&mut rng);
+            if r < head_counts.len() {
+                head_counts[r] += 1;
+            }
+        }
+        for (rank, &count) in head_counts.iter().enumerate() {
+            let want = zipf.probability(rank);
+            let got = count as f64 / n as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "rank {rank}: empirical {got} vs theoretical {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for rank in 0..4 {
+            assert!((zipf.probability(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic() {
+        let zipf = Zipf::new(1_000_000, 1.07);
+        assert_eq!(zipf.len(), 1_000_000);
+        let draw = |seed| {
+            let mut rng = DetRng::from_seed(seed);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
     }
 
     #[test]

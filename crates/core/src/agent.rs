@@ -40,6 +40,12 @@ pub struct TickReport {
     pub expired: Vec<Ipv4Prefix>,
     /// Destinations evicted by the table's capacity bound this tick.
     pub evicted: Vec<Ipv4Prefix>,
+    /// Covering routes installed (or retuned) by the aggregation pass:
+    /// `(covering prefix, aggregate window)`.
+    pub merged: Vec<(Ipv4Prefix, u32)>,
+    /// Covering routes dissolved by the aggregation pass; their members
+    /// were reinstalled individually in the same tick.
+    pub disaggregated: Vec<Ipv4Prefix>,
     /// Destinations the loss guard tripped this tick (demoted to the
     /// probe window).
     pub guard_trips: Vec<Ipv4Prefix>,
@@ -75,6 +81,10 @@ pub struct AgentStats {
     /// Drift repairs performed by reconciler audits (re-installs of
     /// externally deleted routes plus withdrawals of orphans).
     pub reconcile_repairs: u64,
+    /// Sibling host routes coalesced into a covering aggregate route.
+    pub aggregate_merges: u64,
+    /// Aggregates dissolved back into individual member routes.
+    pub aggregate_splits: u64,
 }
 
 impl AgentStats {
@@ -128,6 +138,16 @@ impl AgentStats {
                 "Route-drift repairs performed by reconciler audits",
                 self.reconcile_repairs,
             ),
+            (
+                "riptide_aggregate_merges_total",
+                "Sibling host routes coalesced into covering aggregates",
+                self.aggregate_merges,
+            ),
+            (
+                "riptide_aggregate_splits_total",
+                "Aggregates dissolved back into member routes",
+                self.aggregate_splits,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
@@ -170,6 +190,10 @@ pub struct RiptideAgent {
     advisory: crate::advisory::Advisory,
     /// Loss-aware circuit breaker, present when the config enables it.
     guard: Option<crate::guard::LossGuard>,
+    /// Prefix aggregation pass, present when the config enables it.
+    /// Learning stays at the configured granularity; this only changes
+    /// what is *installed*: agreeing siblings share one covering route.
+    aggregator: Option<crate::aggregate::Aggregator>,
     /// The agent's view of what it has installed in the kernel: key →
     /// last window issued through the controller. This is the expected
     /// state reconciler audits diff against, and the withdrawal list a
@@ -195,12 +219,14 @@ impl RiptideAgent {
             None => FinalTable::new(),
         };
         let guard = config.guard.clone().map(crate::guard::LossGuard::new);
+        let aggregator = config.aggregation.map(crate::aggregate::Aggregator::new);
         Ok(RiptideAgent {
             config,
             table,
             stats: AgentStats::default(),
             advisory: crate::advisory::Advisory::Normal,
             guard,
+            aggregator,
             installed: BTreeMap::new(),
             telemetry: None,
             last_now: SimTime::ZERO,
@@ -270,6 +296,11 @@ impl RiptideAgent {
     /// The loss guard, when the configuration enables one.
     pub fn guard(&self) -> Option<&crate::guard::LossGuard> {
         self.guard.as_ref()
+    }
+
+    /// The prefix aggregator, when the configuration enables one.
+    pub fn aggregator(&self) -> Option<&crate::aggregate::Aggregator> {
+        self.aggregator.as_ref()
     }
 
     /// Runs one cycle of Algorithm 1 at simulated instant `now`.
@@ -365,9 +396,20 @@ impl RiptideAgent {
                 }
             }
 
+            // A key covered by a live aggregate already rides its
+            // covering route: learning (and the guard) keep running, but
+            // no individual route is issued. Divergence dissolves the
+            // aggregate in this tick's pass, after which the key installs
+            // individually again.
+            let covered = self
+                .aggregator
+                .as_ref()
+                .and_then(|agg| agg.covering_of(&key))
+                .is_some();
+
             // Install only when the issued window would actually change —
             // repeating an identical `ip route replace` is pure churn.
-            if self.installed.get(&key).copied() != Some(effective) {
+            if !covered && self.installed.get(&key).copied() != Some(effective) {
                 match controller.set_initcwnd(key, effective) {
                     Ok(()) => {
                         self.stats.route_updates += 1;
@@ -423,8 +465,17 @@ impl RiptideAgent {
         self.expire_into(now, controller, &mut report);
 
         // 7. enforce the table's capacity bound, withdrawing the routes
-        // of evicted destinations.
-        for key in self.table.enforce_capacity() {
+        // of evicted destinations. With aggregation on, an aggregate's
+        // members are charged as ONE entry and evicted as a unit; its
+        // covering route is withdrawn by this tick's pass (step 8), which
+        // sees the member group vanish.
+        let evicted = match self.aggregator.as_ref() {
+            Some(agg) => self
+                .table
+                .enforce_capacity_grouped(|key| agg.covering_of(key)),
+            None => self.table.enforce_capacity(),
+        };
+        for key in evicted {
             self.stats.table_evictions += 1;
             report.evicted.push(key);
             if let Some(guard) = &mut self.guard {
@@ -445,8 +496,152 @@ impl RiptideAgent {
             }
         }
 
+        // 8. aggregation: coalesce agreeing siblings into one covering
+        // route, dissolve diverged or emptied aggregates back into
+        // member routes. A no-op unless the config enables it.
+        if self.aggregator.is_some() {
+            let pass = {
+                let agg = self.aggregator.as_mut().expect("checked above");
+                agg.pass(&self.table)
+            };
+            self.apply_aggregation(now, &pass, controller, &mut report);
+        }
+
         self.refresh_gauges();
         report
+    }
+
+    /// Applies one [`crate::aggregate::AggregationPass`] through the
+    /// controller: merges withdraw member routes and install the covering
+    /// route at the member-minimum window; splits withdraw the covering
+    /// route and reinstall every surviving member at its learned window.
+    /// Every action is journal-attributed to the merge/split that caused
+    /// it.
+    fn apply_aggregation<C>(
+        &mut self,
+        now: SimTime,
+        pass: &crate::aggregate::AggregationPass,
+        controller: &mut C,
+        report: &mut TickReport,
+    ) where
+        C: RouteController + ?Sized,
+    {
+        for merge in &pass.merged {
+            self.stats.aggregate_merges += 1;
+            let cause = DecisionCause::Aggregated {
+                members: merge.members.len() as u32,
+                spread: merge.spread,
+            };
+            // The members' individual routes fold into the covering one.
+            for &member in &merge.members {
+                if self.installed.remove(&member).is_none() {
+                    continue;
+                }
+                match controller.clear_initcwnd(member) {
+                    Ok(()) => {
+                        if let Some(t) = &self.telemetry {
+                            t.journal_decision(now, member, DecisionAction::Withdraw, cause);
+                        }
+                    }
+                    Err(e) => self.note_control_error(e, report),
+                }
+            }
+            self.install_covering(now, merge, cause, controller, report);
+        }
+        for retune in &pass.retuned {
+            let cause = DecisionCause::Aggregated {
+                members: retune.members.len() as u32,
+                spread: retune.spread,
+            };
+            self.install_covering(now, retune, cause, controller, report);
+        }
+        for split in &pass.split {
+            self.stats.aggregate_splits += 1;
+            report.disaggregated.push(split.covering);
+            let cause = DecisionCause::Disaggregated {
+                members: split.members.len() as u32,
+                spread: split.spread,
+            };
+            if self.installed.remove(&split.covering).is_some() {
+                match controller.clear_initcwnd(split.covering) {
+                    Ok(()) => {
+                        if let Some(t) = &self.telemetry {
+                            t.journal_decision(
+                                now,
+                                split.covering,
+                                DecisionAction::Withdraw,
+                                cause,
+                            );
+                        }
+                    }
+                    Err(e) => self.note_control_error(e, report),
+                }
+            }
+            // Surviving members come back as individual routes at their
+            // learned windows. (A guard-suppressed member re-demotes to
+            // the probe window on its next observed tick.)
+            for &(member, window) in &split.members {
+                match controller.set_initcwnd(member, window) {
+                    Ok(()) => {
+                        self.stats.route_updates += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.route_updates.inc();
+                            t.installed_window.observe(window as u64);
+                            t.journal_decision(
+                                now,
+                                member,
+                                DecisionAction::Install { window },
+                                cause,
+                            );
+                        }
+                    }
+                    Err(e) => self.note_control_error(e, report),
+                }
+                self.installed.insert(member, window);
+            }
+        }
+    }
+
+    /// Installs (or retunes) one covering aggregate route.
+    fn install_covering<C>(
+        &mut self,
+        now: SimTime,
+        merge: &crate::aggregate::MergeOutcome,
+        cause: DecisionCause,
+        controller: &mut C,
+        report: &mut TickReport,
+    ) where
+        C: RouteController + ?Sized,
+    {
+        match controller.set_initcwnd(merge.covering, merge.window) {
+            Ok(()) => {
+                self.stats.route_updates += 1;
+                report.merged.push((merge.covering, merge.window));
+                if let Some(t) = &self.telemetry {
+                    t.route_updates.inc();
+                    t.installed_window.observe(merge.window as u64);
+                    t.journal_decision(
+                        now,
+                        merge.covering,
+                        DecisionAction::Install {
+                            window: merge.window,
+                        },
+                        cause,
+                    );
+                }
+            }
+            Err(e) => self.note_control_error(e, report),
+        }
+        self.installed.insert(merge.covering, merge.window);
+    }
+
+    /// Counts a route-control failure without aborting the tick.
+    fn note_control_error(&mut self, e: ControlError, report: &mut TickReport) {
+        self.stats.errors += 1;
+        report.errors.push(e);
+        if let Some(t) = &self.telemetry {
+            t.errors.inc();
+        }
     }
 
     /// Re-derives the point-in-time gauges from live state. Cheap enough
@@ -583,9 +778,18 @@ impl RiptideAgent {
         C: RouteController + ?Sized,
     {
         for key in self.table.expire(now, self.config.ttl) {
-            self.installed.remove(&key);
+            let was_installed = self.installed.remove(&key).is_some();
             if let Some(guard) = &mut self.guard {
                 guard.forget(&key);
+            }
+            // A member covered by an aggregate has no individual route to
+            // withdraw; the aggregate itself dissolves via the pass once
+            // its member group thins out. (Without aggregation the
+            // withdrawal is issued unconditionally, as ever — a failed
+            // install may have left the kernel ahead of our view.)
+            if self.aggregator.is_some() && !was_installed {
+                report.expired.push(key);
+                continue;
             }
             match controller.clear_initcwnd(key) {
                 Ok(()) => {
@@ -812,8 +1016,9 @@ mod tests {
         assert!(text.contains("riptide_route_updates_total 1"));
         assert!(text.contains("# TYPE riptide_observations_total counter"));
         // Every metric has HELP, TYPE and a value line.
-        assert_eq!(text.lines().count(), 27);
+        assert_eq!(text.lines().count(), 33);
         assert!(text.contains("riptide_guard_trips_total 0"));
+        assert!(text.contains("riptide_aggregate_merges_total 0"));
     }
 
     #[test]
@@ -1032,6 +1237,181 @@ mod tests {
         assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 2, 1)), Some(50));
         assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 3, 1)), Some(50));
         assert_eq!(a.installed_view().len(), 2);
+    }
+
+    fn aggregated() -> RiptideConfig {
+        RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .aggregation(crate::aggregate::AggregationPolicy::default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn aggregation_folds_agreeing_siblings_into_one_covering_route() {
+        let (mut a, mut routes) = agent(aggregated());
+        let mut o = FnObserver(|| {
+            vec![
+                obs([10, 0, 1, 1], 40),
+                obs([10, 0, 1, 2], 42),
+                obs([10, 0, 1, 3], 44),
+            ]
+        });
+        let r = a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(r.updates.len(), 3, "members install individually first");
+        assert_eq!(r.merged, vec![("10.0.1.0/24".parse().unwrap(), 40)]);
+        assert_eq!(routes.len(), 1, "three host routes became one aggregate");
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 3)),
+            Some(40),
+            "member minimum — never widen past a learned window"
+        );
+        assert_eq!(a.stats().aggregate_merges, 1);
+        assert_eq!(a.installed_view().len(), 1);
+
+        // Steady state: covered members issue no individual installs and
+        // the unchanged aggregate is not reissued.
+        let r2 = a.tick(SimTime::from_secs(2), &mut o, &mut routes);
+        assert!(r2.updates.is_empty() && r2.merged.is_empty() && r2.disaggregated.is_empty());
+        assert_eq!(a.stats().route_updates, 4, "3 members + 1 covering, once");
+    }
+
+    #[test]
+    fn diverging_member_splits_the_aggregate_same_tick() {
+        let (mut a, mut routes) = agent(aggregated());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 40), obs([10, 0, 1, 2], 42)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(routes.len(), 1);
+
+        let mut diverged = FnObserver(|| vec![obs([10, 0, 1, 1], 40), obs([10, 0, 1, 2], 90)]);
+        let r = a.tick(SimTime::from_secs(2), &mut diverged, &mut routes);
+        assert_eq!(r.disaggregated, vec!["10.0.1.0/24".parse().unwrap()]);
+        assert_eq!(a.stats().aggregate_splits, 1);
+        assert_eq!(routes.len(), 2, "members reinstalled individually");
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)), Some(40));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 2)), Some(90));
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 200)),
+            None,
+            "no covering route lingers after the split"
+        );
+    }
+
+    #[test]
+    fn aggregate_round_trip_is_deterministic_and_journaled() {
+        use crate::telemetry::AgentTelemetry;
+
+        let run = || {
+            let (mut a, mut routes) = agent(aggregated());
+            a.attach_telemetry(AgentTelemetry::standalone(64));
+            let mut converged = FnObserver(|| vec![obs([10, 0, 1, 1], 40), obs([10, 0, 1, 2], 42)]);
+            let mut diverged = FnObserver(|| vec![obs([10, 0, 1, 1], 40), obs([10, 0, 1, 2], 90)]);
+            a.tick(SimTime::from_secs(1), &mut converged, &mut routes);
+            a.tick(SimTime::from_secs(2), &mut diverged, &mut routes);
+            a.tick(SimTime::from_secs(3), &mut converged, &mut routes);
+            let journal: Vec<String> = a
+                .telemetry()
+                .unwrap()
+                .journal()
+                .snapshot()
+                .iter()
+                .map(|r| r.render())
+                .collect();
+            (routes.render(), journal, a.stats())
+        };
+        let (routes_a, journal_a, stats_a) = run();
+        let (routes_b, journal_b, stats_b) = run();
+        assert_eq!(
+            routes_a, routes_b,
+            "identical inputs, identical kernel state"
+        );
+        assert_eq!(journal_a, journal_b, "identical decision history");
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(stats_a.aggregate_merges, 2, "re-convergence re-merges");
+        assert_eq!(stats_a.aggregate_splits, 1);
+        assert!(
+            journal_a
+                .iter()
+                .any(|line| line.contains("aggregated members=2 spread=2")),
+            "merge attributed: {journal_a:?}"
+        );
+        assert!(
+            journal_a
+                .iter()
+                .any(|line| line.contains("disaggregated members=2 spread=50")),
+            "split attributed: {journal_a:?}"
+        );
+    }
+
+    #[test]
+    fn aggregated_prefix_counts_as_one_capacity_entry() {
+        let cfg = RiptideConfig::builder()
+            .history(HistoryStrategy::None)
+            .aggregation(crate::aggregate::AggregationPolicy::default())
+            .table_capacity(2)
+            .build()
+            .unwrap();
+        let (mut a, mut routes) = agent(cfg);
+        // Tick 1: three siblings merge into one aggregate.
+        let mut o = FnObserver(|| {
+            vec![
+                obs([10, 0, 1, 1], 40),
+                obs([10, 0, 1, 2], 42),
+                obs([10, 0, 1, 3], 44),
+            ]
+        });
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(a.stats().aggregate_merges, 1);
+        // Tick 2: a fourth destination. Four learned entries but only two
+        // capacity units — the aggregate is charged as ONE entry covering
+        // its three learned destinations, so nothing is evicted.
+        let mut o2 = FnObserver(|| {
+            vec![
+                obs([10, 0, 1, 1], 40),
+                obs([10, 0, 1, 2], 42),
+                obs([10, 0, 1, 3], 44),
+                obs([10, 0, 9, 1], 70),
+            ]
+        });
+        let r = a.tick(SimTime::from_secs(2), &mut o2, &mut routes);
+        assert!(
+            r.evicted.is_empty(),
+            "one aggregate + one host fit a 2-slot table"
+        );
+        assert_eq!(a.table().len(), 4);
+        // Tick 3: a third unit. The aggregate is now the stalest unit and
+        // is evicted whole; its covering route dissolves the same tick.
+        let mut o3 = FnObserver(|| vec![obs([10, 0, 9, 1], 70), obs([10, 0, 10, 1], 80)]);
+        let r = a.tick(SimTime::from_secs(3), &mut o3, &mut routes);
+        assert_eq!(r.evicted.len(), 3, "the whole unit leaves together");
+        assert_eq!(r.disaggregated.len(), 1);
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 1, 1)),
+            None,
+            "covering route withdrawn with its unit"
+        );
+        assert_eq!(a.table().len(), 2);
+        assert_eq!(a.installed_view().len(), 2);
+    }
+
+    #[test]
+    fn expired_members_dissolve_their_aggregate() {
+        let (mut a, mut routes) = agent(aggregated());
+        let mut o = FnObserver(|| vec![obs([10, 0, 1, 1], 40), obs([10, 0, 1, 2], 42)]);
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        assert_eq!(routes.len(), 1);
+
+        let mut silent = FnObserver(Vec::new);
+        let r = a.tick(SimTime::from_secs(200), &mut silent, &mut routes);
+        assert_eq!(r.expired.len(), 2);
+        assert_eq!(r.disaggregated.len(), 1);
+        assert!(routes.is_empty(), "no orphan covering route");
+        assert!(a.installed_view().is_empty());
+        assert_eq!(
+            a.stats().route_expirations,
+            0,
+            "covered members had no individual routes to withdraw"
+        );
     }
 
     #[test]

@@ -133,6 +133,9 @@ fn main() -> ExitCode {
                 if let Some(t) = cfg.trend {
                     builder = builder.trend(t);
                 }
+                if let Some(a) = cfg.aggregation {
+                    builder = builder.aggregation(a);
+                }
             }
             Err(e) => return fail(&format!("{path}: {e}")),
         }

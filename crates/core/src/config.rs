@@ -62,6 +62,12 @@ pub struct RiptideConfig {
     /// destinations, least-recently-updated evicted first. `None` (the
     /// paper's deployment) grows without limit.
     pub table_capacity: Option<usize>,
+    /// Optional prefix aggregation: keep learning at the configured
+    /// granularity, but coalesce sibling routes into a covering prefix
+    /// while their windows agree within the policy's band, splitting on
+    /// divergence. `None` (the paper's deployment) installs one route
+    /// per learned key.
+    pub aggregation: Option<crate::aggregate::AggregationPolicy>,
 }
 
 impl RiptideConfig {
@@ -80,6 +86,7 @@ impl RiptideConfig {
             trend: None,
             guard: None,
             table_capacity: None,
+            aggregation: None,
         }
     }
 
@@ -151,6 +158,20 @@ impl RiptideConfig {
         }
         if self.table_capacity == Some(0) {
             return Err(ConfigError::new("table_capacity must be at least 1"));
+        }
+        if let Some(aggregation) = &self.aggregation {
+            aggregation
+                .validate()
+                .map_err(|e| ConfigError::new(format!("aggregation: {e}")))?;
+            if let Granularity::Prefix(len) = self.granularity {
+                if len <= aggregation.aggregate_len {
+                    return Err(ConfigError::new(format!(
+                        "aggregation into /{} needs keys more specific than it \
+                         (granularity is /{len})",
+                        aggregation.aggregate_len
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -235,6 +256,12 @@ impl RiptideConfigBuilder {
         self
     }
 
+    /// Enables prefix aggregation with the given policy.
+    pub fn aggregation(mut self, policy: crate::aggregate::AggregationPolicy) -> Self {
+        self.config.aggregation = Some(policy);
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Errors
@@ -264,6 +291,7 @@ impl RiptideConfig {
     /// trend = off            # off | on | <drop>:<overshoot>
     /// guard = off            # off | on | <retrans rate threshold>
     /// capacity = unbounded   # unbounded | <max destinations>
+    /// aggregate = off        # off | on | /<len>:<band>:<min siblings>
     /// ```
     ///
     /// # Errors
@@ -361,6 +389,32 @@ impl RiptideConfig {
                     "unbounded" => builder,
                     n => builder
                         .table_capacity(n.parse().map_err(|e| bad(&format!("bad capacity: {e}")))?),
+                },
+                "aggregate" => match value {
+                    "off" => builder,
+                    "on" => builder.aggregation(crate::aggregate::AggregationPolicy::default()),
+                    spec => {
+                        let spec = spec.strip_prefix('/').ok_or_else(|| {
+                            bad("aggregate must be off | on | /<len>:<band>:<min siblings>")
+                        })?;
+                        let mut parts = spec.splitn(3, ':');
+                        let mut next = |what: &str| {
+                            parts
+                                .next()
+                                .ok_or_else(|| bad(&format!("aggregate missing {what}")))
+                        };
+                        builder.aggregation(crate::aggregate::AggregationPolicy {
+                            aggregate_len: next("length")?
+                                .parse()
+                                .map_err(|e| bad(&format!("bad aggregate length: {e}")))?,
+                            band: next("band")?
+                                .parse()
+                                .map_err(|e| bad(&format!("bad aggregate band: {e}")))?,
+                            min_siblings: next("min siblings")?
+                                .parse()
+                                .map_err(|e| bad(&format!("bad aggregate min siblings: {e}")))?,
+                        })
+                    }
                 },
                 other => return Err(bad(&format!("unknown key {other:?}"))),
             };
@@ -511,6 +565,29 @@ mod tests {
         assert_eq!(off, RiptideConfig::deployment());
         assert!(RiptideConfig::from_conf_str("capacity = 0\n").is_err());
         assert!(RiptideConfig::from_conf_str("guard = vibes\n").is_err());
+    }
+
+    #[test]
+    fn conf_file_aggregation() {
+        let cfg = RiptideConfig::from_conf_str("aggregate = on\n").unwrap();
+        assert_eq!(
+            cfg.aggregation,
+            Some(crate::aggregate::AggregationPolicy::default())
+        );
+        let cfg = RiptideConfig::from_conf_str("aggregate = /20:6:3\n").unwrap();
+        let policy = cfg.aggregation.unwrap();
+        assert_eq!(policy.aggregate_len, 20);
+        assert_eq!(policy.band, 6);
+        assert_eq!(policy.min_siblings, 3);
+        let off = RiptideConfig::from_conf_str("aggregate = off\n").unwrap();
+        assert_eq!(off, RiptideConfig::deployment());
+        assert!(RiptideConfig::from_conf_str("aggregate = 24:8:2\n").is_err());
+        assert!(RiptideConfig::from_conf_str("aggregate = /24:8\n").is_err());
+        assert!(RiptideConfig::from_conf_str("aggregate = /32:8:2\n").is_err());
+        // Aggregating /24 keys into /24 covers nothing: rejected.
+        assert!(RiptideConfig::from_conf_str("granularity = /24\naggregate = on\n").is_err());
+        // More specific prefix keys still aggregate fine.
+        assert!(RiptideConfig::from_conf_str("granularity = /28\naggregate = on\n").is_ok());
     }
 
     #[test]

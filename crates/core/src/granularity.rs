@@ -28,6 +28,22 @@ impl Granularity {
     ///
     /// Panics if a `Prefix` length exceeds 32 (rejected earlier by
     /// [`Granularity::validate`] in checked paths).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riptide::granularity::Granularity;
+    /// use std::net::Ipv4Addr;
+    ///
+    /// let dst = Ipv4Addr::new(10, 0, 1, 77);
+    /// assert_eq!(Granularity::Host.key(dst).to_string(), "10.0.1.77");
+    /// assert_eq!(Granularity::Prefix(24).key(dst).to_string(), "10.0.1.0/24");
+    /// // Two hosts in one PoP share a /24 key — one route serves both.
+    /// assert_eq!(
+    ///     Granularity::Prefix(24).key(dst),
+    ///     Granularity::Prefix(24).key(Ipv4Addr::new(10, 0, 1, 200)),
+    /// );
+    /// ```
     pub fn key(self, dst: Ipv4Addr) -> Ipv4Prefix {
         match self {
             Granularity::Host => Ipv4Prefix::host(dst),

@@ -19,6 +19,7 @@
 //! | [`combine`] | Average / max / traffic-weighted group reduction | §III-B combine alternatives |
 //! | [`history`] | EWMA / none / windowed history blending | §III-B history; Table I `α` |
 //! | [`granularity`] | Host routes vs `/24` (PoP) prefix routes | §III-B granularity |
+//! | [`aggregate`] | Learn at `/32`, coalesce agreeing siblings into covering routes, split on divergence | §III-B at internet scale; Pied Piper (PAPERS.md) |
 //! | [`trend`] | §V trend damping (aggressive decrease on collapse) | §V |
 //! | [`advisory`] | Control-plane advisories (suspend / conservative) | §V load-balancing interplay |
 //! | [`guard`] | [`guard::LossGuard`]: per-destination loss-aware circuit breaker with BGP-style flap damping — demote jump-started destinations whose retransmit rate says the learned window became the harm | §IV-D no-harm, closed-loop |
@@ -56,6 +57,7 @@
 
 pub mod advisory;
 pub mod agent;
+pub mod aggregate;
 pub mod combine;
 pub mod config;
 pub mod control;
@@ -75,6 +77,7 @@ pub mod trend;
 pub mod prelude {
     pub use crate::advisory::Advisory;
     pub use crate::agent::{AgentStats, RiptideAgent, TickReport};
+    pub use crate::aggregate::{AggregationPass, AggregationPolicy, Aggregator};
     pub use crate::combine::CombineStrategy;
     pub use crate::config::{RiptideConfig, RiptideConfigBuilder};
     pub use crate::control::{

@@ -33,6 +33,29 @@ pub struct FinalEntry {
 /// entries are evicted first (ties broken by key order, so eviction is
 /// deterministic). This bounds kernel route-table growth when the agent
 /// faces millions of distinct destinations.
+///
+/// # Examples
+///
+/// ```
+/// use riptide::table::FinalTable;
+/// use riptide::history::HistoryStrategy;
+/// use riptide_simnet::time::{SimDuration, SimTime};
+///
+/// let strategy = HistoryStrategy::Ewma { alpha: 0.5 };
+/// let mut t = FinalTable::new();
+/// let key = "10.0.0.127".parse()?;
+///
+/// // Blend an observation, then commit the clamped window.
+/// let blended = t.blend(key, 80.0, &strategy, SimTime::from_secs(1));
+/// t.set_window(&key, blended.round() as u32);
+/// assert_eq!(t.window(&key), Some(80));
+///
+/// // Entries expire once unrefreshed for longer than the TTL.
+/// let dead = t.expire(SimTime::from_secs(200), SimDuration::from_secs(90));
+/// assert_eq!(dead, vec![key]);
+/// assert!(t.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct FinalTable {
     entries: BTreeMap<Ipv4Prefix, FinalEntry>,
@@ -61,23 +84,84 @@ impl FinalTable {
     /// Evicts least-recently-updated entries (ties broken by key order)
     /// until the table fits its capacity, returning the evicted keys in
     /// eviction order. A no-op on unbounded tables.
+    ///
+    /// Cost is `O(n + k log k)` for `k` evictions (one scan plus a
+    /// partial sort of the victims), not `O(n·k)` — the property the
+    /// `megacdn` bench gates at a million entries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riptide::table::FinalTable;
+    /// use riptide::history::HistoryStrategy;
+    /// use riptide_simnet::time::SimTime;
+    ///
+    /// let strategy = HistoryStrategy::None;
+    /// let mut t = FinalTable::bounded(2);
+    /// for (n, at) in [(1u8, 10u64), (2, 20), (3, 30)] {
+    ///     let key = format!("10.0.0.{n}").parse()?;
+    ///     t.blend(key, 40.0, &strategy, SimTime::from_secs(at));
+    /// }
+    /// // Oldest entry out first.
+    /// assert_eq!(t.enforce_capacity(), vec!["10.0.0.1".parse()?]);
+    /// assert_eq!(t.len(), 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn enforce_capacity(&mut self) -> Vec<Ipv4Prefix> {
+        self.enforce_capacity_grouped(|_| None)
+    }
+
+    /// Capacity enforcement with aggregation-aware accounting: entries
+    /// mapped to the same group by `group_of` are charged as **one**
+    /// unit against the capacity (an aggregated `/24` covering 200
+    /// learned `/32`s occupies one route, so it costs one slot), and are
+    /// evicted together. A group's recency is its *newest* member's
+    /// `last_updated` (the covering route is live as long as any member
+    /// is); ungrouped entries (`group_of` returns `None`) behave exactly
+    /// as in [`FinalTable::enforce_capacity`]. Victim order is
+    /// deterministic: ascending `(last_updated, unit key)`, members in
+    /// key order within a group.
+    pub fn enforce_capacity_grouped(
+        &mut self,
+        group_of: impl Fn(&Ipv4Prefix) -> Option<Ipv4Prefix>,
+    ) -> Vec<Ipv4Prefix> {
         let Some(cap) = self.capacity else {
             return Vec::new();
         };
+        if self.entries.len() <= cap {
+            return Vec::new();
+        }
+        // One charged unit per group (or per ungrouped key), stamped
+        // with the newest member update. BTreeMap order makes member
+        // lists key-ordered.
+        let mut units: BTreeMap<Ipv4Prefix, (SimTime, Vec<Ipv4Prefix>)> = BTreeMap::new();
+        for (k, e) in &self.entries {
+            let unit = group_of(k).unwrap_or(*k);
+            let slot = units
+                .entry(unit)
+                .or_insert_with(|| (e.last_updated, Vec::new()));
+            slot.0 = slot.0.max(e.last_updated);
+            slot.1.push(*k);
+        }
+        if units.len() <= cap {
+            return Vec::new();
+        }
+        let excess = units.len() - cap;
+        let mut order: Vec<(SimTime, Ipv4Prefix)> =
+            units.iter().map(|(u, (at, _))| (*at, *u)).collect();
+        // Only the `excess` oldest units need a total order: select,
+        // then sort just that head.
+        if excess < order.len() {
+            order.select_nth_unstable(excess - 1);
+        }
+        order.truncate(excess);
+        order.sort_unstable();
         let mut evicted = Vec::new();
-        while self.entries.len() > cap {
-            // BTreeMap iteration is key-ordered, so min_by on
-            // (last_updated, key) is deterministic: oldest first, lowest
-            // key among equals.
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(k, e)| (e.last_updated, **k))
-                .map(|(k, _)| *k)
-                .expect("non-empty: len > cap >= 0");
-            self.entries.remove(&victim);
-            evicted.push(victim);
+        for (_, unit) in order {
+            for k in &units[&unit].1 {
+                self.entries.remove(k);
+                evicted.push(*k);
+            }
         }
         evicted
     }
@@ -263,6 +347,126 @@ mod tests {
         t.blend(key(6), 1.0, &strategy, SimTime::from_secs(5));
         assert_eq!(t.enforce_capacity(), vec![key(3), key(6)]);
         assert!(t.get(&key(9)).is_some());
+    }
+
+    #[test]
+    fn grouped_capacity_charges_an_aggregate_as_one_entry() {
+        // Regression: an aggregated prefix covering N learned /32s must
+        // count as ONE entry against the capacity, not N. Here 6 learned
+        // hosts collapse into 2 aggregate units + 1 loner = 3 charged
+        // units, which fits a capacity of 3 even though len() is 7.
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::bounded(3);
+        let group = |k: &Ipv4Prefix| (k.len() == 32).then(|| k.covering(24));
+        for n in [1u8, 2, 3] {
+            t.blend(
+                Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, n)),
+                1.0,
+                &strategy,
+                SimTime::from_secs(10),
+            );
+        }
+        for n in [1u8, 2, 3] {
+            t.blend(
+                Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, n)),
+                1.0,
+                &strategy,
+                SimTime::from_secs(20),
+            );
+        }
+        t.blend(
+            "10.0.9.0/24".parse().unwrap(),
+            1.0,
+            &strategy,
+            SimTime::from_secs(30),
+        );
+        assert_eq!(t.len(), 7);
+        assert!(
+            t.enforce_capacity_grouped(group).is_empty(),
+            "3 charged units fit capacity 3 despite 7 raw entries"
+        );
+        // Ungrouped accounting would have evicted 4 of the 7.
+        assert_eq!(t.clone().enforce_capacity().len(), 4);
+
+        // One more unit (a fourth group) forces the oldest whole group
+        // out: all three 10.0.0.x members leave together, oldest first.
+        t.blend(
+            Ipv4Prefix::host(Ipv4Addr::new(10, 0, 2, 1)),
+            1.0,
+            &strategy,
+            SimTime::from_secs(40),
+        );
+        let evicted = t.enforce_capacity_grouped(group);
+        assert_eq!(
+            evicted,
+            vec![
+                Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 1)),
+                Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 2)),
+                Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 3)),
+            ]
+        );
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn grouped_recency_is_newest_member() {
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::bounded(1);
+        let group = |k: &Ipv4Prefix| (k.len() == 32).then(|| k.covering(24));
+        // Group A has an old member and a fresh one; loner B sits in
+        // between. The group's recency (t=50) beats B (t=30), so B is
+        // the victim even though A contains the globally oldest entry.
+        t.blend(
+            Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 1)),
+            1.0,
+            &strategy,
+            SimTime::from_secs(10),
+        );
+        t.blend(
+            Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 2)),
+            1.0,
+            &strategy,
+            SimTime::from_secs(50),
+        );
+        t.blend(
+            Ipv4Prefix::host(Ipv4Addr::new(10, 9, 9, 9)),
+            1.0,
+            &strategy,
+            SimTime::from_secs(30),
+        );
+        assert_eq!(
+            t.enforce_capacity_grouped(group),
+            vec![Ipv4Prefix::host(Ipv4Addr::new(10, 9, 9, 9))]
+        );
+    }
+
+    #[test]
+    fn sorted_eviction_matches_repeated_min_scan() {
+        // The single-sort eviction must reproduce the historical
+        // one-victim-at-a-time order exactly.
+        let strategy = HistoryStrategy::None;
+        let mut t = FinalTable::bounded(3);
+        let stamps = [7u64, 3, 3, 9, 1, 5, 3, 8];
+        for (i, at) in stamps.iter().enumerate() {
+            t.blend(
+                Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, (100 - i) as u8)),
+                1.0,
+                &strategy,
+                SimTime::from_secs(*at),
+            );
+        }
+        let mut reference = t.clone();
+        let mut want = Vec::new();
+        while reference.len() > 3 {
+            let victim = reference
+                .iter()
+                .min_by_key(|(k, e)| (e.last_updated, **k))
+                .map(|(k, _)| *k)
+                .unwrap();
+            reference.entries.remove(&victim);
+            want.push(victim);
+        }
+        assert_eq!(t.enforce_capacity(), want);
     }
 
     #[test]

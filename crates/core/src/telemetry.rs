@@ -511,6 +511,25 @@ pub enum DecisionCause {
     },
     /// The agent is shutting down and sweeping its installs.
     Shutdown,
+    /// Sibling destinations' learned windows agreed within the clamp
+    /// band, so a covering aggregate route replaced their member routes
+    /// (or retuned its window).
+    Aggregated {
+        /// Member destinations covered by the aggregate.
+        members: u32,
+        /// `max − min` of the member windows at merge time.
+        spread: u32,
+    },
+    /// A covering aggregate no longer held — members diverged past the
+    /// band, fell below the sibling minimum, or vanished — so it
+    /// dissolved back into member routes.
+    Disaggregated {
+        /// Member destinations reinstalled individually (0 when the
+        /// members themselves expired or were evicted).
+        members: u32,
+        /// `max − min` of the member windows at split time.
+        spread: u32,
+    },
 }
 
 /// One journaled decision.
@@ -550,6 +569,12 @@ impl DecisionRecord {
             DecisionCause::Capacity => "capacity".to_string(),
             DecisionCause::Reconcile { verdict } => format!("reconcile {verdict:?}"),
             DecisionCause::Shutdown => "shutdown".to_string(),
+            DecisionCause::Aggregated { members, spread } => {
+                format!("aggregated members={members} spread={spread}")
+            }
+            DecisionCause::Disaggregated { members, spread } => {
+                format!("disaggregated members={members} spread={spread}")
+            }
         };
         format!(
             "t={} {} {} cause={}",

@@ -194,6 +194,41 @@ fn config_file_drives_the_agent() {
 }
 
 #[test]
+fn config_file_aggregate_key_folds_siblings() {
+    let conf = write_snapshot("conf-agg", "history = none\naggregate = on\n");
+    let snap = write_snapshot(
+        "conf-agg-snap",
+        "\
+ESTAB 10.0.0.1 10.0.9.1
+\t cubic cwnd:80 bytes_acked:1000000
+ESTAB 10.0.0.1 10.0.9.2
+\t cubic cwnd:81 bytes_acked:1000000
+ESTAB 10.0.0.1 10.0.9.3
+\t cubic cwnd:82 bytes_acked:1000000
+",
+    );
+    let out = run(&["--config", conf.to_str().unwrap(), snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l == "ip route replace 10.0.9.0/24 proto static initcwnd 80"),
+        "agreeing siblings fold into the covering /24 at the member minimum: {stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l == "ip route del 10.0.9.1"),
+        "member routes are withdrawn once covered: {stdout}"
+    );
+    std::fs::remove_file(conf).ok();
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
 fn flags_override_config_file() {
     let conf = write_snapshot("conf2", "history = none\ncmax = 70\n");
     let snap = write_snapshot("conf2-snap", SNAPSHOT_A);

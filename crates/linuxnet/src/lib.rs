@@ -23,6 +23,7 @@
 //! | Module | Role | Paper anchor |
 //! |---|---|---|
 //! | [`route`] | LPM table, `initcwnd`/`initrwnd` route attributes | §III-C "the route table is the knob" |
+//! | [`lpm`] | compressed stride-4 multibit trie backing the LPM table | §III-B at internet scale |
 //! | [`ss`] | `ss -i` render/parse, incl. lossy salvage of truncated output | §III poll loop input |
 //! | [`ip_cmd`] | `ip route …` grammar | Fig. 8 |
 //! | [`prefix`] | IPv4 prefixes (host and `/24` granularity) | §III-B granularity |
@@ -51,6 +52,7 @@
 
 pub mod exec;
 pub mod ip_cmd;
+pub mod lpm;
 pub mod prefix;
 pub mod route;
 pub mod ss;
@@ -59,6 +61,7 @@ pub mod ss;
 pub mod prelude {
     pub use crate::exec::{CommandRunner, ExecError, ScriptedRunner};
     pub use crate::ip_cmd::{IpRouteAction, IpRouteCmd};
+    pub use crate::lpm::LpmTrie;
     pub use crate::prefix::Ipv4Prefix;
     pub use crate::route::{Route, RouteAttrs, RouteError, RouteProto, RouteTable};
     pub use crate::ss::{SockEntry, SockState, SockTable};

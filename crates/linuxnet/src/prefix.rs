@@ -103,20 +103,61 @@ impl Ipv4Prefix {
     }
 
     /// Whether `other` is fully covered by this prefix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riptide_linuxnet::prefix::Ipv4Prefix;
+    ///
+    /// let slab: Ipv4Prefix = "10.0.1.0/24".parse()?;
+    /// let host: Ipv4Prefix = "10.0.1.9".parse()?;
+    /// assert!(slab.covers(&host));
+    /// assert!(slab.covers(&slab));
+    /// assert!(!host.covers(&slab));
+    /// # Ok::<(), riptide_linuxnet::prefix::ParsePrefixError>(())
+    /// ```
     pub fn covers(&self, other: &Ipv4Prefix) -> bool {
         other.len >= self.len && (other.bits & Self::mask(self.len)) == self.bits
     }
 
-    /// The value of the address bit at `depth` (0 = most significant).
-    /// Used by the route table's binary trie.
-    pub(crate) fn bit(&self, depth: u8) -> bool {
-        debug_assert!(depth < 32);
-        (self.bits >> (31 - depth)) & 1 == 1
+    /// The raw network bits, most-significant-bit first. This is the
+    /// lookup seam the compressed trie ([`crate::lpm::LpmTrie`]) walks.
+    pub(crate) fn raw_bits(&self) -> u32 {
+        self.bits
     }
 
     /// The prefix obtained by truncating `addr` to `len` bits.
     pub fn of_addr(addr: Ipv4Addr, len: u8) -> Self {
         Ipv4Prefix::new(addr, len)
+    }
+
+    /// The covering prefix of length `len` — this prefix widened to a
+    /// shorter mask. The aggregation pass uses it to find the `/24`
+    /// a learned `/32` would coalesce into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is longer than this prefix's mask (a longer mask
+    /// cannot cover a shorter one).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use riptide_linuxnet::prefix::Ipv4Prefix;
+    ///
+    /// let host: Ipv4Prefix = "10.0.1.77".parse()?;
+    /// let slab = host.covering(24);
+    /// assert_eq!(slab.to_string(), "10.0.1.0/24");
+    /// assert!(slab.covers(&host));
+    /// # Ok::<(), riptide_linuxnet::prefix::ParsePrefixError>(())
+    /// ```
+    pub fn covering(&self, len: u8) -> Ipv4Prefix {
+        assert!(
+            len <= self.len,
+            "covering length {len} is longer than /{}",
+            self.len
+        );
+        Ipv4Prefix::new(self.network(), len)
     }
 }
 
@@ -216,12 +257,18 @@ mod tests {
     }
 
     #[test]
-    fn bit_extraction_msb_first() {
-        let p = Ipv4Prefix::new(Ipv4Addr::new(128, 0, 0, 0), 1);
-        assert!(p.bit(0));
-        let q = Ipv4Prefix::new(Ipv4Addr::new(64, 0, 0, 0), 2);
-        assert!(!q.bit(0));
-        assert!(q.bit(1));
+    fn covering_truncates_to_shorter_mask() {
+        let host = Ipv4Prefix::host(Ipv4Addr::new(10, 0, 1, 200));
+        assert_eq!(host.covering(24).to_string(), "10.0.1.0/24");
+        assert_eq!(host.covering(32), host);
+        assert_eq!(host.covering(0), Ipv4Prefix::default_route());
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than")]
+    fn covering_rejects_longer_mask() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 1, 0), 24);
+        let _ = p.covering(32);
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! control point is a route attribute, and Riptide therefore installs one
 //! route per destination it has learned about. The table implements the
 //! semantics of `ip route add/replace/del` plus longest-prefix-match
-//! lookup, backed by a binary trie.
+//! lookup, backed by the compressed multibit trie in [`crate::lpm`] so it
+//! stays fast at a million learned prefixes.
 
 use std::fmt;
 use std::net::Ipv4Addr;
 
+use crate::lpm::LpmTrie;
 use crate::prefix::Ipv4Prefix;
 
 /// Route origin, mirroring `ip route`'s `proto` attribute.
@@ -201,14 +203,6 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
-/// Binary-trie node. Children are indexed by the next address bit.
-#[derive(Debug, Clone, Default)]
-struct TrieNode {
-    children: [Option<Box<TrieNode>>; 2],
-    /// Route index into `RouteTable::routes`, if a route terminates here.
-    route: Option<usize>,
-}
-
 /// An IPv4 routing table with longest-prefix-match lookup.
 ///
 /// # Examples
@@ -230,7 +224,10 @@ struct TrieNode {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RouteTable {
-    root: TrieNode,
+    /// Prefix → index into `routes`. The trie answers containment and
+    /// LPM; the `routes` vec owns the entries and preserves insertion
+    /// order for [`RouteTable::iter`].
+    trie: LpmTrie<u32>,
     routes: Vec<Option<Route>>,
     len: usize,
 }
@@ -251,22 +248,14 @@ impl RouteTable {
         self.len == 0
     }
 
-    fn node_for(&mut self, prefix: Ipv4Prefix) -> &mut TrieNode {
-        let mut node = &mut self.root;
-        for depth in 0..prefix.len() {
-            let b = prefix.bit(depth) as usize;
-            node = node.children[b].get_or_insert_with(Box::default);
-        }
-        node
+    /// Resident bytes of the lookup structure (not the routes
+    /// themselves) — the number the `megacdn` bench budgets against.
+    pub fn lpm_mem_bytes(&self) -> usize {
+        self.trie.mem_bytes()
     }
 
-    fn find_node(&self, prefix: Ipv4Prefix) -> Option<&TrieNode> {
-        let mut node = &self.root;
-        for depth in 0..prefix.len() {
-            let b = prefix.bit(depth) as usize;
-            node = node.children[b].as_deref()?;
-        }
-        Some(node)
+    fn next_index(&self) -> u32 {
+        u32::try_from(self.routes.len()).expect("route arena exceeds u32 indices")
     }
 
     /// Installs a new route (`ip route add`).
@@ -276,12 +265,12 @@ impl RouteTable {
     /// Returns [`RouteError::AlreadyExists`] if a route to exactly this
     /// prefix is present, as the real tool does.
     pub fn add(&mut self, prefix: Ipv4Prefix, attrs: RouteAttrs) -> Result<(), RouteError> {
-        if self.find_node(prefix).is_some_and(|n| n.route.is_some()) {
+        if self.trie.get(&prefix).is_some() {
             return Err(RouteError::AlreadyExists(prefix));
         }
-        let idx = self.routes.len();
+        let idx = self.next_index();
         self.routes.push(Some(Route { prefix, attrs }));
-        self.node_for(prefix).route = Some(idx);
+        self.trie.insert(prefix, idx);
         self.len += 1;
         Ok(())
     }
@@ -289,12 +278,10 @@ impl RouteTable {
     /// Installs or overwrites a route (`ip route replace`). Returns the
     /// previous route if one existed.
     pub fn replace(&mut self, prefix: Ipv4Prefix, attrs: RouteAttrs) -> Option<Route> {
-        let idx = self.routes.len();
+        let idx = self.next_index();
         self.routes.push(Some(Route { prefix, attrs }));
-        let node = self.node_for(prefix);
-        let old = node.route.replace(idx);
-        match old {
-            Some(old_idx) => self.routes[old_idx].take(),
+        match self.trie.insert(prefix, idx) {
+            Some(old_idx) => self.routes[old_idx as usize].take(),
             None => {
                 self.len += 1;
                 None
@@ -308,11 +295,12 @@ impl RouteTable {
     ///
     /// Returns [`RouteError::NotFound`] if no such route exists.
     pub fn del(&mut self, prefix: Ipv4Prefix) -> Result<Route, RouteError> {
-        let node = self.node_for(prefix);
-        match node.route.take() {
+        match self.trie.remove(&prefix) {
             Some(idx) => {
                 self.len -= 1;
-                Ok(self.routes[idx].take().expect("route slot populated"))
+                Ok(self.routes[idx as usize]
+                    .take()
+                    .expect("route slot populated"))
             }
             None => Err(RouteError::NotFound(prefix)),
         }
@@ -320,29 +308,15 @@ impl RouteTable {
 
     /// Returns the route to exactly `prefix`, if installed.
     pub fn get(&self, prefix: Ipv4Prefix) -> Option<&Route> {
-        let idx = self.find_node(prefix)?.route?;
-        self.routes[idx].as_ref()
+        let idx = *self.trie.get(&prefix)?;
+        self.routes[idx as usize].as_ref()
     }
 
     /// Longest-prefix-match lookup: the most specific route covering
     /// `addr`.
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<&Route> {
-        let host = Ipv4Prefix::host(addr);
-        let mut best = self.root.route;
-        let mut node = &self.root;
-        for depth in 0..32 {
-            let b = host.bit(depth) as usize;
-            match node.children[b].as_deref() {
-                Some(child) => {
-                    if child.route.is_some() {
-                        best = child.route;
-                    }
-                    node = child;
-                }
-                None => break,
-            }
-        }
-        best.and_then(|idx| self.routes[idx].as_ref())
+        let (_, &idx) = self.trie.lookup(addr)?;
+        self.routes[idx as usize].as_ref()
     }
 
     /// The effective initial congestion window for new connections to

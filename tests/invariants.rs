@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use riptide_repro::cdn::stats::Cdf;
 use riptide_repro::linuxnet::ip_cmd::IpRouteCmd;
+use riptide_repro::linuxnet::lpm::LpmTrie;
 use riptide_repro::linuxnet::prefix::Ipv4Prefix;
 use riptide_repro::linuxnet::route::{RouteAttrs, RouteProto, RouteTable};
 use riptide_repro::linuxnet::ss::{SockEntry, SockState, SockTable};
@@ -82,6 +83,73 @@ proptest! {
             let addr = Ipv4Addr::from(bits);
             prop_assert_eq!(table.initcwnd_for(addr), naive_lookup(&reference, addr));
         }
+    }
+
+    #[test]
+    fn lpm_trie_matches_naive_reference_under_churn(
+        // Interleaved insert/remove/lookup against a linear-scan oracle.
+        // Masking `bits` down to a handful of distinct /8 roots makes
+        // overlapping and duplicate prefixes common rather than rare.
+        ops in proptest::collection::vec(
+            (0u8..3, any::<u32>(), 0u8..=32, 1u32..200), 1..120),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie: LpmTrie<u32> = LpmTrie::new();
+        let mut reference: Vec<(Ipv4Prefix, u32)> = Vec::new();
+        for (op, bits, len, w) in ops {
+            let bits = bits & 0x03FF_00FF; // few roots, dense low hosts
+            let prefix = Ipv4Prefix::new(Ipv4Addr::from(bits), len);
+            match op {
+                0 => {
+                    let old = trie.insert(prefix, w);
+                    let oracle = reference.iter().position(|(p, _)| *p == prefix);
+                    prop_assert_eq!(old, oracle.map(|i| reference[i].1));
+                    if let Some(i) = oracle {
+                        reference[i].1 = w;
+                    } else {
+                        reference.push((prefix, w));
+                    }
+                }
+                1 => {
+                    let old = trie.remove(&prefix);
+                    let oracle = reference.iter().position(|(p, _)| *p == prefix);
+                    prop_assert_eq!(old, oracle.map(|i| reference[i].1));
+                    if let Some(i) = oracle {
+                        reference.swap_remove(i);
+                    }
+                }
+                _ => {
+                    let got = trie.lookup(Ipv4Addr::from(bits)).map(|(_, w)| *w);
+                    let want = naive_lookup(&reference, Ipv4Addr::from(bits));
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(trie.len(), reference.len());
+        }
+        for bits in probes {
+            let addr = Ipv4Addr::from(bits & 0x03FF_00FF);
+            prop_assert_eq!(trie.lookup(addr).map(|(_, w)| *w), naive_lookup(&reference, addr));
+        }
+    }
+
+    #[test]
+    fn lpm_trie_default_route_and_host_route_edges(
+        bits in any::<u32>(), w0 in 1u32..200, w32 in 1u32..200,
+        probe in any::<u32>(),
+    ) {
+        // /0 matches everything; a /32 over the same address always wins.
+        let mut trie: LpmTrie<u32> = LpmTrie::new();
+        trie.insert(Ipv4Prefix::new(Ipv4Addr::from(0), 0), w0);
+        trie.insert(Ipv4Prefix::new(Ipv4Addr::from(bits), 32), w32);
+        prop_assert_eq!(trie.lookup(Ipv4Addr::from(bits)).map(|(_, w)| *w), Some(w32));
+        let fallback = trie.lookup(Ipv4Addr::from(probe)).map(|(p, w)| (p.len(), *w));
+        if probe == bits {
+            prop_assert_eq!(fallback, Some((32, w32)));
+        } else {
+            prop_assert_eq!(fallback, Some((0, w0)));
+        }
+        prop_assert_eq!(trie.remove(&Ipv4Prefix::new(Ipv4Addr::from(bits), 32)), Some(w32));
+        prop_assert_eq!(trie.lookup(Ipv4Addr::from(bits)).map(|(_, w)| *w), Some(w0));
     }
 
     #[test]

@@ -95,6 +95,19 @@ if [[ "$stage" == "build" || "$stage" == "all" ]]; then
     # grouped-eviction ceiling.
     run cargo run --release -p riptide-bench --bin megacdn -- \
         --scale quick --check
+
+    # Durability smoke: one coldstart sweep at test scale writes to the
+    # scratch dir and asserts its own invariants (zero-rate arms
+    # bit-identical to the fault-free run, warm arms over the
+    # ramp-improvement floor)...
+    run cargo run --release -p riptide-bench --bin coldstart -- \
+        --out "$scratch/BENCH_coldstart.json"
+    run grep -q '"zero_rate_bit_identical": true' "$scratch/BENCH_coldstart.json"
+    # ...and the gate replays the sweep against the checked-in
+    # BENCH_coldstart.json: digest drift is fatal, as is a snapshot or
+    # snapshot+gossip arm falling under the 1.5x ramp-improvement floor
+    # vs. cold relearn.
+    run cargo run --release -p riptide-bench --bin coldstart -- --check
 fi
 
 echo "==> stage '$stage' passed"

@@ -66,6 +66,9 @@ fn bench_cdn_deployment_minute(c: &mut Criterion) {
                     faults: riptide_simnet::fault::FaultPlan::none(),
                     reconcile_every: None,
                     telemetry: false,
+                    persistence: None,
+                    gossip: None,
+                    track_ramp: false,
                 };
                 let mut sim = CdnSim::new(cfg);
                 sim.run_for(SimDuration::from_secs(60));

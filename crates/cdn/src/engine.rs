@@ -47,11 +47,11 @@ use riptide_simnet::time::{SimDuration, SimTime};
 use crate::schedule::{estimated_events, StealPool};
 
 use crate::experiment::{
-    chaos_sim_config, cwnd_sim_config, guarded_riptide_config, guardrail_sim_config,
-    probe_sender_sites, probe_sim_config, traffic_profile_sites, traffic_sim_config,
-    ExperimentScale, ProbeComparison, StackTweaks,
+    chaos_sim_config, coldstart_sim_config, cwnd_sim_config, guarded_riptide_config,
+    guardrail_sim_config, probe_sender_sites, probe_sim_config, traffic_profile_sites,
+    traffic_sim_config, ColdstartMode, ExperimentScale, ProbeComparison, StackTweaks,
 };
-use crate::sim::{CdnSim, CdnSimConfig, ChaosReport, ProbeOutcome};
+use crate::sim::{CdnSim, CdnSimConfig, ChaosReport, ColdstartReport, ProbeOutcome};
 use crate::stats::{Cdf, Histogram};
 
 /// The coordinates of one shard inside a plan.
@@ -129,6 +129,20 @@ pub enum ShardWork {
         riptide: Option<RiptideConfig>,
         /// Per-opportunity fault rate (0 disables the fault layer).
         fault_rate: f64,
+        /// Sender sites probing in this shard.
+        senders: Vec<usize>,
+    },
+    /// One arm of the cold-start experiment: the probe setup under
+    /// machine-crash faults with ramp tracking on, and the arm's
+    /// durability mode (see
+    /// [`coldstart_sim_config`]).
+    ColdstartArm {
+        /// Riptide configuration, or `None` for the control arm.
+        riptide: Option<RiptideConfig>,
+        /// Per-opportunity crash rate (0 disables the fault layer).
+        crash_rate: f64,
+        /// Which durability layers the arm enables.
+        mode: ColdstartMode,
         /// Sender sites probing in this shard.
         senders: Vec<usize>,
     },
@@ -210,6 +224,14 @@ pub enum ShardData {
         probes: Vec<ProbeOutcome>,
         /// Fault, guard and reconciler counters for the shard.
         report: ChaosReport,
+    },
+    /// After-warmup probe outcomes plus cold-start ramp counters (its
+    /// own variant so chaos- and guardrail-sweep digests stay stable).
+    Coldstart {
+        /// After-warmup probe outcomes.
+        probes: Vec<ProbeOutcome>,
+        /// Restart, restore, gossip and ramp counters for the shard.
+        report: ColdstartReport,
     },
 }
 
@@ -508,6 +530,54 @@ impl RunPlan {
         }
     }
 
+    /// The cold-start sweep: persistence off (scenario `3i`), snapshot
+    /// only (scenario `3i + 1`) and snapshot+gossip (scenario `3i + 2`)
+    /// for each crash rate `i`, one shard per (arm × sender PoP ×
+    /// replicate), every arm running the deployment Riptide config.
+    /// Arms are seed-paired per (unit, replicate) exactly like
+    /// [`RunPlan::probe_comparison`], so all three modes see the *same*
+    /// crash schedule and their ramp times are directly comparable.
+    pub fn coldstart_sweep(scale: &ExperimentScale, rates: &[f64], replicates: u32) -> RunPlan {
+        assert!(replicates >= 1, "need at least one replicate");
+        assert!(!rates.is_empty(), "need at least one crash rate");
+        let senders = probe_sender_sites(scale);
+        let modes = [
+            ColdstartMode::Cold,
+            ColdstartMode::Snapshot,
+            ColdstartMode::SnapshotGossip,
+        ];
+        let mut shards = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            for (arm_idx, mode) in modes.into_iter().enumerate() {
+                for (u, &sender) in senders.iter().enumerate() {
+                    for r in 0..replicates {
+                        let id = ShardId {
+                            scenario: (3 * i + arm_idx) as u32,
+                            unit: u as u32,
+                            replicate: r,
+                        };
+                        shards.push(Self::shard(
+                            scale,
+                            id,
+                            format!("{}@{rate}:site{sender}", mode.label()),
+                            ShardWork::ColdstartArm {
+                                riptide: Some(RiptideConfig::deployment()),
+                                crash_rate: rate,
+                                mode,
+                                senders: vec![sender],
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        RunPlan {
+            name: "coldstart-sweep".into(),
+            master_seed: scale.seed,
+            shards,
+        }
+    }
+
     /// Cold-start convergence: a single shard sampling every `step`.
     pub fn convergence(scale: &ExperimentScale, step: SimDuration) -> RunPlan {
         let id = ShardId {
@@ -763,6 +833,29 @@ fn run_shard(spec: &ShardSpec, scratch: &mut WorkerScratch) -> ShardResult {
                 sim.metrics_snapshot(),
             )
         }
+        ShardWork::ColdstartArm {
+            riptide,
+            crash_rate,
+            mode,
+            senders,
+        } => {
+            let cfg =
+                coldstart_sim_config(scale, riptide.clone(), senders.clone(), *crash_rate, *mode);
+            let mut sim = build(cfg);
+            sim.run_for(scale.total());
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .filter(|p| p.requested_at >= cutoff)
+                .copied()
+                .collect();
+            let report = sim.coldstart_report();
+            (
+                ShardData::Coldstart { probes, report },
+                sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
+            )
+        }
     };
     let data_fnv = scratch.fnv_of_debug(&data);
     let metrics_fnv = scratch.fnv_of_metrics(&metrics);
@@ -867,6 +960,31 @@ impl RunReport {
         let mut merged = ChaosReport::default();
         for s in self.scenario_shards(scenario) {
             if let ShardData::Guardrail { report, .. } = &s.data {
+                merged.merge(report);
+            }
+        }
+        merged
+    }
+
+    /// All cold-start-arm probe outcomes of one scenario, concatenated
+    /// in plan order.
+    pub fn merged_coldstart_probes(&self, scenario: u32) -> Vec<ProbeOutcome> {
+        self.scenario_shards(scenario)
+            .filter_map(|s| match &s.data {
+                ShardData::Coldstart { probes, .. } => Some(probes.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// The merged cold-start counters of one scenario, reduced in plan
+    /// order.
+    pub fn merged_coldstart_report(&self, scenario: u32) -> ColdstartReport {
+        let mut merged = ColdstartReport::default();
+        for s in self.scenario_shards(scenario) {
+            if let ShardData::Coldstart { report, .. } = &s.data {
                 merged.merge(report);
             }
         }
@@ -1079,6 +1197,46 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 4, "one stream per (unit, replicate) cell");
+    }
+
+    #[test]
+    fn coldstart_sweep_is_seed_paired_and_reports_merge() {
+        let scale = ExperimentScale::test();
+        let plan = RunPlan::coldstart_sweep(&scale, &[0.05], 1);
+        // 3 modes x 2 senders x 1 replicate.
+        assert_eq!(plan.shards.len(), 6);
+        for shard in &plan.shards {
+            let twin = plan
+                .shards
+                .iter()
+                .find(|s| {
+                    s.id.scenario != shard.id.scenario
+                        && s.id.unit == shard.id.unit
+                        && s.id.replicate == shard.id.replicate
+                })
+                .expect("paired arm exists");
+            assert_eq!(
+                twin.seed, shard.seed,
+                "modes of one cell share a seed, so crash schedules pair up"
+            );
+        }
+        let report = plan.run_with_threads(2);
+        let cold = report.merged_coldstart_report(0);
+        let snap = report.merged_coldstart_report(1);
+        let gossip = report.merged_coldstart_report(2);
+        // Persistence off: nothing written, nothing restored.
+        assert_eq!(cold.snapshots_written, 0);
+        assert_eq!(cold.restored_routes, 0);
+        // Snapshot arms journal, snapshot and restore.
+        assert!(snap.snapshots_written > 0, "snapshot arm never snapshotted");
+        assert!(snap.restored_routes > 0, "snapshot arm restored nothing");
+        assert!(snap.restarts_tracked > 0, "no restart was ramp-tracked");
+        // The gossip arm additionally runs anti-entropy rounds.
+        assert!(gossip.gossip_rounds > 0, "gossip arm never gossiped");
+        assert!(
+            !report.merged_coldstart_probes(0).is_empty(),
+            "cold arm produced no probe outcomes"
+        );
     }
 
     #[test]

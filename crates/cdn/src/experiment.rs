@@ -7,7 +7,8 @@ use riptide::config::RiptideConfig;
 use riptide_simnet::fault::FaultPlan;
 use riptide_simnet::time::{SimDuration, SimTime};
 
-use crate::sim::{CdnSim, CdnSimConfig, ProbeOutcome};
+use crate::gossip::GossipConfig;
+use crate::sim::{CdnSim, CdnSimConfig, PersistenceConfig, ProbeOutcome};
 use crate::stats::{average_gains, percentile_gains, Cdf, PercentileGain};
 use crate::topology::{RttBucket, TestbedConfig};
 use crate::workload::{OrganicConfig, ProbeConfig};
@@ -117,6 +118,9 @@ pub fn cwnd_sim_config(scale: &ExperimentScale, c_max: Option<u32>) -> CdnSimCon
         faults: FaultPlan::none(),
         reconcile_every: None,
         telemetry: false,
+        persistence: None,
+        gossip: None,
+        track_ramp: false,
     }
 }
 
@@ -162,6 +166,9 @@ pub fn traffic_sim_config(scale: &ExperimentScale) -> CdnSimConfig {
         faults: FaultPlan::none(),
         reconcile_every: None,
         telemetry: false,
+        persistence: None,
+        gossip: None,
+        track_ramp: false,
     }
 }
 
@@ -271,6 +278,9 @@ pub fn probe_sim_config(
         faults: FaultPlan::none(),
         reconcile_every: None,
         telemetry: false,
+        persistence: None,
+        gossip: None,
+        track_ramp: false,
     }
 }
 
@@ -305,6 +315,66 @@ pub fn guardrail_sim_config(
     cfg.faults = FaultPlan::guardrail(fault_rate);
     if fault_rate > 0.0 {
         cfg.reconcile_every = Some(SimDuration::from_secs(300));
+    }
+    cfg
+}
+
+/// Which durability features a cold-start arm enables. The three modes
+/// isolate the contribution of each recovery layer: relearn from
+/// scratch, restore the local snapshot+journal, or additionally pull
+/// missing entries from peers over gossip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdstartMode {
+    /// No persistence: a restarted agent relearns its whole table from
+    /// live traffic.
+    Cold,
+    /// Snapshot + journal restore on restart ([`PersistenceConfig`]).
+    Snapshot,
+    /// Snapshot + journal restore plus gossip anti-entropy fleet sync
+    /// ([`GossipConfig`]).
+    SnapshotGossip,
+}
+
+impl ColdstartMode {
+    /// Short arm name used in shard labels and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ColdstartMode::Cold => "cold",
+            ColdstartMode::Snapshot => "snapshot",
+            ColdstartMode::SnapshotGossip => "snapshot+gossip",
+        }
+    }
+}
+
+/// The simulation configuration behind the `coldstart` experiment: the
+/// §IV-B2 probe setup under machine-crash faults (connections reset, so
+/// a restarted agent really is cold) with ramp tracking on, and the
+/// arm's durability mode. A crash rate of `0.0` leaves the fault layer
+/// off and the run is bit-identical to [`probe_sim_config`]'s when the
+/// mode is [`ColdstartMode::Cold`].
+pub fn coldstart_sim_config(
+    scale: &ExperimentScale,
+    riptide: Option<RiptideConfig>,
+    senders: Vec<usize>,
+    crash_rate: f64,
+    mode: ColdstartMode,
+) -> CdnSimConfig {
+    let mut cfg = probe_sim_config(scale, riptide, StackTweaks::default(), senders);
+    cfg.faults = FaultPlan {
+        crash: crash_rate,
+        restart_after: SimDuration::from_secs(10),
+        crash_resets_connections: true,
+        ..FaultPlan::none()
+    };
+    cfg.track_ramp = true;
+    if matches!(
+        mode,
+        ColdstartMode::Snapshot | ColdstartMode::SnapshotGossip
+    ) {
+        cfg.persistence = Some(PersistenceConfig::default());
+    }
+    if mode == ColdstartMode::SnapshotGossip {
+        cfg.gossip = Some(GossipConfig::default());
     }
     cfg
 }

@@ -14,7 +14,8 @@
 //! | [`topology`] | Testbed: PoPs, machines, geography-derived paths | §IV-A; Fig. 5 |
 //! | [`workload`] | Probe harness + organic traffic (file-size model, Zipf popularity) | §IV-A; Fig. 2 |
 //! | [`megacdn`] | Million-destination fleet generator for table-scale runs | §III-B at internet scale |
-//! | [`sim`] | The deployment loop: agents, probes, sampling, chaos | §IV-A/§IV-D |
+//! | [`sim`] | The deployment loop: agents, probes, sampling, chaos, persistence | §IV-A/§IV-D |
+//! | [`gossip`] | Anti-entropy fleet-sync scheduler (seeded fanout, per-peer backoff) | Pied Piper (PAPERS.md) |
 //! | [`experiment`] | One runner per figure (Figs. 10–16) | §IV |
 //! | [`engine`] | Parallel sharded execution, digests, manifests | — (reproduction infrastructure) |
 //! | [`schedule`] | LPT-seeded work-stealing shard scheduler | — (reproduction infrastructure) |
@@ -38,6 +39,7 @@
 pub mod engine;
 pub mod experiment;
 pub mod geo;
+pub mod gossip;
 pub mod megacdn;
 pub mod schedule;
 pub mod sim;
@@ -48,10 +50,16 @@ pub mod workload;
 /// The types most users need, importable in one line.
 pub mod prelude {
     pub use crate::engine::{RunPlan, RunReport, ShardData, ShardId, ShardSpec, ShardWork};
-    pub use crate::experiment::{probe_comparison, ExperimentScale, ProbeComparison};
+    pub use crate::experiment::{
+        probe_comparison, ColdstartMode, ExperimentScale, ProbeComparison,
+    };
     pub use crate::geo::{Continent, PopSite, POP_SITES};
+    pub use crate::gossip::{GossipConfig, GossipFabric, GossipStats};
     pub use crate::megacdn::MegaCdnConfig;
-    pub use crate::sim::{CdnSim, CdnSimConfig, ChaosReport, CwndSample, ProbeOutcome};
+    pub use crate::sim::{
+        CdnSim, CdnSimConfig, ChaosReport, ColdstartReport, CwndSample, PersistenceConfig,
+        ProbeOutcome,
+    };
     pub use crate::stats::{average_gains, percentile_gains, Cdf, PercentileGain};
     pub use crate::topology::{RttBucket, Testbed, TestbedConfig};
     pub use crate::workload::{FileSizeDist, OrganicConfig, ProbeConfig, Zipf};

@@ -49,7 +49,8 @@ pub fn estimated_events(spec: &ShardSpec) -> u64 {
     let senders = match &spec.work {
         ShardWork::ProbeArm { senders, .. }
         | ShardWork::ChaosArm { senders, .. }
-        | ShardWork::GuardrailArm { senders, .. } => senders.len() as u64,
+        | ShardWork::GuardrailArm { senders, .. }
+        | ShardWork::ColdstartArm { senders, .. } => senders.len() as u64,
         ShardWork::CwndDistribution { .. }
         | ShardWork::TrafficProfile
         | ShardWork::Convergence { .. } => 0,

@@ -15,10 +15,12 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use riptide::prelude::*;
+use riptide::sync::{delta_for, digest_of, SyncEntry};
 use riptide_linuxnet::prefix::Ipv4Prefix;
 use riptide_linuxnet::route::{RouteAttrs, RouteProto, RouteTable};
 use riptide_simnet::prelude::*;
 
+use crate::gossip::{GossipConfig, GossipFabric};
 use crate::topology::{RttBucket, Testbed, TestbedConfig};
 use crate::workload::{OrganicConfig, ProbeConfig};
 
@@ -63,6 +65,21 @@ pub struct CdnSimConfig {
     /// journal) to every agent. Off by default: a disabled registry does
     /// no telemetry work and leaves run digests bit-identical.
     pub telemetry: bool,
+    /// Warm-restart persistence: each host keeps a simulated on-disk
+    /// state file (snapshot + journal) that survives crash faults, and
+    /// a restarted daemon reloads it instead of starting empty. `None`
+    /// (the default) leaves runs bit-identical to builds without the
+    /// feature.
+    pub persistence: Option<PersistenceConfig>,
+    /// Anti-entropy gossip between the fleet's agents. `None` (the
+    /// default) is digest-neutral: the fabric's RNG is forked purely,
+    /// so no other draw sequence moves.
+    pub gossip: Option<GossipConfig>,
+    /// Track per-host ramp-up after crash restarts: the time for a
+    /// restarted host's installed-window sum to climb back to 90% of
+    /// its pre-crash level (reported via [`CdnSim::coldstart_report`]).
+    /// Off by default; tracking draws no randomness either way.
+    pub track_ramp: bool,
 }
 
 impl Default for CdnSimConfig {
@@ -77,8 +94,129 @@ impl Default for CdnSimConfig {
             faults: FaultPlan::none(),
             reconcile_every: None,
             telemetry: false,
+            persistence: None,
+            gossip: None,
+            track_ramp: false,
         }
     }
+}
+
+/// Warm-restart persistence parameters for simulated hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersistenceConfig {
+    /// How often each live host rewrites its snapshot (the journal is
+    /// truncated into it).
+    pub snapshot_every: SimDuration,
+    /// Append a journal record for every install/withdraw delta between
+    /// snapshots, so a crash loses at most one agent tick of learning
+    /// instead of up to `snapshot_every`.
+    pub journal: bool,
+}
+
+impl Default for PersistenceConfig {
+    fn default() -> Self {
+        PersistenceConfig {
+            snapshot_every: SimDuration::from_secs(60),
+            journal: true,
+        }
+    }
+}
+
+impl PersistenceConfig {
+    /// Checks the parameters are usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.snapshot_every == SimDuration::ZERO {
+            return Err("snapshot interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Cold-start counters for one run: how fast restarted hosts climbed
+/// back to steady state, and what the durability/sync layers did to get
+/// them there. All-zero when crashes, persistence and gossip are off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColdstartReport {
+    /// Restarts whose ramp-up was tracked (the host had installed
+    /// windows to lose when it crashed).
+    pub restarts_tracked: u64,
+    /// Tracked restarts that reached 90% of their pre-crash installed
+    /// window sum before the run ended.
+    pub recoveries: u64,
+    /// Summed restart→90% ramp time across recoveries, nanoseconds.
+    pub ramp_nanos_total: u64,
+    /// Worst single ramp time, nanoseconds.
+    pub ramp_nanos_max: u64,
+    /// Tracked restarts still below 90% at report time.
+    pub unrecovered: u64,
+    /// Routes reinstalled from persisted state at warm restarts.
+    pub restored_routes: u64,
+    /// Snapshots written by live hosts.
+    pub snapshots_written: u64,
+    /// Journal records appended between snapshots.
+    pub journal_records: u64,
+    /// Gossip rounds the fabric scheduled.
+    pub gossip_rounds: u64,
+    /// Gossip exchanges between two live hosts.
+    pub gossip_pairs: u64,
+    /// Exchanges settled by matching digests (no delta shipped).
+    pub digests_matched: u64,
+    /// Delta entries shipped across all exchanges.
+    pub entries_shipped: u64,
+    /// Delta entries accepted under the newest-wins clamp-merge rule.
+    pub entries_accepted: u64,
+    /// Peer draws skipped because the peer was inside its backoff.
+    pub gossip_backoff_skips: u64,
+    /// Draws that found the peer down and started a backoff.
+    pub gossip_peers_marked_down: u64,
+}
+
+impl ColdstartReport {
+    /// Mean restart→90% ramp time in seconds, `None` before any
+    /// tracked restart recovered.
+    pub fn mean_ramp_secs(&self) -> Option<f64> {
+        (self.recoveries > 0).then(|| self.ramp_nanos_total as f64 / self.recoveries as f64 / 1e9)
+    }
+
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &ColdstartReport) {
+        self.restarts_tracked += other.restarts_tracked;
+        self.recoveries += other.recoveries;
+        self.ramp_nanos_total += other.ramp_nanos_total;
+        self.ramp_nanos_max = self.ramp_nanos_max.max(other.ramp_nanos_max);
+        self.unrecovered += other.unrecovered;
+        self.restored_routes += other.restored_routes;
+        self.snapshots_written += other.snapshots_written;
+        self.journal_records += other.journal_records;
+        self.gossip_rounds += other.gossip_rounds;
+        self.gossip_pairs += other.gossip_pairs;
+        self.digests_matched += other.digests_matched;
+        self.entries_shipped += other.entries_shipped;
+        self.entries_accepted += other.entries_accepted;
+        self.gossip_backoff_skips += other.gossip_backoff_skips;
+        self.gossip_peers_marked_down += other.gossip_peers_marked_down;
+    }
+}
+
+/// One host's simulated on-disk state file: the encoded snapshot plus
+/// journal tail, and the installed view it last described (so agent
+/// ticks journal only the deltas).
+#[derive(Debug, Clone, Default)]
+struct HostStore {
+    /// Encoded `persist::StateFile` bytes — what a real daemon would
+    /// have on disk. Survives crash faults (the disk does not die with
+    /// the process).
+    bytes: Vec<u8>,
+    /// The installed view as of the last snapshot or journal append.
+    last_installed: BTreeMap<Ipv4Prefix, u32>,
+}
+
+/// Persistence-layer state; present only when configured.
+#[derive(Debug)]
+struct PersistLayer {
+    cfg: PersistenceConfig,
+    next_snapshot: SimTime,
+    stores: Vec<HostStore>,
 }
 
 /// Aggregated chaos and resilience counters for one run.
@@ -366,6 +504,18 @@ pub struct CdnSim {
     /// I/O counters on the same registry, mirrored out of the resilient
     /// wrappers the chaos path builds each tick.
     io_counters: Option<IoCounters>,
+    /// Simulated on-disk state files, when persistence is configured.
+    persist: Option<PersistLayer>,
+    /// Gossip scheduler, when fleet sync is configured.
+    gossip: Option<GossipFabric>,
+    /// Cold-start counters (ramp tracking, persistence, gossip).
+    coldstart: ColdstartReport,
+    /// Per host: pre-crash installed-window sum awaiting the restart
+    /// (set at the crash instant when `track_ramp` is on).
+    ramp_pending: Vec<Option<u64>>,
+    /// Per host: `(pre-crash sum, restart instant)` of a ramp-up in
+    /// progress.
+    ramp_active: Vec<Option<(u64, SimTime)>>,
 }
 
 /// Decision-journal depth for simulated deployments. Large enough to hold
@@ -385,6 +535,16 @@ impl CdnSim {
         if let Err(e) = cfg.faults.validate() {
             panic!("invalid fault plan: {e}");
         }
+        if let Some(g) = &cfg.gossip {
+            if let Err(e) = g.validate() {
+                panic!("invalid gossip config: {e}");
+            }
+        }
+        if let Some(p) = &cfg.persistence {
+            if let Err(e) = p.validate() {
+                panic!("invalid persistence config: {e}");
+            }
+        }
         let mut tb = Testbed::build(&cfg.testbed);
         let mut rng = DetRng::from_seed(cfg.testbed.seed ^ 0x5EED_CD11);
         let host_count = tb.world.host_count();
@@ -401,6 +561,16 @@ impl CdnSim {
             foreign: vec![BTreeMap::new(); host_count],
             loss_episodes: Vec::new(),
             report: ChaosReport::default(),
+        });
+
+        // Forked purely, like the chaos injector: attaching (or not
+        // attaching) the gossip fabric leaves `rng`'s own sequence —
+        // and therefore every gossip-free draw — untouched.
+        let gossip = cfg.gossip.map(|g| GossipFabric::new(g, &rng, host_count));
+        let persist = cfg.persistence.map(|p| PersistLayer {
+            next_snapshot: SimTime::ZERO + p.snapshot_every,
+            stores: vec![HostStore::default(); host_count],
+            cfg: p,
         });
 
         let addr_to_host: HashMap<Ipv4Addr, HostId> = (0..host_count)
@@ -493,6 +663,8 @@ impl CdnSim {
         let next_probe_due = probe_heap.peek().map(|r| (r.0).0).unwrap_or(SimTime::MAX);
         let next_organic_due = organic_heap.peek().map(|r| (r.0).0).unwrap_or(SimTime::MAX);
 
+        let ramp_pending = vec![None; host_count];
+        let ramp_active = vec![None; host_count];
         CdnSim {
             tb,
             next_agent_tick: SimTime::ZERO + agent_interval,
@@ -517,6 +689,11 @@ impl CdnSim {
             organic_started: 0,
             telemetry,
             io_counters,
+            persist,
+            gossip,
+            coldstart: ColdstartReport::default(),
+            ramp_pending,
+            ramp_active,
         }
     }
 
@@ -670,6 +847,24 @@ impl CdnSim {
         r
     }
 
+    /// Cold-start counters for this run: crash-restart ramp-up times
+    /// (when [`CdnSimConfig::track_ramp`] is on) plus what the
+    /// persistence and gossip layers did. All-zero when those features
+    /// are off.
+    pub fn coldstart_report(&self) -> ColdstartReport {
+        let mut r = self.coldstart;
+        if let Some(g) = &self.gossip {
+            let s = g.stats();
+            r.gossip_rounds = s.rounds;
+            r.gossip_pairs = s.pairs;
+            r.gossip_backoff_skips = s.backoff_skips;
+            r.gossip_peers_marked_down = s.peers_marked_down;
+        }
+        r.unrecovered = (self.ramp_pending.iter().flatten().count()
+            + self.ramp_active.iter().flatten().count()) as u64;
+        r
+    }
+
     /// The learned window a host currently has for a destination address
     /// (for tests).
     pub fn learned_window(&self, host: HostId, dst: Ipv4Addr) -> Option<u32> {
@@ -712,6 +907,16 @@ impl CdnSim {
             if let Some(t) = self.next_reconcile {
                 next = next.min(t);
             }
+            if let Some(g) = &self.gossip {
+                if self.riptide_enabled() {
+                    next = next.min(g.next_round());
+                }
+            }
+            if let Some(p) = &self.persist {
+                if self.riptide_enabled() {
+                    next = next.min(p.next_snapshot);
+                }
+            }
             self.tb.world.run_until(next);
             self.collect_completed();
             if next >= end {
@@ -725,6 +930,7 @@ impl CdnSim {
             if self.riptide_enabled() && now >= self.next_agent_tick {
                 self.chaos_churn_tick(now);
                 self.tick_agents(now);
+                self.journal_deltas(now);
                 let interval = self
                     .cfg
                     .riptide
@@ -732,6 +938,19 @@ impl CdnSim {
                     .expect("riptide enabled")
                     .update_interval;
                 self.next_agent_tick = now + interval;
+            }
+            if self.riptide_enabled() {
+                if let Some(g) = &self.gossip {
+                    if now >= g.next_round() {
+                        self.gossip_round(now);
+                    }
+                }
+                if let Some(p) = &self.persist {
+                    if now >= p.next_snapshot {
+                        self.snapshot_hosts(now);
+                    }
+                }
+                self.check_ramp(now);
             }
             if let Some(t) = self.next_reconcile {
                 if now >= t {
@@ -792,16 +1011,47 @@ impl CdnSim {
                             let table = ctl.inner().table();
                             let wiped = recover_stale_routes(&mut table.borrow_mut());
                             chaos.report.routes_recovered += wiped as u64;
+                            // Warm restart: reload the host's persisted
+                            // state file (it survived on "disk") and
+                            // reinstall the surviving routes, instead of
+                            // re-learning from an empty table. A torn or
+                            // corrupt file degrades to a cold start.
+                            if let Some(p) = self.persist.as_mut() {
+                                let store = &mut p.stores[h];
+                                if let Ok(state) = riptide::persist::decode_state(&store.bytes) {
+                                    let merged =
+                                        riptide::persist::replay(&state.snapshot, &state.journal);
+                                    let agent = self.agents[h]
+                                        .as_mut()
+                                        .expect("fresh agent installed at crash");
+                                    let restored = agent.restore_state(&merged, now, ctl);
+                                    self.coldstart.restored_routes += restored.len() as u64;
+                                    store.last_installed = agent.installed_view().clone();
+                                }
+                            }
+                            if self.cfg.track_ramp {
+                                if let Some(pre) = self.ramp_pending[h].take() {
+                                    self.ramp_active[h] = Some((pre, now));
+                                    self.coldstart.restarts_tracked += 1;
+                                }
+                            }
                         }
                         None => {
                             if chaos.injector.crashes_now() {
                                 // Crash loses the learned table (it lives
                                 // in the daemon) but not installed routes
-                                // (they live in the kernel).
+                                // (they live in the kernel) — nor the
+                                // persisted state file (it lives on disk).
                                 let old = self.agents[h].take().expect("agent present");
                                 chaos.report.degraded_ticks += old.stats().degraded_ticks;
                                 chaos.report.guard_trips += old.stats().guard_trips;
                                 chaos.report.reconcile_repairs += old.stats().reconcile_repairs;
+                                if self.cfg.track_ramp {
+                                    let pre: u64 =
+                                        old.installed_view().values().map(|&w| w as u64).sum();
+                                    self.ramp_active[h] = None;
+                                    self.ramp_pending[h] = (pre > 0).then_some(pre);
+                                }
                                 let rc = self.cfg.riptide.clone().expect("agent implies config");
                                 let mut fresh =
                                     RiptideAgent::new(rc).expect("validated riptide config");
@@ -811,6 +1061,13 @@ impl CdnSim {
                                 self.agents[h] = Some(fresh);
                                 chaos.down_until[h] =
                                     Some(now + chaos.injector.plan().restart_after);
+                                if chaos.injector.plan().crash_resets_connections {
+                                    // Machine restart: the host's TCP
+                                    // state (both directions) dies with
+                                    // it — nothing to observe until
+                                    // traffic returns.
+                                    self.tb.world.reset_host_connections(host);
+                                }
                                 continue;
                             }
                         }
@@ -1152,6 +1409,183 @@ impl CdnSim {
         }
     }
 
+    /// Whether host `h`'s daemon is up at `now` (always true without a
+    /// chaos layer; a down daemon neither snapshots, journals, nor
+    /// gossips).
+    fn host_up(chaos: &Option<ChaosState>, h: usize, now: SimTime) -> bool {
+        chaos
+            .as_ref()
+            .is_none_or(|c| c.down_until[h].is_none_or(|until| now >= until))
+    }
+
+    /// One host's learned table as sync entries, key-sorted (tables
+    /// iterate in key order).
+    fn sync_entries(agents: &[Option<RiptideAgent>], h: usize) -> Vec<SyncEntry> {
+        agents[h].as_ref().map_or_else(Vec::new, |a| {
+            a.table()
+                .iter()
+                .map(|(k, e)| SyncEntry {
+                    key: *k,
+                    window: e.window,
+                    last_updated: e.last_updated,
+                })
+                .collect()
+        })
+    }
+
+    /// Appends journal records for each host whose installed view
+    /// changed since its state file last described it — the WAL half of
+    /// the persistence hybrid, so a crash loses at most one tick.
+    fn journal_deltas(&mut self, now: SimTime) {
+        let Some(p) = self.persist.as_mut() else {
+            return;
+        };
+        if !p.cfg.journal {
+            return;
+        }
+        for h in 0..self.agents.len() {
+            if !Self::host_up(&self.chaos, h, now) {
+                continue;
+            }
+            let Some(agent) = self.agents[h].as_ref() else {
+                continue;
+            };
+            let store = &mut p.stores[h];
+            let cur = agent.installed_view();
+            if *cur == store.last_installed {
+                continue;
+            }
+            // A journal needs a snapshot header to replay onto; the
+            // first append starts from an empty one.
+            if store.bytes.is_empty() {
+                let empty = TableSnapshot {
+                    taken_at: SimTime::ZERO,
+                    entries: Vec::new(),
+                    installs: Vec::new(),
+                    guards: Vec::new(),
+                };
+                store.bytes = encode_state(&empty, &[]);
+            }
+            let mut records = 0u64;
+            for &key in store.last_installed.keys() {
+                if !cur.contains_key(&key) {
+                    JournalRecord {
+                        at: now,
+                        key,
+                        op: JournalOp::Withdraw,
+                    }
+                    .encode_into(&mut store.bytes);
+                    records += 1;
+                }
+            }
+            for (&key, &window) in cur {
+                if store.last_installed.get(&key) != Some(&window) {
+                    JournalRecord {
+                        at: now,
+                        key,
+                        op: JournalOp::Install { window },
+                    }
+                    .encode_into(&mut store.bytes);
+                    records += 1;
+                }
+            }
+            store.last_installed = cur.clone();
+            self.coldstart.journal_records += records;
+        }
+    }
+
+    /// Rewrites every live host's snapshot from its agent's full state,
+    /// truncating the journal tail into it.
+    fn snapshot_hosts(&mut self, now: SimTime) {
+        let Some(p) = self.persist.as_mut() else {
+            return;
+        };
+        for h in 0..self.agents.len() {
+            if !Self::host_up(&self.chaos, h, now) {
+                continue;
+            }
+            let Some(agent) = self.agents[h].as_ref() else {
+                continue;
+            };
+            let store = &mut p.stores[h];
+            store.bytes = encode_state(&agent.snapshot_state(now), &[]);
+            store.last_installed = agent.installed_view().clone();
+            self.coldstart.snapshots_written += 1;
+        }
+        p.next_snapshot = now + p.cfg.snapshot_every;
+    }
+
+    /// One gossip round: draw this round's pairs, compare digests, and
+    /// ship bounded deltas both ways where they differ. All table
+    /// mutation goes through [`RiptideAgent::merge_remote`], which
+    /// applies the newest-wins clamp-merge rules and installs through
+    /// the same bounds-checked controller as learning.
+    fn gossip_round(&mut self, now: SimTime) {
+        let alive: Vec<bool> = (0..self.agents.len())
+            .map(|h| self.agents[h].is_some() && Self::host_up(&self.chaos, h, now))
+            .collect();
+        let Some(fabric) = self.gossip.as_mut() else {
+            return;
+        };
+        let pairs = fabric.pairs_for_round(now, &alive);
+        fabric.schedule_next(now);
+        let sync_cfg = fabric.sync_config();
+        for (a, b) in pairs {
+            let ea = Self::sync_entries(&self.agents, a);
+            let eb = Self::sync_entries(&self.agents, b);
+            let fabric = self.gossip.as_mut().expect("gossip enabled");
+            if digest_of(&ea) == digest_of(&eb) {
+                self.coldstart.digests_matched += 1;
+                fabric.record_exchange(a, b, now);
+                continue;
+            }
+            let since = fabric.last_exchange(a, b);
+            let delta_ab = delta_for(&ea, since, &sync_cfg);
+            let delta_ba = delta_for(&eb, since, &sync_cfg);
+            fabric.record_exchange(a, b, now);
+            self.coldstart.entries_shipped +=
+                (delta_ab.entries.len() + delta_ba.entries.len()) as u64;
+            for (dst, delta) in [(b, delta_ab), (a, delta_ba)] {
+                if delta.entries.is_empty() {
+                    continue;
+                }
+                let agent = self.agents[dst].as_mut().expect("alive host has agent");
+                let ctl = self.controllers[dst]
+                    .as_mut()
+                    .expect("controller exists when agent does");
+                let accepted = agent.merge_remote(&delta.entries, now, ctl);
+                self.coldstart.entries_accepted += accepted.len() as u64;
+            }
+        }
+    }
+
+    /// Completes any in-progress ramp whose host climbed back to 90% of
+    /// its pre-crash installed-window sum.
+    fn check_ramp(&mut self, now: SimTime) {
+        if !self.cfg.track_ramp {
+            return;
+        }
+        for h in 0..self.agents.len() {
+            let Some((pre, since)) = self.ramp_active[h] else {
+                continue;
+            };
+            if !Self::host_up(&self.chaos, h, now) {
+                continue;
+            }
+            let Some(agent) = self.agents[h].as_ref() else {
+                continue;
+            };
+            let cur: u64 = agent.installed_view().values().map(|&w| w as u64).sum();
+            if cur * 10 >= pre * 9 {
+                let ramp = now.saturating_since(since);
+                self.coldstart.recoveries += 1;
+                self.coldstart.ramp_nanos_total += ramp.as_nanos();
+                self.coldstart.ramp_nanos_max = self.coldstart.ramp_nanos_max.max(ramp.as_nanos());
+                self.ramp_active[h] = None;
+            }
+        }
+    }
+
     fn sample_cwnds(&mut self, now: SimTime) {
         for h in 0..self.tb.world.host_count() {
             let host = HostId::from_index(h as u32);
@@ -1284,6 +1718,9 @@ mod tests {
             faults: FaultPlan::none(),
             reconcile_every: None,
             telemetry: false,
+            persistence: None,
+            gossip: None,
+            track_ramp: false,
         }
     }
 
@@ -1564,6 +2001,158 @@ mod tests {
             clean,
             run(FaultPlan::none(), Some(SimDuration::from_secs(45))),
             "audits on a converged table are invisible"
+        );
+    }
+
+    /// A crash plan for warm-restart tests: machine restarts (crash +
+    /// connection reset) only, quick downtime, everything else clean.
+    fn crash_plan(rate: f64) -> FaultPlan {
+        FaultPlan {
+            crash: rate,
+            restart_after: SimDuration::from_secs(5),
+            crash_resets_connections: true,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn crash_restart_with_persistence_restores_learned_tables() {
+        let mut cfg = tiny_cfg(true, 43);
+        cfg.faults = crash_plan(0.05);
+        cfg.persistence = Some(PersistenceConfig::default());
+        cfg.track_ramp = true;
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(400));
+        let r = sim.chaos_report();
+        assert!(r.faults.crashes > 0, "{r:?}");
+        let c = sim.coldstart_report();
+        assert!(c.snapshots_written > 0, "{c:?}");
+        assert!(c.journal_records > 0, "installs were journalled: {c:?}");
+        assert!(
+            c.restored_routes > 0,
+            "restarts reloaded persisted routes: {c:?}"
+        );
+        assert!(c.restarts_tracked > 0, "{c:?}");
+        assert_eq!(r.invariant_breaches, 0, "restores respect bounds: {r:?}");
+        // Every restored window the kernel now carries is in bounds.
+        if let Some((lo, hi)) = r.installed_range() {
+            assert!(lo >= 10 && hi <= 100, "installed range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn persisted_restarts_ramp_up_faster_than_cold_ones() {
+        let run = |persistence: Option<PersistenceConfig>| {
+            let mut cfg = tiny_cfg(true, 43);
+            cfg.faults = crash_plan(0.01);
+            cfg.persistence = persistence;
+            cfg.track_ramp = true;
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(600));
+            sim.coldstart_report()
+        };
+        let cold = run(None);
+        let warm = run(Some(PersistenceConfig::default()));
+        assert!(cold.restarts_tracked > 0 && warm.restarts_tracked > 0);
+        // A cold restart re-learns from the next probe rounds; a warm
+        // one reinstalls from the state file within its restart tick.
+        let warm_mean = warm.mean_ramp_secs().expect("warm restarts recovered");
+        match cold.mean_ramp_secs() {
+            Some(cold_mean) => assert!(
+                warm_mean < cold_mean,
+                "warm {warm_mean}s vs cold {cold_mean}s"
+            ),
+            // Cold restarts may not even reach 90% before the run ends.
+            None => assert!(cold.unrecovered > 0),
+        }
+    }
+
+    #[test]
+    fn gossip_spreads_learned_entries_across_the_fleet() {
+        let entries = |gossip: Option<GossipConfig>| {
+            let mut cfg = tiny_cfg(true, 71);
+            cfg.gossip = gossip;
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(400));
+            let (_, n) = sim.mean_learned_window().expect("something learned");
+            (n, sim.coldstart_report())
+        };
+        let (plain, _) = entries(None);
+        let (gossiped, c) = entries(Some(GossipConfig::default()));
+        assert!(c.gossip_rounds > 0 && c.gossip_pairs > 0, "{c:?}");
+        assert!(c.entries_shipped > 0, "deltas travelled: {c:?}");
+        assert!(c.entries_accepted > 0, "deltas were merged: {c:?}");
+        // Each machine only probes its slot-matched target per remote
+        // PoP; gossip spreads the other machines' destinations to it.
+        assert!(
+            gossiped > plain,
+            "fleet knows more with gossip: {gossiped} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn gossip_backs_off_crashed_peers() {
+        let mut cfg = tiny_cfg(true, 73);
+        cfg.faults = crash_plan(0.08);
+        cfg.gossip = Some(GossipConfig {
+            every: SimDuration::from_secs(15),
+            ..GossipConfig::default()
+        });
+        let mut sim = CdnSim::new(cfg);
+        sim.run_for(SimDuration::from_secs(600));
+        let r = sim.chaos_report();
+        assert!(r.faults.crashes > 0, "{r:?}");
+        let c = sim.coldstart_report();
+        assert!(
+            c.gossip_peers_marked_down > 0,
+            "draws found down peers: {c:?}"
+        );
+        assert_eq!(r.invariant_breaches, 0, "merges respect bounds: {r:?}");
+    }
+
+    #[test]
+    fn persistence_and_gossip_runs_are_deterministic() {
+        let run = |seed| {
+            let mut cfg = tiny_cfg(true, seed);
+            cfg.faults = crash_plan(0.05);
+            cfg.persistence = Some(PersistenceConfig::default());
+            cfg.gossip = Some(GossipConfig::default());
+            cfg.track_ramp = true;
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(400));
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .map(|p| (p.src_site, p.dst_site, p.size, p.completion.as_nanos()))
+                .collect::<Vec<_>>();
+            (probes, sim.coldstart_report(), sim.chaos_report())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn zero_rate_crash_plan_with_persistence_is_bit_identical() {
+        let run = |faults: FaultPlan, persistence: Option<PersistenceConfig>, track_ramp: bool| {
+            let mut cfg = tiny_cfg(true, 67);
+            cfg.faults = faults;
+            cfg.persistence = persistence;
+            cfg.track_ramp = track_ramp;
+            let mut sim = CdnSim::new(cfg);
+            sim.run_for(SimDuration::from_secs(300));
+            sim.probe_outcomes()
+                .iter()
+                .map(|p| (p.src_site, p.dst_site, p.size, p.completion.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        let clean = run(FaultPlan::none(), None, false);
+        // Snapshots and journals observe the run without perturbing it:
+        // no RNG draws, no route writes — so with zero crashes the run
+        // is bit-identical to one without the persistence layer at all.
+        assert_eq!(
+            clean,
+            run(crash_plan(0.0), Some(PersistenceConfig::default()), true),
+            "zero-rate crash plan with persistence adds nothing"
         );
     }
 

@@ -85,6 +85,10 @@ pub struct AgentStats {
     pub aggregate_merges: u64,
     /// Aggregates dissolved back into individual member routes.
     pub aggregate_splits: u64,
+    /// Routes reinstalled from a persisted state file at warm restart.
+    pub restored_routes: u64,
+    /// Entries accepted from gossip peers (newest-stamp conflict rule).
+    pub sync_merges: u64,
 }
 
 impl AgentStats {
@@ -147,6 +151,16 @@ impl AgentStats {
                 "riptide_aggregate_splits_total",
                 "Aggregates dissolved back into member routes",
                 self.aggregate_splits,
+            ),
+            (
+                "riptide_restored_routes_total",
+                "Routes reinstalled from persisted state at warm restart",
+                self.restored_routes,
+            ),
+            (
+                "riptide_sync_merged_total",
+                "Entries accepted from gossip peers",
+                self.sync_merges,
             ),
         ] {
             out.push_str(&format!(
@@ -740,6 +754,255 @@ impl RiptideAgent {
         keys
     }
 
+    /// Captures the agent's full learned state — table entries with
+    /// their history and TTL stamps, the installed-routes view, and the
+    /// loss guard's breaker states — as a persistable
+    /// [`crate::persist::TableSnapshot`] stamped `now`.
+    pub fn snapshot_state(&self, now: SimTime) -> crate::persist::TableSnapshot {
+        crate::persist::TableSnapshot {
+            taken_at: now,
+            entries: self
+                .table
+                .iter()
+                .map(|(k, e)| crate::persist::SnapshotEntry {
+                    key: *k,
+                    window: e.window,
+                    last_fresh: e.last_fresh,
+                    last_updated: e.last_updated,
+                    history: e.history.clone(),
+                })
+                .collect(),
+            installs: self.installed.iter().map(|(k, w)| (*k, *w)).collect(),
+            guards: self
+                .guard
+                .as_ref()
+                .map(|g| g.export_states())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Warm-restarts the agent from a decoded snapshot: rebuilds the
+    /// learned table, guard state, and installed routes, reissuing each
+    /// surviving route through `controller`.
+    ///
+    /// Safety rules, in order:
+    ///
+    /// * **TTL keeps running across the downtime** — an entry whose
+    ///   `last_updated` is more than `t` seconds before `now` is dropped,
+    ///   not resurrected; its route is never reissued.
+    /// * **Windows are clamped into `[c_min, c_max]`** on the way in, so
+    ///   a corrupt or foreign-config state file cannot install an
+    ///   out-of-bounds window.
+    /// * **History re-seeds on strategy mismatch** — a persisted history
+    ///   whose variant does not match the configured strategy is
+    ///   replaced by a fresh state seeded with one blend of the entry's
+    ///   `last_fresh` (never fed to [`HistoryStrategy::blend`] raw,
+    ///   which would panic on the mismatch).
+    /// * **Only routes with a surviving table entry are reinstalled**,
+    ///   each journalled as [`DecisionCause::Restored`]; foreign routes
+    ///   are never touched (the controller only writes Riptide-signature
+    ///   routes).
+    ///
+    /// Returns the `(key, window)` pairs reinstalled.
+    ///
+    /// [`HistoryStrategy::blend`]: crate::history::HistoryStrategy::blend
+    pub fn restore_state<C>(
+        &mut self,
+        state: &crate::persist::TableSnapshot,
+        now: SimTime,
+        controller: &mut C,
+    ) -> Vec<(Ipv4Prefix, u32)>
+    where
+        C: RouteController + ?Sized,
+    {
+        use crate::history::{HistoryState, HistoryStrategy};
+
+        self.last_now = now;
+        for e in &state.entries {
+            if now.saturating_since(e.last_updated) > self.config.ttl {
+                continue;
+            }
+            let variant_matches = matches!(
+                (&self.config.history, &e.history),
+                (HistoryStrategy::Ewma { .. }, HistoryState::Ewma { .. })
+                    | (HistoryStrategy::None, HistoryState::None)
+                    | (
+                        HistoryStrategy::WindowedMean { .. },
+                        HistoryState::Window { .. }
+                    )
+            );
+            let history = if variant_matches {
+                e.history.clone()
+            } else {
+                let mut h = self.config.history.new_state();
+                self.config.history.blend(&mut h, e.last_fresh);
+                h
+            };
+            let window = e.window.clamp(self.config.cwnd_min, self.config.cwnd_max);
+            self.table.restore_entry(
+                e.key,
+                crate::table::FinalEntry {
+                    window,
+                    history,
+                    last_fresh: e.last_fresh,
+                    last_updated: e.last_updated,
+                },
+            );
+        }
+        if let Some(guard) = &mut self.guard {
+            guard.restore_states(&state.guards);
+        }
+        let mut reinstalled = Vec::new();
+        for &(key, window) in &state.installs {
+            // A route whose entry expired during the downtime (or was
+            // filtered above) stays withdrawn — the restart withdrew
+            // everything, so silence is already the correct state.
+            if self.table.get(&key).is_none() {
+                continue;
+            }
+            let window = window.clamp(self.config.cwnd_min, self.config.cwnd_max);
+            match controller.set_initcwnd(key, window) {
+                Ok(()) => {
+                    self.stats.restored_routes += 1;
+                    reinstalled.push((key, window));
+                    if let Some(t) = &self.telemetry {
+                        // Registered lazily at first restore so that
+                        // runs without persistence keep their metric
+                        // snapshots (and digests) byte-identical.
+                        t.registry()
+                            .counter(
+                                "riptide_restored_routes_total",
+                                "Routes reinstalled from persisted state at warm restart",
+                            )
+                            .inc();
+                        let age = now.saturating_since(state.taken_at);
+                        t.journal_decision(
+                            now,
+                            key,
+                            DecisionAction::Install { window },
+                            DecisionCause::Restored {
+                                age_secs: age.as_secs_f64() as u32,
+                            },
+                        );
+                    }
+                }
+                Err(_) => {
+                    self.stats.errors += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.errors.inc();
+                    }
+                }
+            }
+            self.installed.insert(key, window);
+        }
+        self.refresh_gauges();
+        reinstalled
+    }
+
+    /// Merges a gossip delta from a peer into the learned table under
+    /// the anti-entropy conflict rules of [`crate::sync`]:
+    ///
+    /// * **Newest `last_updated` wins** — a remote entry older than (or
+    ///   tied with) the local one is ignored.
+    /// * **Windows clamp-merge into `[c_min, c_max]`** — a peer with a
+    ///   wider configuration can never push an out-of-bounds window.
+    /// * **TTL applies** — a remote entry that would already have
+    ///   expired here is ignored, not resurrected.
+    /// * **Foreign routes are never touched** — accepted entries go
+    ///   through the same controller path as learned ones, which only
+    ///   writes Riptide-signature routes; keys covered by a live
+    ///   aggregate ride their covering route, as in [`RiptideAgent::tick`].
+    ///
+    /// A locally known key keeps its history accumulator (the peer sent
+    /// a window, not observations); an unknown key's history is seeded
+    /// with the merged window. Every acceptance is journalled as
+    /// [`DecisionCause::SyncMerged`]. Returns the `(key, window)` pairs
+    /// accepted.
+    pub fn merge_remote<C>(
+        &mut self,
+        delta: &[crate::sync::SyncEntry],
+        now: SimTime,
+        controller: &mut C,
+    ) -> Vec<(Ipv4Prefix, u32)>
+    where
+        C: RouteController + ?Sized,
+    {
+        self.last_now = now;
+        let mut accepted = Vec::new();
+        for remote in delta {
+            if now.saturating_since(remote.last_updated) > self.config.ttl {
+                continue;
+            }
+            let local = self.table.get(&remote.key).map(|e| crate::sync::SyncEntry {
+                key: remote.key,
+                window: e.window,
+                last_updated: e.last_updated,
+            });
+            if !crate::sync::remote_wins(local.as_ref(), remote) {
+                continue;
+            }
+            let window =
+                crate::sync::clamp_merge(remote.window, self.config.cwnd_min, self.config.cwnd_max);
+            let clamped = window != remote.window;
+            let (history, last_fresh) = match self.table.get(&remote.key) {
+                Some(e) => (e.history.clone(), e.last_fresh),
+                None => {
+                    let mut h = self.config.history.new_state();
+                    self.config.history.blend(&mut h, window as f64);
+                    (h, window as f64)
+                }
+            };
+            self.table.restore_entry(
+                remote.key,
+                crate::table::FinalEntry {
+                    window,
+                    history,
+                    last_fresh,
+                    last_updated: remote.last_updated,
+                },
+            );
+            let covered = self
+                .aggregator
+                .as_ref()
+                .and_then(|agg| agg.covering_of(&remote.key))
+                .is_some();
+            if !covered && self.installed.get(&remote.key).copied() != Some(window) {
+                match controller.set_initcwnd(remote.key, window) {
+                    Ok(()) => {
+                        if let Some(t) = &self.telemetry {
+                            // Lazily registered, like the restore counter.
+                            t.registry()
+                                .counter(
+                                    "riptide_sync_merged_total",
+                                    "Entries accepted from gossip peers",
+                                )
+                                .inc();
+                            t.journal_decision(
+                                now,
+                                remote.key,
+                                DecisionAction::Install { window },
+                                DecisionCause::SyncMerged { clamped },
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.errors.inc();
+                        }
+                    }
+                }
+                self.installed.insert(remote.key, window);
+            }
+            self.stats.sync_merges += 1;
+            accepted.push((remote.key, window));
+        }
+        if !accepted.is_empty() {
+            self.refresh_gauges();
+        }
+        accepted
+    }
+
     /// Runs one *degraded* cycle: the observation poll failed (timed out,
     /// subprocess died, unusable output), so the agent must not guess.
     ///
@@ -1016,9 +1279,11 @@ mod tests {
         assert!(text.contains("riptide_route_updates_total 1"));
         assert!(text.contains("# TYPE riptide_observations_total counter"));
         // Every metric has HELP, TYPE and a value line.
-        assert_eq!(text.lines().count(), 33);
+        assert_eq!(text.lines().count(), 39);
         assert!(text.contains("riptide_guard_trips_total 0"));
         assert!(text.contains("riptide_aggregate_merges_total 0"));
+        assert!(text.contains("riptide_restored_routes_total 0"));
+        assert!(text.contains("riptide_sync_merged_total 0"));
     }
 
     #[test]
@@ -1599,6 +1864,190 @@ mod tests {
             .any(|r| matches!(r.action, DecisionAction::Repair { window: None })));
         let snap = a.telemetry().unwrap().registry().snapshot();
         assert_eq!(snap.value("riptide_reconcile_repairs_total"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_the_codec() {
+        use crate::telemetry::AgentTelemetry;
+
+        // Learn on one agent, snapshot, encode, decode, restore into a
+        // fresh agent — the restarted agent must present the same
+        // learned table and kernel routes without re-learning.
+        let (mut a, mut routes) = agent(guarded());
+        let mut o = FnObserver(|| {
+            vec![
+                lossy_obs([10, 0, 1, 1], 80, 0, 1_000_000),
+                lossy_obs([10, 0, 2, 1], 40, 0, 500_000),
+            ]
+        });
+        a.tick(SimTime::from_secs(1), &mut o, &mut routes);
+        a.tick(SimTime::from_secs(2), &mut o, &mut routes);
+        let snap = a.snapshot_state(SimTime::from_secs(2));
+        let bytes = crate::persist::encode_state(&snap, &[]);
+
+        let state = crate::persist::decode_state(&bytes).unwrap();
+        let replayed = crate::persist::replay(&state.snapshot, &state.journal);
+        let (mut b, mut routes_b) = agent(guarded());
+        b.attach_telemetry(AgentTelemetry::standalone(16));
+        let reinstalled = b.restore_state(&replayed, SimTime::from_secs(10), &mut routes_b);
+        assert_eq!(reinstalled.len(), 2);
+        assert_eq!(b.stats().restored_routes, 2);
+        assert_eq!(routes_b.render(), routes.render(), "same kernel state");
+        assert_eq!(
+            b.learned_window(Ipv4Addr::new(10, 0, 1, 1)),
+            a.learned_window(Ipv4Addr::new(10, 0, 1, 1))
+        );
+        // Restores are journalled with their on-disk age and counted on
+        // the lazily-registered metric.
+        let records = b.telemetry().unwrap().journal().snapshot();
+        assert!(records
+            .iter()
+            .all(|r| matches!(r.cause, DecisionCause::Restored { age_secs: 8 })));
+        let snap_metrics = b.telemetry().unwrap().registry().snapshot();
+        assert_eq!(snap_metrics.value("riptide_restored_routes_total"), Some(2));
+
+        // The restarted agent keeps ticking normally from here.
+        let r = b.tick(SimTime::from_secs(11), &mut o, &mut routes_b);
+        assert!(r.errors.is_empty());
+    }
+
+    #[test]
+    fn restore_drops_expired_entries_and_clamps_windows() {
+        let (mut b, mut routes) = agent(no_history());
+        let snap = crate::persist::TableSnapshot {
+            taken_at: SimTime::from_secs(50),
+            entries: vec![
+                crate::persist::SnapshotEntry {
+                    key: "10.0.0.1".parse().unwrap(),
+                    window: 900, // way out of bounds
+                    last_fresh: 900.0,
+                    last_updated: SimTime::from_secs(50),
+                    history: crate::history::HistoryState::None,
+                },
+                crate::persist::SnapshotEntry {
+                    key: "10.0.0.2".parse().unwrap(),
+                    window: 60,
+                    last_fresh: 60.0,
+                    last_updated: SimTime::from_secs(1), // stale
+                    history: crate::history::HistoryState::None,
+                },
+            ],
+            installs: vec![
+                ("10.0.0.1".parse().unwrap(), 900),
+                ("10.0.0.2".parse().unwrap(), 60),
+            ],
+            guards: Vec::new(),
+        };
+        // Restore at t=100: entry 2 sat unrefreshed for 99 s > 90 s TTL.
+        let reinstalled = b.restore_state(&snap, SimTime::from_secs(100), &mut routes);
+        assert_eq!(
+            reinstalled,
+            vec![("10.0.0.1".parse().unwrap(), 100)],
+            "out-of-bounds window clamped to c_max, stale route dropped"
+        );
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 1)), Some(100));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 2)), None);
+        assert_eq!(b.table().len(), 1);
+        // The restored entry expires off its original stamp: by t=145
+        // it is 95 s old and goes.
+        let mut silent = FnObserver(Vec::new);
+        let r = b.tick(SimTime::from_secs(145), &mut silent, &mut routes);
+        assert_eq!(r.expired.len(), 1, "TTL kept running across restart");
+    }
+
+    #[test]
+    fn restore_reseeds_history_on_strategy_mismatch() {
+        // State persisted by an EWMA agent, restored into a
+        // windowed-mean agent: blending the foreign variant would panic;
+        // the restore must re-seed instead.
+        let snap = crate::persist::TableSnapshot {
+            taken_at: SimTime::from_secs(5),
+            entries: vec![crate::persist::SnapshotEntry {
+                key: "10.0.0.1".parse().unwrap(),
+                window: 48,
+                last_fresh: 48.0,
+                last_updated: SimTime::from_secs(5),
+                history: crate::history::HistoryState::Ewma { value: Some(48.0) },
+            }],
+            installs: vec![("10.0.0.1".parse().unwrap(), 48)],
+            guards: Vec::new(),
+        };
+        let cfg = RiptideConfig::builder()
+            .history(HistoryStrategy::WindowedMean { window: 3 })
+            .build()
+            .unwrap();
+        let (mut b, mut routes) = agent(cfg);
+        b.restore_state(&snap, SimTime::from_secs(6), &mut routes);
+        // The next tick blends through the re-seeded window state
+        // without panicking: mean(48, 90) = 69.
+        let mut o = FnObserver(|| vec![obs([10, 0, 0, 1], 90)]);
+        b.tick(SimTime::from_secs(7), &mut o, &mut routes);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 1)), Some(69));
+    }
+
+    #[test]
+    fn merge_remote_applies_newest_wins_clamp_and_ttl() {
+        use crate::sync::SyncEntry;
+        use crate::telemetry::AgentTelemetry;
+
+        let (mut a, mut routes) = agent(no_history());
+        a.attach_telemetry(AgentTelemetry::standalone(16));
+        // Local learns key 1 at t=10.
+        let mut o = FnObserver(|| vec![obs([10, 0, 0, 1], 50)]);
+        a.tick(SimTime::from_secs(10), &mut o, &mut routes);
+
+        let delta = vec![
+            // Older than local: ignored.
+            SyncEntry {
+                key: "10.0.0.1".parse().unwrap(),
+                window: 90,
+                last_updated: SimTime::from_secs(5),
+            },
+            // Unknown key, fresh, out-of-bounds window: clamp-merged.
+            SyncEntry {
+                key: "10.0.0.2".parse().unwrap(),
+                window: 400,
+                last_updated: SimTime::from_secs(95),
+            },
+            // Stamped 100 s before the merge instant — would already be
+            // TTL-expired here (t=90): ignored.
+            SyncEntry {
+                key: "10.0.0.3".parse().unwrap(),
+                window: 30,
+                last_updated: SimTime::ZERO,
+            },
+        ];
+        let accepted = a.merge_remote(&delta, SimTime::from_secs(100), &mut routes);
+        assert_eq!(accepted, vec![("10.0.0.2".parse().unwrap(), 100)]);
+        assert_eq!(a.stats().sync_merges, 1);
+        assert_eq!(
+            routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 1)),
+            Some(50),
+            "older remote does not clobber local"
+        );
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 2)), Some(100));
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 3)), None);
+        let records = a.telemetry().unwrap().journal().snapshot();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.cause, DecisionCause::SyncMerged { clamped: true })));
+        let snap = a.telemetry().unwrap().registry().snapshot();
+        assert_eq!(snap.value("riptide_sync_merged_total"), Some(1));
+
+        // A newer remote beats the local entry.
+        let newer = vec![SyncEntry {
+            key: "10.0.0.1".parse().unwrap(),
+            window: 72,
+            last_updated: SimTime::from_secs(101),
+        }];
+        let accepted = a.merge_remote(&newer, SimTime::from_secs(102), &mut routes);
+        assert_eq!(accepted, vec![("10.0.0.1".parse().unwrap(), 72)]);
+        assert_eq!(routes.initcwnd_for(Ipv4Addr::new(10, 0, 0, 1)), Some(72));
+
+        // Re-merging the same delta is a no-op (ties keep local).
+        assert!(a
+            .merge_remote(&newer, SimTime::from_secs(103), &mut routes)
+            .is_empty());
     }
 
     #[test]

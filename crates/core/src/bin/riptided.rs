@@ -26,13 +26,27 @@
 //!   --metrics            print Prometheus counters to stderr at exit
 //!   --metrics-file <p>   rewrite <p> with a Prometheus text-exposition
 //!                        snapshot after every poll (and at shutdown)
+//!   --state-file <p>     warm-restart persistence: restore the learned
+//!                        table from <p> at start (reinstalling its
+//!                        routes), append journal deltas after every
+//!                        poll, and atomically rewrite the snapshot
+//!                        every --snapshot-every polls and at shutdown
+//!   --snapshot-every <n> polls between full snapshot rewrites
+//!                        (default 60)
 //! ```
 //!
 //! On SIGTERM or SIGINT the daemon withdraws every route it installed
 //! before exiting, so a stopped agent leaves no stale windows behind;
-//! the final metrics snapshot and the decision journal are flushed as
-//! part of the same sweep. SIGUSR1 dumps the decision journal to stderr
-//! on demand at the next poll boundary.
+//! the final metrics snapshot, the state-file snapshot and the decision
+//! journal are flushed as part of the same sweep. SIGUSR1 dumps the
+//! decision journal to stderr on demand at the next poll boundary.
+//!
+//! The state file is the `core::persist` snapshot+journal format: a
+//! torn journal tail (a `kill -9` mid-append) truncates cleanly at the
+//! next start, and a damaged snapshot block is ignored with a warning —
+//! the daemon then starts empty, exactly as if the file were absent.
+//! The TTL clock restarts with the daemon, so restored entries age from
+//! the first poll, not from their original refresh instants.
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -95,7 +109,9 @@ fn sleep_interruptibly(interval: std::time::Duration) -> bool {
     SHUTDOWN.load(Ordering::SeqCst)
 }
 
+use riptide::persist::{decode_state, encode_state, JournalOp, JournalRecord};
 use riptide::prelude::*;
+use riptide_linuxnet::prefix::Ipv4Prefix;
 use riptide_linuxnet::route::RouteTable;
 use riptide_linuxnet::ss::SockTable;
 use riptide_simnet::time::{SimDuration, SimTime};
@@ -103,6 +119,95 @@ use riptide_simnet::time::{SimDuration, SimTime};
 fn fail(msg: &str) -> ExitCode {
     eprintln!("riptided: {msg}");
     ExitCode::FAILURE
+}
+
+/// The daemon's durability plumbing behind `--state-file`.
+struct PersistState {
+    /// The state-file path.
+    path: String,
+    /// Polls between full snapshot rewrites.
+    snapshot_every: u64,
+    /// The installed view as of the last snapshot or journal append —
+    /// the diff base journal records are computed against.
+    last_installed: std::collections::BTreeMap<Ipv4Prefix, u32>,
+    /// Polls since the last full snapshot rewrite.
+    polls_since_snapshot: u64,
+}
+
+impl PersistState {
+    /// Rewrites the whole state file with a fresh snapshot. Same
+    /// write-then-rename discipline as `--metrics-file`: the temp file
+    /// is a pid-suffixed sibling so the rename stays on one filesystem
+    /// and a reader (or a crash mid-write) never sees a half-written
+    /// snapshot — the old, complete file survives until the rename.
+    fn write_snapshot(&mut self, agent: &RiptideAgent, now: SimTime) {
+        let bytes = encode_state(&agent.snapshot_state(now), &[]);
+        let tmp = format!("{}.{}.tmp", self.path, std::process::id());
+        let write = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &self.path));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("# state: cannot write {}: {e}", self.path);
+            return;
+        }
+        self.last_installed = agent.installed_view().clone();
+        self.polls_since_snapshot = 0;
+    }
+
+    /// Appends journal records for whatever the poll changed in the
+    /// installed view: a withdraw per vanished route, an install per
+    /// new or re-windowed one. Appending to the file the snapshot
+    /// header already anchors keeps the write tiny; a crash mid-append
+    /// leaves a torn tail the decoder truncates cleanly.
+    fn append_journal(&mut self, agent: &RiptideAgent, now: SimTime) {
+        let cur = agent.installed_view();
+        let mut records = Vec::new();
+        for &key in self.last_installed.keys() {
+            if !cur.contains_key(&key) {
+                records.push(JournalRecord {
+                    at: now,
+                    key,
+                    op: JournalOp::Withdraw,
+                });
+            }
+        }
+        for (&key, &window) in cur {
+            if self.last_installed.get(&key) != Some(&window) {
+                records.push(JournalRecord {
+                    at: now,
+                    key,
+                    op: JournalOp::Install { window },
+                });
+            }
+        }
+        if records.is_empty() {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(records.len() * riptide::persist::JOURNAL_RECORD_BYTES);
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.path)
+            .and_then(|mut f| f.write_all(&bytes));
+        match appended {
+            Ok(()) => self.last_installed = cur.clone(),
+            Err(e) => eprintln!("# state: cannot append to {}: {e}", self.path),
+        }
+    }
+
+    /// Post-poll hook: a full rewrite every `snapshot_every` polls,
+    /// journal deltas in between.
+    fn after_poll(&mut self, agent: &RiptideAgent, now: SimTime) {
+        self.polls_since_snapshot += 1;
+        if self.polls_since_snapshot >= self.snapshot_every {
+            self.write_snapshot(agent, now);
+        } else {
+            self.append_journal(agent, now);
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -146,6 +251,8 @@ fn main() -> ExitCode {
     let mut show_table = false;
     let mut show_metrics = false;
     let mut metrics_file: Option<String> = None;
+    let mut state_file: Option<String> = None;
+    let mut snapshot_every = 60u64;
     let mut trend = false;
     let mut interval = SimDuration::from_secs(1);
 
@@ -229,6 +336,18 @@ fn main() -> ExitCode {
                 Ok(p) => metrics_file = Some(p),
                 Err(e) => return fail(&e),
             },
+            "--state-file" => match value("--state-file") {
+                Ok(p) => state_file = Some(p),
+                Err(e) => return fail(&e),
+            },
+            "--snapshot-every" => match value("--snapshot-every").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("bad --snapshot-every: {e}"))
+            }) {
+                Ok(n) if n >= 1 => snapshot_every = n,
+                Ok(_) => return fail("--snapshot-every must be at least 1"),
+                Err(e) => return fail(&e),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: riptided [options] <ss-snapshot>...  (see --help header in source)"
@@ -289,10 +408,51 @@ fn main() -> ExitCode {
 
     install_signal_handlers();
 
+    let mut printed = 0usize;
+
+    // Warm restart: decode the state file (if any), replay its journal
+    // onto the snapshot, and hand the merged table to the agent, which
+    // clamps every window and reinstalls the routes through the
+    // controller — the jump-start windows are live before the first
+    // poll instead of after a full relearn cycle. A damaged snapshot
+    // block (or a missing file) means starting empty, never a panic.
+    let mut persist = state_file.map(|path| {
+        match std::fs::read(&path) {
+            Ok(bytes) if !bytes.is_empty() => match decode_state(&bytes) {
+                Ok(state) => {
+                    if state.torn_tail {
+                        eprintln!("# state: dropped a torn journal tail in {path}");
+                    }
+                    let merged = riptide::persist::replay(&state.snapshot, &state.journal);
+                    let restored = agent.restore_state(&merged, SimTime::ZERO, &mut controller);
+                    for cmd in &controller.command_log()[printed..] {
+                        println!("{cmd}");
+                    }
+                    printed = controller.command_log().len();
+                    eprintln!("# state: restored {} route(s) from {path}", restored.len());
+                }
+                Err(e) => eprintln!("# state: ignoring {path}: {e}"),
+            },
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!("# state: cannot read {path}: {e}"),
+        }
+        let mut p = PersistState {
+            path,
+            snapshot_every,
+            last_installed: std::collections::BTreeMap::new(),
+            polls_since_snapshot: 0,
+        };
+        // Anchor the file with a fresh snapshot right away: journal
+        // appends need a valid header to land behind, and a prior run's
+        // already-replayed journal should not be replayed again.
+        p.write_snapshot(&agent, SimTime::ZERO);
+        p
+    });
+
     // One poll: read a snapshot, tick the agent, print the commands the
     // tick produced. Used for the listed snapshots and then, under
     // `--follow`, for every re-poll of the last one.
-    let mut printed = 0usize;
     let mut poll_once = |agent: &mut RiptideAgent,
                          controller: &mut SharedRouteController,
                          path: &str,
@@ -322,6 +482,9 @@ fn main() -> ExitCode {
             return fail(&e);
         }
         flush_metrics(&telemetry);
+        if let Some(p) = persist.as_mut() {
+            p.after_poll(&agent, now);
+        }
     }
 
     if follow {
@@ -340,14 +503,24 @@ fn main() -> ExitCode {
                 return fail(&e);
             }
             flush_metrics(&telemetry);
+            if let Some(p) = persist.as_mut() {
+                p.after_poll(&agent, now);
+            }
         }
     }
 
     if SHUTDOWN.load(Ordering::SeqCst) {
-        // Graceful exit: withdraw everything we installed so the host
-        // reverts to kernel defaults the moment the daemon is gone, then
-        // flush the final metrics snapshot (withdrawals included) and
-        // dump the decision journal.
+        // Graceful exit: persist the learned table as of the last poll
+        // *before* the withdrawal sweep empties the installed view, so
+        // the next start jump-starts from everything this run learned.
+        if let Some(p) = persist.as_mut() {
+            p.write_snapshot(&agent, SimTime::ZERO + interval * polls);
+            eprintln!("# state: final snapshot written to {}", p.path);
+        }
+        // Then withdraw everything we installed so the host reverts to
+        // kernel defaults the moment the daemon is gone, and flush the
+        // final metrics snapshot (withdrawals included) and the
+        // decision journal.
         let withdrawn = agent.shutdown(&mut controller);
         for cmd in &controller.command_log()[printed..] {
             println!("{cmd}");

@@ -366,6 +366,65 @@ impl LossGuard {
     }
 }
 
+/// One destination's breaker state, exported for persistence.
+///
+/// The differentiation baseline (`last_totals`) is deliberately *not*
+/// part of the export: cumulative `ss` counters do not survive a restart,
+/// so a restored destination starts a fresh baseline and its first
+/// post-restore interval is never judged — exactly the behaviour of a
+/// first sighting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardExport {
+    /// The destination key.
+    pub key: Ipv4Prefix,
+    /// Breaker state at export time.
+    pub breaker: BreakerState,
+    /// Flap-damping penalty as of `penalty_at`.
+    pub penalty: f64,
+    /// When `penalty` was last materialised.
+    pub penalty_at: SimTime,
+    /// Consecutive clean Half-open intervals counted so far.
+    pub clean_streak: u32,
+}
+
+impl LossGuard {
+    /// Exports every destination's breaker state in key order, for the
+    /// persistence snapshot.
+    pub fn export_states(&self) -> Vec<GuardExport> {
+        self.states
+            .iter()
+            .map(|(key, s)| GuardExport {
+                key: *key,
+                breaker: s.breaker,
+                penalty: s.penalty,
+                penalty_at: s.penalty_at,
+                clean_streak: s.clean_streak,
+            })
+            .collect()
+    }
+
+    /// Restores exported breaker states, replacing any state already
+    /// held for the same keys. Restored destinations get a fresh
+    /// differentiation baseline (see [`GuardExport`]); penalties keep
+    /// decaying from their recorded `penalty_at`, so an Open breaker
+    /// that would have reached reuse during the downtime does so on its
+    /// first post-restore update.
+    pub fn restore_states(&mut self, exports: &[GuardExport]) {
+        for e in exports {
+            self.states.insert(
+                e.key,
+                DestState {
+                    breaker: e.breaker,
+                    penalty: e.penalty,
+                    penalty_at: e.penalty_at,
+                    last_totals: None,
+                    clean_streak: e.clean_streak,
+                },
+            );
+        }
+    }
+}
+
 /// Exponential decay: `penalty * 0.5^(Δt / half_life)`.
 fn decayed(penalty: f64, since: SimTime, now: SimTime, half_life: SimDuration) -> f64 {
     if penalty == 0.0 {
@@ -553,6 +612,34 @@ mod tests {
             ..GuardConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn export_restore_round_trips_breaker_state() {
+        let mut g = LossGuard::new(GuardConfig::default());
+        baseline(&mut g, key(1));
+        g.update(key(1), 200, MEG, true, SimTime::from_secs(1));
+        g.update(key(2), 0, 0, true, SimTime::from_secs(1));
+        assert_eq!(g.state(&key(1)), BreakerState::Open);
+
+        let exports = g.export_states();
+        assert_eq!(exports.len(), 2);
+        let mut restored = LossGuard::new(GuardConfig::default());
+        restored.restore_states(&exports);
+        assert_eq!(restored.state(&key(1)), BreakerState::Open);
+        assert_eq!(restored.state(&key(2)), BreakerState::Closed);
+        assert_eq!(
+            restored.penalty(&key(1), SimTime::from_secs(1)),
+            g.penalty(&key(1), SimTime::from_secs(1))
+        );
+        // The baseline was dropped: the first post-restore interval is a
+        // first sighting, so even a lossy interval is not judged.
+        let v = restored.update(key(2), 900, MEG, true, SimTime::from_secs(2));
+        assert!(!v.tripped, "no baseline after restore");
+        // Penalty keeps decaying across the downtime: an Open breaker
+        // reaches Half-open on its first update past the reuse point.
+        let v = restored.update(key(1), 0, 0, false, SimTime::from_secs(600));
+        assert_eq!(v.state, BreakerState::HalfOpen);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! | [`control`] | Output seam: [`control::RouteController`], command logging, startup recovery, and the [`control::CheckedController`] window-range invariant | Fig. 8; §IV-D |
 //! | [`resilience`] | Retry-with-backoff, per-call timeouts, budgets; `ss`/`ip` subprocess bridges | §IV-D graceful degradation |
 //! | [`table`] | The TTL'd per-destination final-values table | §III "final table", Table I `t` |
+//! | [`persist`] | Crash-durable state file: versioned CRC-guarded snapshot + append-only journal, torn-tail-safe replay | §IV-A ramp cost; ROADMAP item 3 |
+//! | [`sync`] | Anti-entropy fleet sync primitives: table digests, bounded delta sets, deterministic newest-wins clamp-merge | Pied Piper (PAPERS.md) |
 //! | [`telemetry`] | Metrics registry (counters/gauges/histograms) + bounded decision journal; Prometheus text exposition | §V operational story |
 //! | [`kernel`] | The §V in-kernel event-driven variant | §V |
 //! | [`model`] | §II-B analytic slow-start model (Figures 3/4/6) | §II-B |
@@ -67,8 +69,10 @@ pub mod history;
 pub mod kernel;
 pub mod model;
 pub mod observe;
+pub mod persist;
 pub mod reconcile;
 pub mod resilience;
+pub mod sync;
 pub mod table;
 pub mod telemetry;
 pub mod trend;
@@ -92,11 +96,16 @@ pub mod prelude {
         observations_from_sock_table, CwndObservation, FallibleObserver, FnFallibleObserver,
         FnObserver, ObserveError, WindowObserver,
     };
+    pub use crate::persist::{
+        decode_state, encode_state, replay, JournalOp, JournalRecord, PersistError, SnapshotEntry,
+        StateFile, TableSnapshot,
+    };
     pub use crate::reconcile::{audit, is_riptide_route, AuditReport, AuditVerdict};
     pub use crate::resilience::{
         retry_with_backoff, BackoffPolicy, IoStats, ResilientController, ResilientObserver,
         RetryOutcome,
     };
+    pub use crate::sync::{SyncConfig, SyncDelta, SyncEntry, TableDigest};
     pub use crate::table::FinalTable;
     pub use crate::telemetry::{
         AgentTelemetry, DecisionAction, DecisionCause, DecisionJournal, DecisionRecord, IoCounters,

@@ -1,0 +1,860 @@
+//! Warm-restart persistence: a versioned binary snapshot of the learned
+//! table plus a CRC-guarded append-only journal of route deltas.
+//!
+//! The paper's agent learns alone and dies alone: a crashed Riptide
+//! daemon restarts with an empty final-values table and relearns every
+//! window at slow-start speed (§IV-A's ramp, paid again). This module is
+//! the durability half of the fix — a WAL-hybrid state file in the
+//! snapshot-plus-journal shape Redis made canonical:
+//!
+//! * **Snapshot** ([`TableSnapshot`]): the full learned state — every
+//!   [`FinalEntry`]'s window, history accumulator and TTL stamp, the
+//!   agent's installed-routes view, and the loss guard's breaker states
+//!   ([`GuardExport`]) — encoded as one versioned, CRC-trailed block.
+//!   Written on an interval and on graceful shutdown.
+//! * **Journal** ([`JournalRecord`]): fixed-size install/withdraw/evict
+//!   deltas appended between snapshots, each record carrying its own
+//!   CRC. A `kill -9` mid-append leaves a torn tail; decoding stops at
+//!   the first short or corrupt record and keeps everything before it,
+//!   so a torn write truncates cleanly instead of poisoning the table.
+//!
+//! # Format
+//!
+//! All integers are little-endian; `f64`s travel as raw bit patterns
+//! ([`f64::to_bits`]) so encode→decode is bit-exact; times are
+//! [`SimTime`] nanoseconds as `u64`.
+//!
+//! ```text
+//! state file  := snapshot journal-record*
+//! snapshot    := "RPTS" version:u16 taken_at:u64
+//!                n_entries:u32 n_installs:u32 n_guards:u32
+//!                entry* install* guard* crc:u32
+//! entry       := prefix window:u32 last_fresh:u64 last_updated:u64 history
+//! prefix      := bits:u32 len:u8            (len <= 32 or the block is rejected)
+//! history     := 0x00                       (EWMA, unseeded)
+//!              | 0x01 value:u64             (EWMA, seeded)
+//!              | 0x02                       (no history)
+//!              | 0x03 n:u16 value:u64 * n   (windowed mean)
+//! install     := prefix window:u32
+//! guard       := prefix breaker:u8 penalty:u64 penalty_at:u64 clean_streak:u32
+//! journal-record := tag:u8 at:u64 prefix window:u32 crc:u32   (22 bytes)
+//! ```
+//!
+//! The snapshot CRC covers every byte from the magic through the last
+//! guard record; each journal record's CRC covers its first 18 bytes.
+//! CRCs are CRC-32 (IEEE 802.3), computed by the in-tree [`crc32`].
+//!
+//! # Replay rules
+//!
+//! [`replay`] folds journal records into a decoded snapshot in order:
+//! installs upsert (last writer wins), withdrawals and evictions remove.
+//! Both operations are assignments, so replaying a journal twice — or
+//! replaying an already-replayed state — reaches the same final state:
+//! replay is idempotent, which is what makes "snapshot, then reapply
+//! whatever journal survived" safe without knowing where the snapshot
+//! was cut.
+//!
+//! Decoding **never panics on hostile bytes**: every length is checked
+//! against the remaining input, prefix lengths above 32 and unknown
+//! tags reject the block, and the worst outcome of corruption is an
+//! `Err` (snapshot) or a clean truncation (journal). The agent-side
+//! restore ([`RiptideAgent::restore_state`]) additionally clamps every
+//! window into `[c_min, c_max]`, so even a maliciously edited state
+//! file cannot install an out-of-bounds window.
+//!
+//! [`FinalEntry`]: crate::table::FinalEntry
+//! [`GuardExport`]: crate::guard::GuardExport
+//! [`RiptideAgent::restore_state`]: crate::agent::RiptideAgent::restore_state
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_simnet::time::SimTime;
+
+use crate::guard::{BreakerState, GuardExport};
+use crate::history::HistoryState;
+
+/// Snapshot magic: "RPTS".
+const MAGIC: [u8; 4] = *b"RPTS";
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Encoded size of one journal record.
+pub const JOURNAL_RECORD_BYTES: usize = 22;
+/// Upper bound on a windowed-mean history's retained values — far above
+/// any configured window, low enough that a corrupt count cannot ask
+/// for gigabytes.
+const MAX_HISTORY_WINDOW: usize = 4096;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes`.
+///
+/// The workspace is dependency-free, so the table is built at first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Why a snapshot block failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The input is shorter than the structure it declares — a torn
+    /// snapshot write.
+    Truncated,
+    /// The leading magic is not `RPTS`.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The trailing CRC does not match the block's contents.
+    CrcMismatch,
+    /// A field holds an impossible value (prefix length over 32, an
+    /// unknown tag, an oversized history window).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "state block truncated"),
+            PersistError::BadMagic => write!(f, "not a riptide state file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported state version {v}"),
+            PersistError::CrcMismatch => write!(f, "state block CRC mismatch"),
+            PersistError::Malformed(what) => write!(f, "malformed state block: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// One learned destination as persisted: the fields of
+/// [`crate::table::FinalEntry`] plus its key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// The destination key.
+    pub key: Ipv4Prefix,
+    /// The clamped window recorded for the destination.
+    pub window: u32,
+    /// The most recent fresh (pre-blend) combined value.
+    pub last_fresh: f64,
+    /// When the entry was last refreshed — the TTL clock, which keeps
+    /// running across the restart: an entry that would have expired
+    /// during the downtime is dropped at restore, not resurrected.
+    pub last_updated: SimTime,
+    /// The history accumulator.
+    pub history: HistoryState,
+}
+
+/// A point-in-time copy of everything the agent would lose in a crash.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableSnapshot {
+    /// When the snapshot was taken.
+    pub taken_at: SimTime,
+    /// Learned entries, key-ordered.
+    pub entries: Vec<SnapshotEntry>,
+    /// The agent's installed-routes view: `(key, window)`, key-ordered.
+    pub installs: Vec<(Ipv4Prefix, u32)>,
+    /// Loss-guard breaker states, key-ordered.
+    pub guards: Vec<GuardExport>,
+}
+
+/// What a journal record did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A route was installed or updated with this window.
+    Install {
+        /// The window issued.
+        window: u32,
+    },
+    /// The destination's route was withdrawn (TTL expiry, shutdown).
+    Withdraw,
+    /// The destination was evicted by the capacity bound.
+    Evict,
+}
+
+/// One append-only journal delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalRecord {
+    /// When the delta happened.
+    pub at: SimTime,
+    /// The destination key.
+    pub key: Ipv4Prefix,
+    /// What happened.
+    pub op: JournalOp,
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_prefix(out: &mut Vec<u8>, p: Ipv4Prefix) {
+    put_u32(out, u32::from(p.network()));
+    out.push(p.len());
+}
+
+/// A bounds-checked little-endian reader over the input slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn prefix(&mut self) -> Result<Ipv4Prefix, PersistError> {
+        let bits = self.u32()?;
+        let len = self.u8()?;
+        if len > 32 {
+            return Err(PersistError::Malformed("prefix length over 32"));
+        }
+        Ok(Ipv4Prefix::new(Ipv4Addr::from(bits), len))
+    }
+}
+
+impl TableSnapshot {
+    /// Encodes the snapshot as one CRC-trailed block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.entries.len() * 32);
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, self.taken_at.as_nanos());
+        put_u32(&mut out, self.entries.len() as u32);
+        put_u32(&mut out, self.installs.len() as u32);
+        put_u32(&mut out, self.guards.len() as u32);
+        for e in &self.entries {
+            put_prefix(&mut out, e.key);
+            put_u32(&mut out, e.window);
+            put_u64(&mut out, e.last_fresh.to_bits());
+            put_u64(&mut out, e.last_updated.as_nanos());
+            match &e.history {
+                HistoryState::Ewma { value: None } => out.push(0x00),
+                HistoryState::Ewma { value: Some(v) } => {
+                    out.push(0x01);
+                    put_u64(&mut out, v.to_bits());
+                }
+                HistoryState::None => out.push(0x02),
+                HistoryState::Window { values } => {
+                    out.push(0x03);
+                    put_u16(&mut out, values.len().min(MAX_HISTORY_WINDOW) as u16);
+                    for v in values.iter().take(MAX_HISTORY_WINDOW) {
+                        put_u64(&mut out, v.to_bits());
+                    }
+                }
+            }
+        }
+        for &(key, window) in &self.installs {
+            put_prefix(&mut out, key);
+            put_u32(&mut out, window);
+        }
+        for g in &self.guards {
+            put_prefix(&mut out, g.key);
+            out.push(match g.breaker {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            });
+            put_u64(&mut out, g.penalty.to_bits());
+            put_u64(&mut out, g.penalty_at.as_nanos());
+            put_u32(&mut out, g.clean_streak);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Decodes one snapshot block from the front of `bytes`, returning
+    /// the snapshot and the number of bytes it consumed (the journal
+    /// starts right after).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on truncation, a bad magic or version,
+    /// a CRC mismatch, or any impossible field — never panics, whatever
+    /// the input.
+    pub fn decode(bytes: &[u8]) -> Result<(TableSnapshot, usize), PersistError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let taken_at = SimTime::from_nanos(r.u64()?);
+        let n_entries = r.u32()? as usize;
+        let n_installs = r.u32()? as usize;
+        let n_guards = r.u32()? as usize;
+        // Cheap plausibility bound before allocating: every declared
+        // record costs at least 5 bytes of input.
+        let min_needed = n_entries
+            .saturating_add(n_installs)
+            .saturating_add(n_guards)
+            .saturating_mul(5);
+        if min_needed > bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let key = r.prefix()?;
+            let window = r.u32()?;
+            let last_fresh = f64::from_bits(r.u64()?);
+            let last_updated = SimTime::from_nanos(r.u64()?);
+            let history = match r.u8()? {
+                0x00 => HistoryState::Ewma { value: None },
+                0x01 => HistoryState::Ewma {
+                    value: Some(f64::from_bits(r.u64()?)),
+                },
+                0x02 => HistoryState::None,
+                0x03 => {
+                    let n = r.u16()? as usize;
+                    if n > MAX_HISTORY_WINDOW {
+                        return Err(PersistError::Malformed("history window too large"));
+                    }
+                    let mut values = std::collections::VecDeque::with_capacity(n);
+                    for _ in 0..n {
+                        values.push_back(f64::from_bits(r.u64()?));
+                    }
+                    HistoryState::Window { values }
+                }
+                _ => return Err(PersistError::Malformed("unknown history tag")),
+            };
+            entries.push(SnapshotEntry {
+                key,
+                window,
+                last_fresh,
+                last_updated,
+                history,
+            });
+        }
+        let mut installs = Vec::with_capacity(n_installs);
+        for _ in 0..n_installs {
+            let key = r.prefix()?;
+            installs.push((key, r.u32()?));
+        }
+        let mut guards = Vec::with_capacity(n_guards);
+        for _ in 0..n_guards {
+            let key = r.prefix()?;
+            let breaker = match r.u8()? {
+                0 => BreakerState::Closed,
+                1 => BreakerState::Open,
+                2 => BreakerState::HalfOpen,
+                _ => return Err(PersistError::Malformed("unknown breaker state")),
+            };
+            let penalty = f64::from_bits(r.u64()?);
+            let penalty_at = SimTime::from_nanos(r.u64()?);
+            let clean_streak = r.u32()?;
+            guards.push(GuardExport {
+                key,
+                breaker,
+                penalty,
+                penalty_at,
+                clean_streak,
+            });
+        }
+        let body_len = r.pos;
+        let want = r.u32()?;
+        if crc32(&bytes[..body_len]) != want {
+            return Err(PersistError::CrcMismatch);
+        }
+        Ok((
+            TableSnapshot {
+                taken_at,
+                entries,
+                installs,
+                guards,
+            },
+            body_len + 4,
+        ))
+    }
+}
+
+impl JournalRecord {
+    /// Appends the record's fixed-size CRC-guarded encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        let (tag, window) = match self.op {
+            JournalOp::Install { window } => (1u8, window),
+            JournalOp::Withdraw => (2, 0),
+            JournalOp::Evict => (3, 0),
+        };
+        out.push(tag);
+        put_u64(out, self.at.as_nanos());
+        put_prefix(out, self.key);
+        put_u32(out, window);
+        let crc = crc32(&out[start..]);
+        put_u32(out, crc);
+        debug_assert_eq!(out.len() - start, JOURNAL_RECORD_BYTES);
+    }
+}
+
+/// Decodes journal records until the input runs dry, a record is torn
+/// (fewer than [`JOURNAL_RECORD_BYTES`] remain) or a record fails its
+/// CRC or field checks. Returns the records that decoded cleanly and
+/// whether a torn/corrupt tail was dropped — the clean-truncation
+/// semantics a `kill -9` mid-append demands.
+pub fn decode_journal(bytes: &[u8]) -> (Vec<JournalRecord>, bool) {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while bytes.len() - pos >= JOURNAL_RECORD_BYTES {
+        let rec = &bytes[pos..pos + JOURNAL_RECORD_BYTES];
+        let body = &rec[..JOURNAL_RECORD_BYTES - 4];
+        let want = u32::from_le_bytes(rec[JOURNAL_RECORD_BYTES - 4..].try_into().unwrap());
+        if crc32(body) != want {
+            return (records, true);
+        }
+        let mut r = Reader::new(body);
+        let parsed = (|| -> Result<JournalRecord, PersistError> {
+            let tag = r.u8()?;
+            let at = SimTime::from_nanos(r.u64()?);
+            let key = r.prefix()?;
+            let window = r.u32()?;
+            let op = match tag {
+                1 => JournalOp::Install { window },
+                2 => JournalOp::Withdraw,
+                3 => JournalOp::Evict,
+                _ => return Err(PersistError::Malformed("unknown journal tag")),
+            };
+            Ok(JournalRecord { at, key, op })
+        })();
+        match parsed {
+            Ok(record) => records.push(record),
+            // CRC held but a field is impossible (e.g. a bit flip that
+            // happened to preserve the checksum cannot; an unknown tag
+            // from a future version can): stop cleanly here too.
+            Err(_) => return (records, true),
+        }
+        pos += JOURNAL_RECORD_BYTES;
+    }
+    (records, pos < bytes.len())
+}
+
+/// A decoded state file: the snapshot plus whatever journal survived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateFile {
+    /// The snapshot block.
+    pub snapshot: TableSnapshot,
+    /// Journal records appended after the snapshot, oldest first.
+    pub journal: Vec<JournalRecord>,
+    /// Whether a torn or corrupt journal tail was dropped.
+    pub torn_tail: bool,
+}
+
+/// Encodes a snapshot followed by journal records — the full state-file
+/// image an atomic rewrite installs.
+pub fn encode_state(snapshot: &TableSnapshot, journal: &[JournalRecord]) -> Vec<u8> {
+    let mut out = snapshot.encode();
+    for rec in journal {
+        rec.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decodes a state file: the snapshot block, then journal records to
+/// the (possibly torn) end of input.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] when the snapshot block itself is damaged —
+/// the caller starts empty in that case. Journal damage is not an
+/// error; the journal just truncates at the first bad record.
+pub fn decode_state(bytes: &[u8]) -> Result<StateFile, PersistError> {
+    let (snapshot, used) = TableSnapshot::decode(bytes)?;
+    let (journal, torn_tail) = decode_journal(&bytes[used..]);
+    Ok(StateFile {
+        snapshot,
+        journal,
+        torn_tail,
+    })
+}
+
+/// Folds `journal` into `snapshot`, oldest record first: installs
+/// upsert the entry and installed view (last writer wins), withdrawals
+/// and evictions remove both. Entries created by the journal carry an
+/// unseeded history (the agent's restore re-seeds to its configured
+/// strategy). Replay is idempotent: applying the same journal again
+/// reaches the same state.
+pub fn replay(snapshot: &TableSnapshot, journal: &[JournalRecord]) -> TableSnapshot {
+    let mut entries: BTreeMap<Ipv4Prefix, SnapshotEntry> = snapshot
+        .entries
+        .iter()
+        .map(|e| (e.key, e.clone()))
+        .collect();
+    let mut installs: BTreeMap<Ipv4Prefix, u32> = snapshot.installs.iter().copied().collect();
+    let mut taken_at = snapshot.taken_at;
+    for rec in journal {
+        taken_at = taken_at.max(rec.at);
+        match rec.op {
+            JournalOp::Install { window } => {
+                installs.insert(rec.key, window);
+                entries
+                    .entry(rec.key)
+                    .and_modify(|e| {
+                        e.window = window;
+                        e.last_updated = rec.at;
+                    })
+                    .or_insert_with(|| SnapshotEntry {
+                        key: rec.key,
+                        window,
+                        last_fresh: window as f64,
+                        last_updated: rec.at,
+                        history: HistoryState::Ewma { value: None },
+                    });
+            }
+            JournalOp::Withdraw | JournalOp::Evict => {
+                installs.remove(&rec.key);
+                entries.remove(&rec.key);
+            }
+        }
+    }
+    TableSnapshot {
+        taken_at,
+        entries: entries.into_values().collect(),
+        installs: installs.into_iter().collect(),
+        guards: snapshot.guards.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> Ipv4Prefix {
+        Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    fn sample_snapshot() -> TableSnapshot {
+        TableSnapshot {
+            taken_at: SimTime::from_secs(100),
+            entries: vec![
+                SnapshotEntry {
+                    key: key(1),
+                    window: 80,
+                    last_fresh: 81.5,
+                    last_updated: SimTime::from_secs(90),
+                    history: HistoryState::Ewma { value: Some(79.25) },
+                },
+                SnapshotEntry {
+                    key: key(2),
+                    window: 40,
+                    last_fresh: 40.0,
+                    last_updated: SimTime::from_secs(99),
+                    history: HistoryState::Window {
+                        values: [38.0, 41.0, 40.0].into_iter().collect(),
+                    },
+                },
+                SnapshotEntry {
+                    key: key(3),
+                    window: 12,
+                    last_fresh: 12.0,
+                    last_updated: SimTime::from_secs(98),
+                    history: HistoryState::None,
+                },
+            ],
+            installs: vec![(key(1), 80), (key(2), 40)],
+            guards: vec![GuardExport {
+                key: key(1),
+                breaker: BreakerState::Open,
+                penalty: 1000.0,
+                penalty_at: SimTime::from_secs(95),
+                clean_streak: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exact() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let (decoded, used) = TableSnapshot::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = TableSnapshot::default();
+        let (decoded, _) = TableSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected_not_panicking() {
+        let bytes = sample_snapshot().encode();
+        for cut in 0..bytes.len() {
+            let err = TableSnapshot::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Truncated | PersistError::CrcMismatch),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_not_panicking() {
+        let bytes = sample_snapshot().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                TableSnapshot::decode(&corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_distinct_errors() {
+        let mut bytes = sample_snapshot().encode();
+        bytes[0] = b'X';
+        assert_eq!(
+            TableSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::BadMagic
+        );
+        let mut bytes = sample_snapshot().encode();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            TableSnapshot::decode(&bytes).unwrap_err(),
+            // The CRC catches the edit first only if we recompute it;
+            // here the CRC no longer matches, either error is a rejection.
+            PersistError::UnsupportedVersion(_) | PersistError::CrcMismatch
+        ));
+    }
+
+    #[test]
+    fn huge_declared_counts_do_not_allocate() {
+        // A snapshot header claiming 4 billion entries against a
+        // 30-byte input must fail fast on the plausibility bound.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        put_u16(&mut bytes, FORMAT_VERSION);
+        put_u64(&mut bytes, 0);
+        put_u32(&mut bytes, u32::MAX);
+        put_u32(&mut bytes, u32::MAX);
+        put_u32(&mut bytes, u32::MAX);
+        assert_eq!(
+            TableSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Truncated
+        );
+    }
+
+    #[test]
+    fn journal_round_trips_and_truncates_cleanly() {
+        let records = vec![
+            JournalRecord {
+                at: SimTime::from_secs(101),
+                key: key(4),
+                op: JournalOp::Install { window: 64 },
+            },
+            JournalRecord {
+                at: SimTime::from_secs(102),
+                key: key(1),
+                op: JournalOp::Withdraw,
+            },
+            JournalRecord {
+                at: SimTime::from_secs(103),
+                key: key(2),
+                op: JournalOp::Evict,
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        assert_eq!(bytes.len(), 3 * JOURNAL_RECORD_BYTES);
+        let (decoded, torn) = decode_journal(&bytes);
+        assert_eq!(decoded, records);
+        assert!(!torn);
+
+        // A torn tail: the last record loses its final 5 bytes. The
+        // first two records survive, the tail is flagged.
+        let (decoded, torn) = decode_journal(&bytes[..bytes.len() - 5]);
+        assert_eq!(decoded, records[..2]);
+        assert!(torn);
+
+        // A bit flip mid-journal stops replay at the damaged record.
+        let mut corrupt = bytes.clone();
+        corrupt[JOURNAL_RECORD_BYTES + 3] ^= 0x01;
+        let (decoded, torn) = decode_journal(&corrupt);
+        assert_eq!(decoded, records[..1]);
+        assert!(torn);
+    }
+
+    #[test]
+    fn state_file_round_trips_with_journal() {
+        let snap = sample_snapshot();
+        let journal = vec![JournalRecord {
+            at: SimTime::from_secs(105),
+            key: key(9),
+            op: JournalOp::Install { window: 33 },
+        }];
+        let bytes = encode_state(&snap, &journal);
+        let state = decode_state(&bytes).unwrap();
+        assert_eq!(state.snapshot, snap);
+        assert_eq!(state.journal, journal);
+        assert!(!state.torn_tail);
+    }
+
+    #[test]
+    fn replay_applies_installs_withdrawals_and_evictions() {
+        let snap = sample_snapshot();
+        let journal = vec![
+            // Update an existing destination.
+            JournalRecord {
+                at: SimTime::from_secs(101),
+                key: key(1),
+                op: JournalOp::Install { window: 90 },
+            },
+            // Install a brand-new one.
+            JournalRecord {
+                at: SimTime::from_secs(102),
+                key: key(7),
+                op: JournalOp::Install { window: 25 },
+            },
+            // Withdraw and evict.
+            JournalRecord {
+                at: SimTime::from_secs(103),
+                key: key(2),
+                op: JournalOp::Withdraw,
+            },
+            JournalRecord {
+                at: SimTime::from_secs(104),
+                key: key(3),
+                op: JournalOp::Evict,
+            },
+        ];
+        let replayed = replay(&snap, &journal);
+        assert_eq!(replayed.taken_at, SimTime::from_secs(104));
+        let keys: Vec<Ipv4Prefix> = replayed.entries.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![key(1), key(7)]);
+        assert_eq!(replayed.entries[0].window, 90);
+        assert_eq!(
+            replayed.entries[0].last_updated,
+            SimTime::from_secs(101),
+            "install refreshes the TTL stamp"
+        );
+        assert_eq!(replayed.installs, vec![(key(1), 90), (key(7), 25)]);
+        assert_eq!(replayed.guards, snap.guards, "guard state rides along");
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let snap = sample_snapshot();
+        let journal = vec![
+            JournalRecord {
+                at: SimTime::from_secs(101),
+                key: key(1),
+                op: JournalOp::Install { window: 55 },
+            },
+            JournalRecord {
+                at: SimTime::from_secs(102),
+                key: key(3),
+                op: JournalOp::Evict,
+            },
+        ];
+        let once = replay(&snap, &journal);
+        let twice = replay(&once, &journal);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn last_writer_wins_on_repeated_installs() {
+        let snap = TableSnapshot::default();
+        let journal = vec![
+            JournalRecord {
+                at: SimTime::from_secs(1),
+                key: key(5),
+                op: JournalOp::Install { window: 20 },
+            },
+            JournalRecord {
+                at: SimTime::from_secs(2),
+                key: key(5),
+                op: JournalOp::Install { window: 70 },
+            },
+        ];
+        let replayed = replay(&snap, &journal);
+        assert_eq!(replayed.installs, vec![(key(5), 70)]);
+        assert_eq!(replayed.entries[0].window, 70);
+    }
+
+    #[test]
+    fn prefix_length_over_32_is_rejected() {
+        // Hand-build a snapshot whose single install has len = 40, with
+        // a valid CRC — the field check itself must reject it.
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC);
+        put_u16(&mut body, FORMAT_VERSION);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, 0);
+        put_u32(&mut body, 1);
+        put_u32(&mut body, 0);
+        put_u32(&mut body, 0x0A00_0001);
+        body.push(40); // impossible length
+        put_u32(&mut body, 80);
+        let crc = crc32(&body);
+        put_u32(&mut body, crc);
+        assert_eq!(
+            TableSnapshot::decode(&body).unwrap_err(),
+            PersistError::Malformed("prefix length over 32")
+        );
+    }
+}

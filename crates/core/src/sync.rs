@@ -1,0 +1,244 @@
+//! Anti-entropy fleet-sync primitives: table digests, bounded delta
+//! sets, and deterministic conflict resolution.
+//!
+//! Riptide as published learns per machine; Pied Piper (PAPERS.md)
+//! showed the next gains come from sharing learned state across hosts.
+//! This module holds the *pure* half of that sharing — the pieces that
+//! do not know about schedules, peers, or simulated networks:
+//!
+//! * [`SyncEntry`]: the unit of exchange — a destination key, its
+//!   learned window, and the freshness stamp that arbitrates conflicts.
+//! * [`TableDigest`]: a constant-size fingerprint of a peer's table.
+//!   Gossip rounds are digest-first (push-pull): peers swap digests
+//!   and only ship [`SyncDelta`]s when the digests differ, so a
+//!   converged fleet costs 12 bytes per round per pair.
+//! * [`SyncDelta`]: a bounded, freshest-first slice of a table.
+//!   [`delta_for`] never exceeds `max_entries`, keeping gossip
+//!   messages bounded no matter how large the table grows.
+//! * [`remote_wins`]: the conflict rule — **newest `last_updated`
+//!   wins**, ties keep local. Windows are clamp-merged into
+//!   `[c_min, c_max]` by [`clamp_merge`] on the way in, so a peer
+//!   with a different (or corrupt) configuration can never push an
+//!   out-of-bounds window.
+//!
+//! The simulation-facing scheduler — who gossips with whom, when, and
+//! the per-peer backoff when a peer is down — lives in
+//! `riptide_cdn::gossip`; the agent-side application of a delta (which
+//! reuses the `reconcile` invariant of never touching foreign routes)
+//! is `RiptideAgent::merge_remote`.
+
+use riptide_linuxnet::prefix::Ipv4Prefix;
+use riptide_simnet::time::SimTime;
+
+/// One destination's learned state as exchanged between peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// The destination key.
+    pub key: Ipv4Prefix,
+    /// The learned (already clamped at the sender) window.
+    pub window: u32,
+    /// When the sender last refreshed the entry — the arbitration
+    /// stamp: the newer entry wins a conflict.
+    pub last_updated: SimTime,
+}
+
+/// A constant-size fingerprint of a table, exchanged before any deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableDigest {
+    /// Number of entries summarised.
+    pub entries: u32,
+    /// Order-sensitive FNV-1a over `(key, window, last_updated)` of
+    /// the key-sorted entries — equal tables, equal fingerprints.
+    pub fingerprint: u64,
+}
+
+/// Tuning for delta exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncConfig {
+    /// Hard cap on entries per [`SyncDelta`] — the bounded-message-size
+    /// guarantee.
+    pub max_entries: usize,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig { max_entries: 256 }
+    }
+}
+
+/// A bounded slice of a peer's table, freshest entries first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncDelta {
+    /// The entries shipped, freshest `last_updated` first (key order
+    /// breaks ties, so the selection is deterministic).
+    pub entries: Vec<SyncEntry>,
+    /// Whether the cap forced entries to be left out — the receiver
+    /// knows another round is needed to converge.
+    pub truncated: bool,
+}
+
+/// Computes the digest of a table given its key-sorted entries.
+///
+/// The caller supplies entries in key order (tables iterate sorted);
+/// the fingerprint is FNV-1a over each entry's fields in sequence.
+pub fn digest_of<'a, I>(entries: I) -> TableDigest
+where
+    I: IntoIterator<Item = &'a SyncEntry>,
+{
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut count: u32 = 0;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for e in entries {
+        mix(&u32::from(e.key.network()).to_le_bytes());
+        mix(&[e.key.len()]);
+        mix(&e.window.to_le_bytes());
+        mix(&e.last_updated.as_nanos().to_le_bytes());
+        count += 1;
+    }
+    TableDigest {
+        entries: count,
+        fingerprint: hash,
+    }
+}
+
+/// Selects the bounded delta a peer should ship: entries refreshed
+/// strictly after `newer_than`, freshest first, capped at
+/// `config.max_entries`.
+///
+/// Freshest-first matters under the cap: the entries most likely to
+/// win conflicts (and most likely to still be alive under TTL) travel
+/// first, so a bounded round still moves the fleet toward agreement.
+/// Ordering is fully deterministic — `last_updated` descending, then
+/// key ascending.
+pub fn delta_for(local: &[SyncEntry], newer_than: SimTime, config: &SyncConfig) -> SyncDelta {
+    let mut fresh: Vec<SyncEntry> = local
+        .iter()
+        .filter(|e| e.last_updated > newer_than)
+        .copied()
+        .collect();
+    fresh.sort_by(|a, b| {
+        b.last_updated
+            .cmp(&a.last_updated)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    let truncated = fresh.len() > config.max_entries;
+    fresh.truncate(config.max_entries);
+    SyncDelta {
+        entries: fresh,
+        truncated,
+    }
+}
+
+/// The conflict rule: does the remote entry replace the local one?
+///
+/// Newest `last_updated` wins; a tie keeps local (both sides apply the
+/// same rule, so a tie converges to each side keeping its own equal
+/// stamp — and equal stamps with different windows cannot arise from
+/// the same deterministic learning step they'd both have had to take).
+/// A destination the local table has never seen is always accepted.
+pub fn remote_wins(local: Option<&SyncEntry>, remote: &SyncEntry) -> bool {
+    match local {
+        None => true,
+        Some(l) => remote.last_updated > l.last_updated,
+    }
+}
+
+/// Clamp-merges a remote window into the local bounds: whatever a peer
+/// believes, what gets installed here lies in `[c_min, c_max]`.
+pub fn clamp_merge(window: u32, c_min: u32, c_max: u32) -> u32 {
+    window.clamp(c_min, c_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn entry(n: u8, window: u32, at: u64) -> SyncEntry {
+        SyncEntry {
+            key: Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, n)),
+            window,
+            last_updated: SimTime::from_secs(at),
+        }
+    }
+
+    #[test]
+    fn equal_tables_have_equal_digests() {
+        let a = vec![entry(1, 80, 10), entry(2, 40, 12)];
+        let b = a.clone();
+        assert_eq!(digest_of(&a), digest_of(&b));
+        assert_eq!(digest_of(&a).entries, 2);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_field() {
+        let base = vec![entry(1, 80, 10)];
+        let other_key = vec![entry(2, 80, 10)];
+        let other_window = vec![entry(1, 81, 10)];
+        let other_stamp = vec![entry(1, 80, 11)];
+        let d = digest_of(&base).fingerprint;
+        assert_ne!(d, digest_of(&other_key).fingerprint);
+        assert_ne!(d, digest_of(&other_window).fingerprint);
+        assert_ne!(d, digest_of(&other_stamp).fingerprint);
+        assert_ne!(
+            digest_of(&base).fingerprint,
+            digest_of(&[]).fingerprint,
+            "empty table digests differently"
+        );
+    }
+
+    #[test]
+    fn delta_is_freshest_first_and_bounded() {
+        let local = vec![
+            entry(1, 80, 10),
+            entry(2, 40, 30),
+            entry(3, 60, 20),
+            entry(4, 20, 5),
+        ];
+        let delta = delta_for(
+            &local,
+            SimTime::from_secs(8),
+            &SyncConfig { max_entries: 2 },
+        );
+        // Entry 4 (at=5) filtered by newer_than; the freshest two of the
+        // remaining three make the cut.
+        assert_eq!(
+            delta.entries,
+            vec![entry(2, 40, 30), entry(3, 60, 20)],
+            "freshest first"
+        );
+        assert!(delta.truncated, "entry 1 was left behind");
+
+        let all = delta_for(&local, SimTime::ZERO, &SyncConfig::default());
+        assert_eq!(all.entries.len(), 4);
+        assert!(!all.truncated);
+    }
+
+    #[test]
+    fn delta_tie_breaks_on_key() {
+        let local = vec![entry(9, 10, 7), entry(3, 10, 7)];
+        let delta = delta_for(&local, SimTime::ZERO, &SyncConfig::default());
+        assert_eq!(delta.entries, vec![entry(3, 10, 7), entry(9, 10, 7)]);
+    }
+
+    #[test]
+    fn newest_wins_and_ties_keep_local() {
+        let local = entry(1, 80, 10);
+        assert!(remote_wins(None, &entry(1, 50, 1)), "unknown key accepted");
+        assert!(remote_wins(Some(&local), &entry(1, 50, 11)));
+        assert!(!remote_wins(Some(&local), &entry(1, 50, 10)), "tie → local");
+        assert!(!remote_wins(Some(&local), &entry(1, 50, 9)));
+    }
+
+    #[test]
+    fn clamp_merge_bounds_foreign_windows() {
+        assert_eq!(clamp_merge(5, 10, 100), 10);
+        assert_eq!(clamp_merge(500, 10, 100), 100);
+        assert_eq!(clamp_merge(64, 10, 100), 64);
+    }
+}

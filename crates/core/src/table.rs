@@ -271,6 +271,19 @@ impl FinalTable {
     pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &FinalEntry)> {
         self.entries.iter()
     }
+
+    /// Inserts a fully-formed entry, replacing any existing one — the
+    /// warm-restart seam: `persist`/gossip restore rebuilds the table
+    /// from decoded [`FinalEntry`] values (including their original
+    /// `last_updated` stamps, so TTL keeps running across a restart)
+    /// instead of re-learning through [`FinalTable::blend`].
+    ///
+    /// Callers are responsible for validating the entry first (the
+    /// agent's restore clamps windows and re-seeds mismatched history
+    /// variants); the table itself stores what it is given.
+    pub fn restore_entry(&mut self, key: Ipv4Prefix, entry: FinalEntry) {
+        self.entries.insert(key, entry);
+    }
 }
 
 #[cfg(test)]

@@ -530,6 +530,26 @@ pub enum DecisionCause {
         /// `max − min` of the member windows at split time.
         spread: u32,
     },
+    /// The route was reinstalled from a persisted state file during a
+    /// warm restart ([`RiptideAgent::restore_state`]).
+    ///
+    /// [`RiptideAgent::restore_state`]: crate::agent::RiptideAgent::restore_state
+    Restored {
+        /// Seconds the entry survived on disk between snapshot stamp
+        /// and restore, rounded down.
+        age_secs: u32,
+    },
+    /// The entry was accepted from a gossip peer: the remote stamp was
+    /// newer than anything local, and the remote window was clamp-merged
+    /// into this agent's `[c_min, c_max]`
+    /// ([`RiptideAgent::merge_remote`]).
+    ///
+    /// [`RiptideAgent::merge_remote`]: crate::agent::RiptideAgent::merge_remote
+    SyncMerged {
+        /// Whether the local bounds changed the peer's window on the
+        /// way in.
+        clamped: bool,
+    },
 }
 
 /// One journaled decision.
@@ -575,6 +595,8 @@ impl DecisionRecord {
             DecisionCause::Disaggregated { members, spread } => {
                 format!("disaggregated members={members} spread={spread}")
             }
+            DecisionCause::Restored { age_secs } => format!("restored age={age_secs}s"),
+            DecisionCause::SyncMerged { clamped } => format!("sync-merged clamped={clamped}"),
         };
         format!(
             "t={} {} {} cause={}",
@@ -1073,6 +1095,16 @@ mod tests {
         assert!(line.contains("repair withdraw-orphan") && line.contains("reconcile Repaired"));
         assert!(mk(DecisionAction::Evict, DecisionCause::Capacity).contains("evict"));
         assert!(mk(DecisionAction::Withdraw, DecisionCause::Shutdown).contains("shutdown"));
+        let line = mk(
+            DecisionAction::Install { window: 64 },
+            DecisionCause::Restored { age_secs: 12 },
+        );
+        assert!(line.contains("restored age=12s"), "{line}");
+        let line = mk(
+            DecisionAction::Install { window: 100 },
+            DecisionCause::SyncMerged { clamped: true },
+        );
+        assert!(line.contains("sync-merged clamped=true"), "{line}");
     }
 
     #[test]

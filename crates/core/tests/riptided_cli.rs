@@ -430,6 +430,256 @@ fn metrics_file_is_replaced_atomically() {
 }
 
 #[test]
+fn state_file_round_trips_across_runs() {
+    let snap = write_snapshot("sf-a", SNAPSHOT_A);
+    let empty = write_snapshot("sf-empty", "");
+    let mut sf = std::env::temp_dir();
+    sf.push(format!("riptided-test-{}-state.bin", std::process::id()));
+    std::fs::remove_file(&sf).ok();
+
+    // Run 1 learns 10.0.9.1 and journals the install into the state file.
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(sf.exists(), "state file written");
+
+    // Run 2 restores the learned route before its first poll: the
+    // jump-start window is live again without relearning.
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        empty.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.lines().next(),
+        Some("ip route replace 10.0.9.1 proto static initcwnd 80"),
+        "restore reinstalls the learned window before any poll: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("restored 1 route(s)"), "{stderr}");
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(empty).ok();
+    std::fs::remove_file(sf).ok();
+}
+
+#[test]
+fn torn_state_journal_truncates_cleanly_and_corrupt_snapshot_starts_empty() {
+    let a = write_snapshot("sf-torn-a", SNAPSHOT_A);
+    let b = write_snapshot(
+        "sf-torn-b",
+        "\
+ESTAB 10.0.0.1 10.0.9.1
+\t cubic cwnd:60 bytes_acked:1000000
+ESTAB 10.0.0.1 10.0.9.1
+\t cubic cwnd:100 bytes_acked:2000000
+ESTAB 10.0.0.1 10.0.7.1
+\t cubic cwnd:50 bytes_acked:1000000
+",
+    );
+    let empty = write_snapshot("sf-torn-empty", "");
+    let mut sf = std::env::temp_dir();
+    sf.push(format!(
+        "riptided-test-{}-torn-state.bin",
+        std::process::id()
+    ));
+    std::fs::remove_file(&sf).ok();
+
+    // Two polls journal two installs (10.0.9.1, then 10.0.7.1).
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // A kill -9 mid-append: the last journal record loses its tail.
+    let bytes = std::fs::read(&sf).unwrap();
+    std::fs::write(&sf, &bytes[..bytes.len() - 5]).unwrap();
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        empty.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "torn tail must not crash the daemon: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("torn journal tail"), "{stderr}");
+    assert!(
+        stderr.contains("restored 1 route(s)"),
+        "the record before the tear survives: {stderr}"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("ip route replace 10.0.9.1"),
+        "surviving route restored: {stdout}"
+    );
+    assert!(
+        !stdout.contains("10.0.7.1"),
+        "the torn record must not resurrect: {stdout}"
+    );
+
+    // A corrupt snapshot block: the daemon warns and starts empty.
+    std::fs::write(&sf, b"RPTSgarbage that is not a valid snapshot").unwrap();
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        empty.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "corrupt snapshot must not crash");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("# state: ignoring"), "{stderr}");
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+    std::fs::remove_file(empty).ok();
+    std::fs::remove_file(sf).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn state_file_snapshot_is_replaced_atomically() {
+    use std::os::unix::fs::MetadataExt;
+
+    // Snapshot rewrites must never leave a reader (or a crash) with a
+    // half-written state file: like the metrics exposition, the daemon
+    // writes a pid-suffixed sibling and renames it over the target,
+    // swapping the inode.
+    let snap = write_snapshot("sf-atomic", SNAPSHOT_A);
+    let mut sf = std::env::temp_dir();
+    sf.push(format!(
+        "riptided-test-{}-atomic-state.bin",
+        std::process::id()
+    ));
+    std::fs::write(&sf, b"not a state file at all").unwrap();
+    let before = std::fs::metadata(&sf).unwrap().ino();
+
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let after = std::fs::metadata(&sf).unwrap().ino();
+    assert_ne!(before, after, "rewrite must rename a fresh file into place");
+    // The rewritten file is a valid snapshot (next run restores it).
+    let empty = write_snapshot("sf-atomic-empty", "");
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        empty.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("restored 1 route(s)"), "{stderr}");
+    // No temp residue next to the target.
+    let dir = sf.parent().unwrap();
+    let leftovers: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains("atomic-state.bin.") && n.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(empty).ok();
+    std::fs::remove_file(sf).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_writes_a_final_state_snapshot_before_withdrawing() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let snap = write_snapshot("sf-term", SNAPSHOT_A);
+    let mut sf = std::env::temp_dir();
+    sf.push(format!(
+        "riptided-test-{}-term-state.bin",
+        std::process::id()
+    ));
+    std::fs::remove_file(&sf).ok();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_riptided"))
+        .args([
+            "--no-history",
+            "--follow",
+            "--state-file",
+            sf.to_str().unwrap(),
+            snap.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first command printed");
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("stdout closes");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .expect("stderr closes");
+    assert!(child.wait().expect("daemon exits").success());
+    assert!(stderr.contains("final snapshot written"), "{stderr}");
+
+    // The persisted table survives the withdrawal sweep: a second run
+    // restores the route SIGTERM withdrew.
+    assert!(
+        rest.lines().any(|l| l == "ip route del 10.0.9.1"),
+        "shutdown still withdraws: {rest:?}"
+    );
+    let empty = write_snapshot("sf-term-empty", "");
+    let out = run(&[
+        "--no-history",
+        "--state-file",
+        sf.to_str().unwrap(),
+        empty.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("ip route replace 10.0.9.1 proto static initcwnd 80"),
+        "warm restart reinstalls what the stopped daemon knew: {stdout}"
+    );
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(empty).ok();
+    std::fs::remove_file(sf).ok();
+}
+
+#[test]
 fn trend_flag_damps_collapses() {
     let a = write_snapshot(
         "trend-a",

@@ -46,6 +46,13 @@ pub struct FaultPlan {
     pub crash: f64,
     /// Downtime between a crash and the restarted agent's first tick.
     pub restart_after: SimDuration,
+    /// Whether a crash also resets the host's TCP connections — a
+    /// machine restart (power cycle, kernel panic) rather than a daemon
+    /// crash. A restarted daemon on a surviving machine re-learns its
+    /// table within a poll or two from still-established connections; a
+    /// restarted *machine* has nothing to observe until traffic returns,
+    /// which is the cold-start ramp the `coldstart` experiment measures.
+    pub crash_resets_connections: bool,
     /// Probability, per burst-check interval, that a randomly chosen
     /// link enters a loss burst.
     pub burst_start: f64,
@@ -82,6 +89,7 @@ impl FaultPlan {
             install_delay_for: SimDuration::from_secs(2),
             crash: 0.0,
             restart_after: SimDuration::from_secs(10),
+            crash_resets_connections: false,
             burst_start: 0.0,
             burst_loss: 0.0,
             burst_for: SimDuration::from_secs(30),

@@ -500,6 +500,25 @@ impl World {
         self.hosts[src.index()].open_conns.retain(|&k| k != conn);
     }
 
+    /// Closes every live connection touching `host`, in both directions
+    /// — what a machine restart does to its TCP state (and to the far
+    /// ends of its peers' connections). In-flight transfers are
+    /// abandoned without records, like [`World::close_connection`].
+    /// Returns how many connections were closed.
+    pub fn reset_host_connections(&mut self, host: HostId) -> usize {
+        let ids: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|c| c.state != ConnState::Closed && (c.src == host || c.dst == host))
+            .map(|c| c.id)
+            .collect();
+        let n = ids.len();
+        for cid in ids {
+            self.close_connection(cid);
+        }
+        n
+    }
+
     /// Finds an established, idle connection from `src` to `dst`
     /// (oldest first), for the paper's reuse-if-possible probe behaviour.
     pub fn find_idle_connection(&self, src: HostId, dst: HostId) -> Option<ConnId> {

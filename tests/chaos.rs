@@ -352,6 +352,9 @@ proptest! {
             faults: FaultPlan::uniform(rate),
             reconcile_every: None,
             telemetry: false,
+            persistence: None,
+            gossip: None,
+            track_ramp: false,
         };
         let mut sim = CdnSim::new(cfg);
         sim.run_for(SimDuration::from_secs(150));

@@ -331,6 +331,9 @@ fn full_deployment_learns_only_within_clamp() {
         faults: riptide_simnet::fault::FaultPlan::none(),
         reconcile_every: None,
         telemetry: false,
+        persistence: None,
+        gossip: None,
+        track_ramp: false,
     };
     let mut sim = CdnSim::new(cfg);
     sim.run_for(SimDuration::from_secs(600));

@@ -108,6 +108,19 @@ if [[ "$stage" == "build" || "$stage" == "all" ]]; then
     # snapshot+gossip arm falling under the 1.5x ramp-improvement floor
     # vs. cold relearn.
     run cargo run --release -p riptide-bench --bin coldstart -- --check
+
+    # Policy-arena smoke: one test-scale ablation run writes to the
+    # scratch dir; the binary itself aborts unless the default-EWMA arm
+    # reproduces the probe comparison bit for bit (the Policy trait
+    # seam must cost nothing)...
+    run cargo run --release -p riptide-bench --bin policy_arena -- \
+        --scale test --out "$scratch/BENCH_policyarena.json"
+    run grep -q '"ewma_bit_identical": true' "$scratch/BENCH_policyarena.json"
+    # ...and the gate replays the quick-scale arena against the
+    # checked-in BENCH_policyarena.json: digest drift in any policy's
+    # arm is fatal.
+    run cargo run --release -p riptide-bench --bin policy_arena -- \
+        --scale quick --check
 fi
 
 echo "==> stage '$stage' passed"

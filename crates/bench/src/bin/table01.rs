@@ -11,8 +11,8 @@ use std::rc::Rc;
 fn main() {
     println!("# Table I: Riptide input parameters (deployment values)");
     let cfg = RiptideConfig::deployment();
-    let alpha = match cfg.history {
-        HistoryStrategy::Ewma { alpha } => format!("{alpha}"),
+    let alpha = match cfg.policy {
+        LearningPolicy::History(HistoryStrategy::Ewma { alpha }) => format!("{alpha}"),
         ref other => format!("({other:?})"),
     };
     println!("{:>10} {:>44} {:>12}", "parameter", "use", "value");

@@ -40,6 +40,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use riptide::config::RiptideConfig;
+use riptide::policy::registered_policies;
 use riptide::telemetry::MetricsSnapshot;
 use riptide_simnet::rng::{stream_seed, DetRng};
 use riptide_simnet::time::{SimDuration, SimTime};
@@ -381,6 +382,37 @@ impl RunPlan {
         ];
         let mut plan = Self::probe_variants(scale, variants, replicates);
         plan.name = "probe-comparison".into();
+        plan
+    }
+
+    /// Policy-ablation arena: one arm per registered learning policy
+    /// (see [`riptide::policy::registered_policies`]) plus a control
+    /// arm, each seed-paired across (sender PoP × replicate) exactly
+    /// like [`RunPlan::probe_comparison`]. The default-EWMA arm keeps
+    /// the `"riptide"` label so its shard labels — and therefore its
+    /// digest lines — are byte-identical to `probe_comparison`'s
+    /// treatment arm.
+    pub fn policy_ablation(scale: &ExperimentScale, replicates: u32) -> RunPlan {
+        let mut variants = vec![ProbeVariant {
+            name: "control".into(),
+            riptide: None,
+            tweaks: StackTweaks::default(),
+        }];
+        for (name, policy) in registered_policies() {
+            let arm_name = if name == "ewma" { "riptide" } else { name };
+            variants.push(ProbeVariant {
+                name: arm_name.into(),
+                riptide: Some(
+                    RiptideConfig::builder()
+                        .policy(policy)
+                        .build()
+                        .expect("registered policies produce valid configs"),
+                ),
+                tweaks: StackTweaks::default(),
+            });
+        }
+        let mut plan = Self::probe_variants(scale, variants, replicates);
+        plan.name = "policy-ablation".into();
         plan
     }
 

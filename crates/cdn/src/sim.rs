@@ -1458,12 +1458,7 @@ impl CdnSim {
             // A journal needs a snapshot header to replay onto; the
             // first append starts from an empty one.
             if store.bytes.is_empty() {
-                let empty = TableSnapshot {
-                    taken_at: SimTime::ZERO,
-                    entries: Vec::new(),
-                    installs: Vec::new(),
-                    guards: Vec::new(),
-                };
+                let empty = TableSnapshot::default();
                 store.bytes = encode_state(&empty, &[]);
             }
             let mut records = 0u64;

@@ -24,6 +24,7 @@ use riptide_simnet::time::SimTime;
 use crate::config::RiptideConfig;
 use crate::control::{ControlError, RouteController};
 use crate::observe::WindowObserver;
+use crate::policy::{Policy, PolicyInput};
 use crate::table::FinalTable;
 use crate::telemetry::{AgentTelemetry, DecisionAction, DecisionCause};
 
@@ -365,8 +366,21 @@ impl RiptideAgent {
             let Some(fresh) = self.config.combine.combine(group) else {
                 continue;
             };
+            // The group's cumulative loss counters feed both the
+            // loss-aware policies and (below) the guard.
+            let retrans_total: u64 = group.iter().map(|o| o.retrans).sum();
+            let bytes_total: u64 = group.iter().map(|o| o.bytes_acked).sum();
             let previous_fresh = self.table.last_fresh(&key);
-            let blended = self.table.blend(key, fresh, &self.config.history, now);
+            let blended = self.table.observe(
+                key,
+                &PolicyInput {
+                    fresh,
+                    retrans: retrans_total,
+                    bytes_acked: bytes_total,
+                },
+                &self.config.policy,
+                now,
+            );
             let (shaped, trend_damped) = match &self.config.trend {
                 Some(trend) => {
                     let s =
@@ -390,8 +404,6 @@ impl RiptideAgent {
             let mut effective = window;
             let mut suppressed_by = None;
             if let Some(guard) = &mut self.guard {
-                let retrans_total: u64 = group.iter().map(|o| o.retrans).sum();
-                let bytes_total: u64 = group.iter().map(|o| o.bytes_acked).sum();
                 let jump_started = self
                     .installed
                     .get(&key)
@@ -453,6 +465,7 @@ impl RiptideAgent {
                                             fresh: fresh.round() as u32,
                                             clamped,
                                             trend_damped,
+                                            policy: self.config.policy.name(),
                                         },
                                     );
                                 }
@@ -778,6 +791,7 @@ impl RiptideAgent {
                 .as_ref()
                 .map(|g| g.export_states())
                 .unwrap_or_default(),
+            skipped_entries: 0,
         }
     }
 
@@ -793,11 +807,15 @@ impl RiptideAgent {
     /// * **Windows are clamped into `[c_min, c_max]`** on the way in, so
     ///   a corrupt or foreign-config state file cannot install an
     ///   out-of-bounds window.
-    /// * **History re-seeds on strategy mismatch** — a persisted history
-    ///   whose variant does not match the configured strategy is
-    ///   replaced by a fresh state seeded with one blend of the entry's
-    ///   `last_fresh` (never fed to [`HistoryStrategy::blend`] raw,
-    ///   which would panic on the mismatch).
+    /// * **History re-seeds on policy mismatch** — a persisted history
+    ///   whose variant does not match the configured learning policy
+    ///   ([`Policy::state_matches`]) is replaced by a fresh state seeded
+    ///   with one blend of the entry's `last_fresh` (never fed to
+    ///   [`Policy::observe`] raw, which would panic on the mismatch).
+    /// * **Entries the decoder skipped are surfaced** — a snapshot whose
+    ///   decode dropped entries with unknown history tags (written by a
+    ///   newer version) bumps the lazily registered
+    ///   `riptide_persist_skipped_entries_total` counter.
     /// * **Only routes with a surviving table entry are reinstalled**,
     ///   each journalled as [`DecisionCause::Restored`]; foreign routes
     ///   are never touched (the controller only writes Riptide-signature
@@ -805,7 +823,8 @@ impl RiptideAgent {
     ///
     /// Returns the `(key, window)` pairs reinstalled.
     ///
-    /// [`HistoryStrategy::blend`]: crate::history::HistoryStrategy::blend
+    /// [`Policy::state_matches`]: crate::policy::Policy::state_matches
+    /// [`Policy::observe`]: crate::policy::Policy::observe
     pub fn restore_state<C>(
         &mut self,
         state: &crate::persist::TableSnapshot,
@@ -815,27 +834,27 @@ impl RiptideAgent {
     where
         C: RouteController + ?Sized,
     {
-        use crate::history::{HistoryState, HistoryStrategy};
-
         self.last_now = now;
+        if state.skipped_entries > 0 {
+            if let Some(t) = &self.telemetry {
+                // Lazily registered, like the restore counter below.
+                t.registry()
+                    .counter(
+                        "riptide_persist_skipped_entries_total",
+                        "Snapshot entries dropped at decode for unknown history tags",
+                    )
+                    .add(state.skipped_entries as u64);
+            }
+        }
         for e in &state.entries {
             if now.saturating_since(e.last_updated) > self.config.ttl {
                 continue;
             }
-            let variant_matches = matches!(
-                (&self.config.history, &e.history),
-                (HistoryStrategy::Ewma { .. }, HistoryState::Ewma { .. })
-                    | (HistoryStrategy::None, HistoryState::None)
-                    | (
-                        HistoryStrategy::WindowedMean { .. },
-                        HistoryState::Window { .. }
-                    )
-            );
-            let history = if variant_matches {
+            let history = if self.config.policy.state_matches(&e.history) {
                 e.history.clone()
             } else {
-                let mut h = self.config.history.new_state();
-                self.config.history.blend(&mut h, e.last_fresh);
+                let mut h = self.config.policy.new_state();
+                self.config.policy.blend(&mut h, e.last_fresh);
                 h
             };
             let window = e.window.clamp(self.config.cwnd_min, self.config.cwnd_max);
@@ -947,8 +966,8 @@ impl RiptideAgent {
             let (history, last_fresh) = match self.table.get(&remote.key) {
                 Some(e) => (e.history.clone(), e.last_fresh),
                 None => {
-                    let mut h = self.config.history.new_state();
-                    self.config.history.blend(&mut h, window as f64);
+                    let mut h = self.config.policy.new_state();
+                    self.config.policy.blend(&mut h, window as f64);
                     (h, window as f64)
                 }
             };
@@ -1937,6 +1956,7 @@ mod tests {
                 ("10.0.0.2".parse().unwrap(), 60),
             ],
             guards: Vec::new(),
+            skipped_entries: 0,
         };
         // Restore at t=100: entry 2 sat unrefreshed for 99 s > 90 s TTL.
         let reinstalled = b.restore_state(&snap, SimTime::from_secs(100), &mut routes);
@@ -1971,6 +1991,7 @@ mod tests {
             }],
             installs: vec![("10.0.0.1".parse().unwrap(), 48)],
             guards: Vec::new(),
+            skipped_entries: 0,
         };
         let cfg = RiptideConfig::builder()
             .history(HistoryStrategy::WindowedMean { window: 3 })

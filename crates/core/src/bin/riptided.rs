@@ -10,6 +10,11 @@
 //! riptided [options] <ss-snapshot>...
 //!
 //!   --alpha <a>          EWMA weight on history      (default 0.7)
+//!   --policy <spec>      learning policy: ewma | ewma:<a> | none |
+//!                        windowed:<n> | p25 | p50 | p75 |
+//!                        percentile:<frac>:<cap> | loss-utility |
+//!                        loss-utility:<gain>:<penalty>:<alpha>
+//!                        (default ewma — the paper's estimator)
 //!   --no-history         disable the history blend
 //!   --cmax <w>           maximum window              (default 100)
 //!   --cmin <w>           minimum window              (default 10)
@@ -233,7 +238,7 @@ fn main() -> ExitCode {
                     .cwnd_max(cfg.cwnd_max)
                     .cwnd_min(cfg.cwnd_min)
                     .combine(cfg.combine)
-                    .history(cfg.history)
+                    .policy(cfg.policy)
                     .granularity(cfg.granularity);
                 if let Some(t) = cfg.trend {
                     builder = builder.trend(t);
@@ -270,6 +275,12 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--no-history" => builder = builder.history(HistoryStrategy::None),
+            "--policy" => match value("--policy").and_then(|v| {
+                LearningPolicy::from_spec(&v).map_err(|e| format!("bad --policy: {e}"))
+            }) {
+                Ok(p) => builder = builder.policy(p),
+                Err(e) => return fail(&e),
+            },
             "--cmax" => match value("--cmax")
                 .and_then(|v| v.parse::<u32>().map_err(|e| format!("bad --cmax: {e}")))
             {

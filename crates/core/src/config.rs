@@ -5,6 +5,7 @@ use riptide_simnet::time::SimDuration;
 use crate::combine::CombineStrategy;
 use crate::granularity::Granularity;
 use crate::history::HistoryStrategy;
+use crate::policy::{LearningPolicy, Policy};
 
 /// The agent's configuration: Table I of the paper plus the §III-B
 /// strategy choices.
@@ -46,8 +47,12 @@ pub struct RiptideConfig {
     /// How simultaneous observations to one destination are combined
     /// (§III-B "Combination Algorithm").
     pub combine: CombineStrategy,
-    /// How the fresh combined value is blended with history (§III-B).
-    pub history: HistoryStrategy,
+    /// The window estimator: how fresh combined values become the value
+    /// to clamp and install. [`LearningPolicy::History`] wraps the
+    /// paper's §III-B history strategies (the EWMA is the deployment
+    /// default); the other variants are registered competitors raced by
+    /// the policy-ablation arena.
+    pub policy: LearningPolicy,
     /// Destination grouping: per-host /32 routes or per-prefix routes
     /// (§III-B "Destinations as Routes").
     pub granularity: Granularity,
@@ -81,7 +86,7 @@ impl RiptideConfig {
             cwnd_max: 100,
             cwnd_min: 10,
             combine: CombineStrategy::Average,
-            history: HistoryStrategy::Ewma { alpha: 0.7 },
+            policy: LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.7 }),
             granularity: Granularity::Host,
             trend: None,
             guard: None,
@@ -142,9 +147,9 @@ impl RiptideConfig {
                 "ttl shorter than update_interval would expire entries between polls",
             ));
         }
-        self.history
+        self.policy
             .validate()
-            .map_err(|e| ConfigError::new(format!("history: {e}")))?;
+            .map_err(|e| ConfigError::new(format!("policy: {e}")))?;
         self.granularity
             .validate()
             .map_err(|e| ConfigError::new(format!("granularity: {e}")))?;
@@ -220,15 +225,21 @@ impl RiptideConfigBuilder {
         self
     }
 
-    /// Sets the history strategy.
-    pub fn history(mut self, v: HistoryStrategy) -> Self {
-        self.config.history = v;
+    /// Sets the learning policy (the window estimator).
+    pub fn policy(mut self, v: LearningPolicy) -> Self {
+        self.config.policy = v;
         self
     }
 
-    /// Shorthand: keep the EWMA history strategy but set its `α`.
+    /// Sets a paper-native history strategy as the learning policy.
+    pub fn history(mut self, v: HistoryStrategy) -> Self {
+        self.config.policy = LearningPolicy::History(v);
+        self
+    }
+
+    /// Shorthand: use the EWMA history policy with the given `α`.
     pub fn alpha(mut self, alpha: f64) -> Self {
-        self.config.history = HistoryStrategy::Ewma { alpha };
+        self.config.policy = LearningPolicy::History(HistoryStrategy::Ewma { alpha });
         self
     }
 
@@ -282,6 +293,8 @@ impl RiptideConfig {
     /// ```text
     /// # riptide.conf
     /// alpha = 0.7            # or: history = none | windowed:<n>
+    /// policy = ewma          # any LearningPolicy::from_spec spec, e.g.
+    ///                        # p25 | p75 | loss-utility:<g>:<p>:<a>
     /// interval = 1           # seconds (i_u)
     /// ttl = 90               # seconds (t)
     /// cmax = 100
@@ -326,6 +339,10 @@ impl RiptideConfig {
                     };
                     builder.history(strategy)
                 }
+                "policy" => builder.policy(
+                    LearningPolicy::from_spec(value)
+                        .map_err(|e| bad(&format!("bad policy: {e}")))?,
+                ),
                 "interval" => builder.update_interval(SimDuration::from_secs(
                     value
                         .parse()
@@ -544,7 +561,10 @@ mod tests {
             "history = windowed:5\ncombine = max\ngranularity = /24\ntrend = 0.3:0.6\n",
         )
         .unwrap();
-        assert_eq!(cfg.history, HistoryStrategy::WindowedMean { window: 5 });
+        assert_eq!(
+            cfg.policy,
+            LearningPolicy::History(HistoryStrategy::WindowedMean { window: 5 })
+        );
         assert_eq!(cfg.combine, CombineStrategy::Max);
         assert_eq!(cfg.granularity, Granularity::Prefix(24));
         let trend = cfg.trend.unwrap();
@@ -552,6 +572,31 @@ mod tests {
         assert!((trend.overshoot - 0.6).abs() < 1e-12);
         let on = RiptideConfig::from_conf_str("trend = on\n").unwrap();
         assert!(on.trend.is_some());
+    }
+
+    #[test]
+    fn conf_file_policy_key() {
+        let cfg = RiptideConfig::from_conf_str("policy = p25\n").unwrap();
+        assert_eq!(
+            cfg.policy,
+            LearningPolicy::Percentile {
+                fraction: 0.25,
+                capacity: 64
+            }
+        );
+        let cfg = RiptideConfig::from_conf_str("policy = loss-utility:1.0:2.0:0.7\n").unwrap();
+        assert_eq!(
+            cfg.policy,
+            LearningPolicy::LossUtility {
+                gain: 1.0,
+                penalty: 2.0,
+                alpha: 0.7
+            }
+        );
+        // The default spec is exactly the deployment configuration.
+        let cfg = RiptideConfig::from_conf_str("policy = ewma\n").unwrap();
+        assert_eq!(cfg, RiptideConfig::deployment());
+        assert!(RiptideConfig::from_conf_str("policy = vibes\n").is_err());
     }
 
     #[test]

@@ -111,7 +111,9 @@ impl HistoryStrategy {
 }
 
 /// Per-destination memory owned by the agent's table, created by
-/// [`HistoryStrategy::new_state`].
+/// [`HistoryStrategy::new_state`] or a [`Policy::new_state`].
+///
+/// [`Policy::new_state`]: crate::policy::Policy::new_state
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistoryState {
     /// EWMA accumulator.
@@ -125,6 +127,22 @@ pub enum HistoryState {
     Window {
         /// Retained values.
         values: VecDeque<f64>,
+    },
+    /// Bounded ring of observed values for the percentile policies
+    /// ([`LearningPolicy::Percentile`]), newest last.
+    ///
+    /// [`LearningPolicy::Percentile`]: crate::policy::LearningPolicy::Percentile
+    Ring {
+        /// Retained observations.
+        values: VecDeque<f64>,
+    },
+    /// Smoothed loss-utility score for
+    /// [`LearningPolicy::LossUtility`].
+    ///
+    /// [`LearningPolicy::LossUtility`]: crate::policy::LearningPolicy::LossUtility
+    Utility {
+        /// Last smoothed utility, if any update has happened.
+        value: Option<f64>,
     },
 }
 

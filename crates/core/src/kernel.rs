@@ -94,9 +94,7 @@ impl KernelAgent {
     pub fn on_window_sample(&mut self, dst: Ipv4Addr, cwnd: u32, now: SimTime) {
         self.samples += 1;
         let key = self.config.granularity.key(dst);
-        let blended = self
-            .table
-            .blend(key, cwnd as f64, &self.config.history, now);
+        let blended = self.table.blend(key, cwnd as f64, &self.config.policy, now);
         let window = self.config.clamp(blended);
         self.table.set_window(&key, window);
     }

@@ -18,6 +18,7 @@
 //! | [`config`] | Table I parameters (`α`, `i_u`, `t`, `c_max`, `c_min`) + builder + conf-file parser | Table I |
 //! | [`combine`] | Average / max / traffic-weighted group reduction | §III-B combine alternatives |
 //! | [`history`] | EWMA / none / windowed history blending | §III-B history; Table I `α` |
+//! | [`policy`] | [`policy::Policy`] trait over window estimators; percentile and loss-utility competitors; the arena registry | §III-B design space; ROADMAP item 4 |
 //! | [`granularity`] | Host routes vs `/24` (PoP) prefix routes | §III-B granularity |
 //! | [`aggregate`] | Learn at `/32`, coalesce agreeing siblings into covering routes, split on divergence | §III-B at internet scale; Pied Piper (PAPERS.md) |
 //! | [`trend`] | §V trend damping (aggressive decrease on collapse) | §V |
@@ -70,6 +71,7 @@ pub mod kernel;
 pub mod model;
 pub mod observe;
 pub mod persist;
+pub mod policy;
 pub mod reconcile;
 pub mod resilience;
 pub mod sync;
@@ -100,6 +102,7 @@ pub mod prelude {
         decode_state, encode_state, replay, JournalOp, JournalRecord, PersistError, SnapshotEntry,
         StateFile, TableSnapshot,
     };
+    pub use crate::policy::{registered_policies, LearningPolicy, Policy, PolicyInput};
     pub use crate::reconcile::{audit, is_riptide_route, AuditReport, AuditVerdict};
     pub use crate::resilience::{
         retry_with_backoff, BackoffPolicy, IoStats, ResilientController, ResilientObserver,

@@ -31,14 +31,26 @@
 //!                entry* install* guard* crc:u32
 //! entry       := prefix window:u32 last_fresh:u64 last_updated:u64 history
 //! prefix      := bits:u32 len:u8            (len <= 32 or the block is rejected)
-//! history     := 0x00                       (EWMA, unseeded)
-//!              | 0x01 value:u64             (EWMA, seeded)
-//!              | 0x02                       (no history)
-//!              | 0x03 n:u16 value:u64 * n   (windowed mean)
+//! history     := tag:u8 len:u16 payload     (v2: len = payload bytes)
+//! payload     := ε                          (0x00 EWMA unseeded, 0x02 no
+//!                                            history, 0x05 utility unseeded)
+//!              | value:u64                  (0x01 EWMA seeded, 0x06 utility
+//!                                            seeded)
+//!              | n:u16 value:u64 * n        (0x03 windowed mean, 0x04
+//!                                            percentile ring)
 //! install     := prefix window:u32
 //! guard       := prefix breaker:u8 penalty:u64 penalty_at:u64 clean_streak:u32
 //! journal-record := tag:u8 at:u64 prefix window:u32 crc:u32   (22 bytes)
 //! ```
+//!
+//! Version 1 files (no `len` after the history tag, tags 0x00–0x03 only)
+//! still decode. The v2 length prefix is the forward-compat story: a
+//! decoder meeting a history tag it does not know skips `len` bytes and
+//! drops that entry alone — counted in
+//! [`TableSnapshot::skipped_entries`] and surfaced by the agent as the
+//! `riptide_persist_skipped_entries_total` metric — instead of rejecting
+//! the whole snapshot, so a version rollback costs the unknown entries,
+//! not the entire learned table.
 //!
 //! The snapshot CRC covers every byte from the magic through the last
 //! guard record; each journal record's CRC covers its first 18 bytes.
@@ -77,8 +89,9 @@ use crate::history::HistoryState;
 
 /// Snapshot magic: "RPTS".
 const MAGIC: [u8; 4] = *b"RPTS";
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current snapshot format version. Version 1 (unprefixed history
+/// encodings, tags 0x00–0x03 only) is still decoded.
+pub const FORMAT_VERSION: u16 = 2;
 /// Encoded size of one journal record.
 pub const JOURNAL_RECORD_BYTES: usize = 22;
 /// Upper bound on a windowed-mean history's retained values — far above
@@ -173,6 +186,11 @@ pub struct TableSnapshot {
     pub installs: Vec<(Ipv4Prefix, u32)>,
     /// Loss-guard breaker states, key-ordered.
     pub guards: Vec<GuardExport>,
+    /// Decode-side diagnostic (never encoded): entries dropped because
+    /// their history tag is unknown to this build — written by a newer
+    /// version whose policies this one does not have. Zero on snapshots
+    /// built in memory.
+    pub skipped_entries: u32,
 }
 
 /// What a journal record did.
@@ -279,19 +297,48 @@ impl TableSnapshot {
             put_u32(&mut out, e.window);
             put_u64(&mut out, e.last_fresh.to_bits());
             put_u64(&mut out, e.last_updated.as_nanos());
+            // v2: every history is `tag len:u16 payload`, so a decoder
+            // can skip payloads whose tag it does not know.
             match &e.history {
-                HistoryState::Ewma { value: None } => out.push(0x00),
+                HistoryState::Ewma { value: None } => {
+                    out.push(0x00);
+                    put_u16(&mut out, 0);
+                }
                 HistoryState::Ewma { value: Some(v) } => {
                     out.push(0x01);
+                    put_u16(&mut out, 8);
                     put_u64(&mut out, v.to_bits());
                 }
-                HistoryState::None => out.push(0x02),
+                HistoryState::None => {
+                    out.push(0x02);
+                    put_u16(&mut out, 0);
+                }
                 HistoryState::Window { values } => {
                     out.push(0x03);
-                    put_u16(&mut out, values.len().min(MAX_HISTORY_WINDOW) as u16);
-                    for v in values.iter().take(MAX_HISTORY_WINDOW) {
+                    let n = values.len().min(MAX_HISTORY_WINDOW);
+                    put_u16(&mut out, (2 + 8 * n) as u16);
+                    put_u16(&mut out, n as u16);
+                    for v in values.iter().take(n) {
                         put_u64(&mut out, v.to_bits());
                     }
+                }
+                HistoryState::Ring { values } => {
+                    out.push(0x04);
+                    let n = values.len().min(MAX_HISTORY_WINDOW);
+                    put_u16(&mut out, (2 + 8 * n) as u16);
+                    put_u16(&mut out, n as u16);
+                    for v in values.iter().take(n) {
+                        put_u64(&mut out, v.to_bits());
+                    }
+                }
+                HistoryState::Utility { value: None } => {
+                    out.push(0x05);
+                    put_u16(&mut out, 0);
+                }
+                HistoryState::Utility { value: Some(v) } => {
+                    out.push(0x06);
+                    put_u16(&mut out, 8);
+                    put_u64(&mut out, v.to_bits());
                 }
             }
         }
@@ -330,7 +377,7 @@ impl TableSnapshot {
             return Err(PersistError::BadMagic);
         }
         let version = r.u16()?;
-        if version != FORMAT_VERSION {
+        if version != 1 && version != FORMAT_VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let taken_at = SimTime::from_nanos(r.u64()?);
@@ -347,29 +394,82 @@ impl TableSnapshot {
             return Err(PersistError::Truncated);
         }
         let mut entries = Vec::with_capacity(n_entries);
+        let mut skipped_entries: u32 = 0;
         for _ in 0..n_entries {
             let key = r.prefix()?;
             let window = r.u32()?;
             let last_fresh = f64::from_bits(r.u64()?);
             let last_updated = SimTime::from_nanos(r.u64()?);
-            let history = match r.u8()? {
-                0x00 => HistoryState::Ewma { value: None },
-                0x01 => HistoryState::Ewma {
-                    value: Some(f64::from_bits(r.u64()?)),
-                },
-                0x02 => HistoryState::None,
-                0x03 => {
-                    let n = r.u16()? as usize;
-                    if n > MAX_HISTORY_WINDOW {
-                        return Err(PersistError::Malformed("history window too large"));
+            let tag = r.u8()?;
+            let history = if version == 1 {
+                // v1: no length prefix; the tag dictates the payload, so
+                // an unknown tag leaves the reader unalignable and the
+                // whole block must be rejected.
+                match tag {
+                    0x00 => HistoryState::Ewma { value: None },
+                    0x01 => HistoryState::Ewma {
+                        value: Some(f64::from_bits(r.u64()?)),
+                    },
+                    0x02 => HistoryState::None,
+                    0x03 => {
+                        let n = r.u16()? as usize;
+                        if n > MAX_HISTORY_WINDOW {
+                            return Err(PersistError::Malformed("history window too large"));
+                        }
+                        let mut values = std::collections::VecDeque::with_capacity(n);
+                        for _ in 0..n {
+                            values.push_back(f64::from_bits(r.u64()?));
+                        }
+                        HistoryState::Window { values }
                     }
-                    let mut values = std::collections::VecDeque::with_capacity(n);
-                    for _ in 0..n {
-                        values.push_back(f64::from_bits(r.u64()?));
-                    }
-                    HistoryState::Window { values }
+                    _ => return Err(PersistError::Malformed("unknown history tag")),
                 }
-                _ => return Err(PersistError::Malformed("unknown history tag")),
+            } else {
+                // v2: length-prefixed payload. Known tags must consume
+                // the payload exactly; an unknown tag (a policy from a
+                // newer build) skips cleanly and drops only this entry.
+                let len = r.u16()? as usize;
+                let payload = r.take(len)?;
+                let mut p = Reader::new(payload);
+                let history = match tag {
+                    0x00 => Some(HistoryState::Ewma { value: None }),
+                    0x01 => Some(HistoryState::Ewma {
+                        value: Some(f64::from_bits(p.u64()?)),
+                    }),
+                    0x02 => Some(HistoryState::None),
+                    0x03 | 0x04 => {
+                        let n = p.u16()? as usize;
+                        if n > MAX_HISTORY_WINDOW {
+                            return Err(PersistError::Malformed("history window too large"));
+                        }
+                        let mut values = std::collections::VecDeque::with_capacity(n);
+                        for _ in 0..n {
+                            values.push_back(f64::from_bits(p.u64()?));
+                        }
+                        Some(if tag == 0x03 {
+                            HistoryState::Window { values }
+                        } else {
+                            HistoryState::Ring { values }
+                        })
+                    }
+                    0x05 => Some(HistoryState::Utility { value: None }),
+                    0x06 => Some(HistoryState::Utility {
+                        value: Some(f64::from_bits(p.u64()?)),
+                    }),
+                    _ => None,
+                };
+                match history {
+                    Some(history) => {
+                        if p.pos != payload.len() {
+                            return Err(PersistError::Malformed("history payload length mismatch"));
+                        }
+                        history
+                    }
+                    None => {
+                        skipped_entries += 1;
+                        continue;
+                    }
+                }
             };
             entries.push(SnapshotEntry {
                 key,
@@ -415,6 +515,7 @@ impl TableSnapshot {
                 entries,
                 installs,
                 guards,
+                skipped_entries,
             },
             body_len + 4,
         ))
@@ -564,6 +665,7 @@ pub fn replay(snapshot: &TableSnapshot, journal: &[JournalRecord]) -> TableSnaps
         entries: entries.into_values().collect(),
         installs: installs.into_iter().collect(),
         guards: snapshot.guards.clone(),
+        skipped_entries: snapshot.skipped_entries,
     }
 }
 
@@ -611,6 +713,7 @@ mod tests {
                 penalty_at: SimTime::from_secs(95),
                 clean_streak: 0,
             }],
+            skipped_entries: 0,
         }
     }
 
@@ -834,6 +937,160 @@ mod tests {
         let replayed = replay(&snap, &journal);
         assert_eq!(replayed.installs, vec![(key(5), 70)]);
         assert_eq!(replayed.entries[0].window, 70);
+    }
+
+    /// Re-encodes a snapshot in the v1 format (no history length
+    /// prefixes) — old state files a v2 decoder must still read.
+    fn encode_v1(snap: &TableSnapshot) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, 1);
+        put_u64(&mut out, snap.taken_at.as_nanos());
+        put_u32(&mut out, snap.entries.len() as u32);
+        put_u32(&mut out, snap.installs.len() as u32);
+        put_u32(&mut out, snap.guards.len() as u32);
+        for e in &snap.entries {
+            put_prefix(&mut out, e.key);
+            put_u32(&mut out, e.window);
+            put_u64(&mut out, e.last_fresh.to_bits());
+            put_u64(&mut out, e.last_updated.as_nanos());
+            match &e.history {
+                HistoryState::Ewma { value: None } => out.push(0x00),
+                HistoryState::Ewma { value: Some(v) } => {
+                    out.push(0x01);
+                    put_u64(&mut out, v.to_bits());
+                }
+                HistoryState::None => out.push(0x02),
+                HistoryState::Window { values } => {
+                    out.push(0x03);
+                    put_u16(&mut out, values.len() as u16);
+                    for v in values {
+                        put_u64(&mut out, v.to_bits());
+                    }
+                }
+                other => panic!("v1 cannot encode {other:?}"),
+            }
+        }
+        for &(key, window) in &snap.installs {
+            put_prefix(&mut out, key);
+            put_u32(&mut out, window);
+        }
+        for g in &snap.guards {
+            put_prefix(&mut out, g.key);
+            out.push(match g.breaker {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            });
+            put_u64(&mut out, g.penalty.to_bits());
+            put_u64(&mut out, g.penalty_at.as_nanos());
+            put_u32(&mut out, g.clean_streak);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    #[test]
+    fn v1_snapshots_still_decode() {
+        let snap = sample_snapshot();
+        let bytes = encode_v1(&snap);
+        let (decoded, used) = TableSnapshot::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn v1_unknown_history_tag_still_rejects_the_block() {
+        // Without a length prefix an unknown tag is unalignable; the v1
+        // path must keep its original whole-block rejection.
+        let snap = TableSnapshot {
+            entries: vec![SnapshotEntry {
+                key: key(1),
+                window: 80,
+                last_fresh: 80.0,
+                last_updated: SimTime::from_secs(90),
+                history: HistoryState::None,
+            }],
+            ..TableSnapshot::default()
+        };
+        let mut bytes = encode_v1(&snap);
+        let tag_pos = bytes.len() - 4 - 1; // tag is the last body byte
+        assert_eq!(bytes[tag_pos], 0x02);
+        bytes[tag_pos] = 0x7F;
+        let crc = crc32(&bytes[..bytes.len() - 4]);
+        let end = bytes.len();
+        bytes[end - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            TableSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Malformed("unknown history tag")
+        );
+    }
+
+    #[test]
+    fn new_history_variants_round_trip() {
+        let snap = TableSnapshot {
+            taken_at: SimTime::from_secs(50),
+            entries: vec![
+                SnapshotEntry {
+                    key: key(4),
+                    window: 30,
+                    last_fresh: 31.0,
+                    last_updated: SimTime::from_secs(45),
+                    history: HistoryState::Ring {
+                        values: [28.0, 33.0, 30.5].into_iter().collect(),
+                    },
+                },
+                SnapshotEntry {
+                    key: key(5),
+                    window: 60,
+                    last_fresh: 61.0,
+                    last_updated: SimTime::from_secs(46),
+                    history: HistoryState::Utility { value: Some(58.75) },
+                },
+                SnapshotEntry {
+                    key: key(6),
+                    window: 20,
+                    last_fresh: 20.0,
+                    last_updated: SimTime::from_secs(47),
+                    history: HistoryState::Utility { value: None },
+                },
+            ],
+            ..TableSnapshot::default()
+        };
+        let bytes = snap.encode();
+        let (decoded, used) = TableSnapshot::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn unknown_v2_history_tag_skips_only_that_entry() {
+        // Encode three entries, rewrite the middle one's tag to a value
+        // no build knows, and fix up the CRC: the other two entries must
+        // survive and the skip must be counted.
+        let snap = sample_snapshot();
+        let mut bytes = snap.encode();
+        // Locate the second entry's tag: walk the first two entries.
+        let entry_head = 5 + 4 + 8 + 8; // prefix + window + fresh + updated
+        let mut pos = 4 + 2 + 8 + 12; // magic version taken_at counts
+        pos += entry_head; // first entry fields
+        assert_eq!(bytes[pos], 0x01, "first entry: seeded EWMA");
+        pos += 1 + 2 + 8; // tag len payload
+        pos += entry_head; // second entry fields
+        assert_eq!(bytes[pos], 0x03, "second entry: windowed mean");
+        bytes[pos] = 0x7F;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+
+        let (decoded, used) = TableSnapshot::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded.skipped_entries, 1);
+        let keys: Vec<Ipv4Prefix> = decoded.entries.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![key(1), key(3)], "only the tagged entry drops");
+        assert_eq!(decoded.installs, snap.installs);
+        assert_eq!(decoded.guards, snap.guards);
     }
 
     #[test]

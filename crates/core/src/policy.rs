@@ -1,0 +1,641 @@
+//! Pluggable learning policies: the window estimator behind a trait.
+//!
+//! The paper's deployed estimator — EWMA over the combined observation,
+//! clamped into `[c_min, c_max]` — is one point in a design space §III-B
+//! explicitly leaves open. This module factors that estimator behind the
+//! [`Policy`] trait so competitors can race through the same agent,
+//! persistence, and experiment machinery:
+//!
+//! * [`LearningPolicy::History`] wraps the paper's strategies
+//!   ([`HistoryStrategy`]: EWMA / none / windowed mean) unchanged — the
+//!   default EWMA path is arithmetically identical to the pre-trait
+//!   code, which the golden digests pin.
+//! * [`LearningPolicy::Percentile`] keeps a bounded ring of observed
+//!   values and answers a fixed quantile of it: p25 is a conservative
+//!   estimator (a window a quarter of recent observations stayed
+//!   under), p75 an aggressive one.
+//! * [`LearningPolicy::LossUtility`] is a Pied-Piper-style delivery
+//!   score: the fresh value earns `gain` credit, discounted by
+//!   `penalty × loss_rate` from the group's retransmit share, then
+//!   smoothed by an EWMA. Heavy loss drives the utility down (even
+//!   negative — the clamp floors it at `c_min`), so a destination that
+//!   only looks fast while retransmitting never jump-starts high.
+//!
+//! Policies carry a stable [`Policy::name`] that flows into the decision
+//! journal ([`DecisionCause::Learned`]) and bench reports, and a state
+//! constructor whose variants are persisted by [`crate::persist`].
+//!
+//! [`DecisionCause::Learned`]: crate::telemetry::DecisionCause::Learned
+
+use std::collections::VecDeque;
+
+use crate::history::{HistoryState, HistoryStrategy};
+
+/// The MSS used to convert `bytes_acked` into a segment count for loss
+/// rates, matching [`crate::guard`]'s accounting.
+const LOSS_MSS: u64 = 1448;
+
+/// Everything a policy may consume from one observation group: the
+/// combined fresh value plus the group's cumulative loss counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyInput {
+    /// The combined (post-[`CombineStrategy`]) fresh window value.
+    ///
+    /// [`CombineStrategy`]: crate::combine::CombineStrategy
+    pub fresh: f64,
+    /// Cumulative retransmitted segments across the group.
+    pub retrans: u64,
+    /// Cumulative acknowledged bytes across the group.
+    pub bytes_acked: u64,
+}
+
+impl PolicyInput {
+    /// An input carrying only the fresh value (no loss signal) — what
+    /// the pure history policies consume.
+    pub fn fresh_only(fresh: f64) -> Self {
+        PolicyInput {
+            fresh,
+            retrans: 0,
+            bytes_acked: 0,
+        }
+    }
+}
+
+/// A window estimator: turns a stream of per-destination observations
+/// into the pre-clamp value the agent installs.
+///
+/// The contract every implementation (and the cross-policy proptests in
+/// `tests/invariants.rs`) must honor:
+///
+/// * `new_state` creates a state `observe` accepts; `observe` on a
+///   state from a different policy is a caller logic error and may
+///   panic.
+/// * A constant loss-free input stream converges to that constant (the
+///   estimator must not drift on steady evidence).
+/// * The returned value is finite for finite input; the agent's clamp
+///   maps anything else to `c_min`.
+/// * `name` is stable across runs — it is journaled and persisted into
+///   bench baselines.
+pub trait Policy {
+    /// A short stable identifier for journals, benches, and reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range parameter.
+    fn validate(&self) -> Result<(), String>;
+
+    /// Creates the per-destination state this policy updates.
+    fn new_state(&self) -> HistoryState;
+
+    /// Whether `state` is a variant this policy's `observe` accepts —
+    /// the warm-restart compatibility check (a persisted state from a
+    /// different policy is re-seeded, not fed in raw).
+    fn state_matches(&self, state: &HistoryState) -> bool;
+
+    /// Feeds one observation group through the estimator, returning the
+    /// value to shape and clamp.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `state` was created by a different policy (a logic
+    /// error in the caller — see [`Policy::state_matches`]).
+    fn observe(&self, state: &mut HistoryState, input: &PolicyInput) -> f64;
+
+    /// [`Policy::observe`] with only a fresh value — the seam the
+    /// pre-trait callers (kernel agent, gossip seeding, table doctests)
+    /// use.
+    fn blend(&self, state: &mut HistoryState, fresh: f64) -> f64 {
+        self.observe(state, &PolicyInput::fresh_only(fresh))
+    }
+}
+
+impl Policy for HistoryStrategy {
+    fn name(&self) -> &'static str {
+        HistoryStrategy::name(self)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        HistoryStrategy::validate(self)
+    }
+
+    fn new_state(&self) -> HistoryState {
+        HistoryStrategy::new_state(self)
+    }
+
+    fn state_matches(&self, state: &HistoryState) -> bool {
+        matches!(
+            (self, state),
+            (HistoryStrategy::Ewma { .. }, HistoryState::Ewma { .. })
+                | (HistoryStrategy::None, HistoryState::None)
+                | (
+                    HistoryStrategy::WindowedMean { .. },
+                    HistoryState::Window { .. }
+                )
+        )
+    }
+
+    fn observe(&self, state: &mut HistoryState, input: &PolicyInput) -> f64 {
+        // The paper's strategies are loss-blind: only the fresh value
+        // feeds the blend, exactly as before the trait existed.
+        HistoryStrategy::blend(self, state, input.fresh)
+    }
+}
+
+/// The registered estimator competitors, as one configurable enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearningPolicy {
+    /// A paper-native history strategy (EWMA / none / windowed mean).
+    History(HistoryStrategy),
+    /// A fixed quantile over a bounded ring of observed values.
+    Percentile {
+        /// The quantile answered, in `[0, 1]` (0.25 = conservative p25,
+        /// 0.75 = aggressive p75).
+        fraction: f64,
+        /// Ring capacity: how many recent observations are retained
+        /// (1..=4096, the persistence codec's bound).
+        capacity: usize,
+    },
+    /// Pied-Piper-style loss-utility score: `fresh × (gain − penalty ×
+    /// loss_rate)`, EWMA-smoothed with weight `alpha` on history.
+    LossUtility {
+        /// Credit multiplier on the fresh value (1.0 = converge to the
+        /// fresh value when loss-free).
+        gain: f64,
+        /// Penalty multiplier on the retransmit share.
+        penalty: f64,
+        /// EWMA weight on the historical utility, in `[0, 1]`.
+        alpha: f64,
+    },
+}
+
+impl Default for LearningPolicy {
+    fn default() -> Self {
+        LearningPolicy::History(HistoryStrategy::default())
+    }
+}
+
+impl From<HistoryStrategy> for LearningPolicy {
+    fn from(strategy: HistoryStrategy) -> Self {
+        LearningPolicy::History(strategy)
+    }
+}
+
+/// Upper bound on a percentile ring, matching the persistence codec's
+/// `MAX_HISTORY_WINDOW`.
+const MAX_RING: usize = 4096;
+
+impl Policy for LearningPolicy {
+    fn name(&self) -> &'static str {
+        match self {
+            LearningPolicy::History(s) => HistoryStrategy::name(s),
+            LearningPolicy::Percentile { fraction, .. } => {
+                if (fraction - 0.25).abs() < 1e-9 {
+                    "p25"
+                } else if (fraction - 0.5).abs() < 1e-9 {
+                    "p50"
+                } else if (fraction - 0.75).abs() < 1e-9 {
+                    "p75"
+                } else {
+                    "percentile"
+                }
+            }
+            LearningPolicy::LossUtility { .. } => "loss-utility",
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            LearningPolicy::History(s) => HistoryStrategy::validate(&s),
+            LearningPolicy::Percentile { fraction, capacity } => {
+                if !(0.0..=1.0).contains(&fraction) || fraction.is_nan() {
+                    return Err(format!(
+                        "percentile fraction must be in [0, 1], got {fraction}"
+                    ));
+                }
+                if capacity == 0 || capacity > MAX_RING {
+                    return Err(format!(
+                        "ring capacity must be in 1..={MAX_RING}, got {capacity}"
+                    ));
+                }
+                Ok(())
+            }
+            LearningPolicy::LossUtility {
+                gain,
+                penalty,
+                alpha,
+            } => {
+                if !gain.is_finite() || gain <= 0.0 {
+                    return Err(format!("gain must be finite and positive, got {gain}"));
+                }
+                if !penalty.is_finite() || penalty < 0.0 {
+                    return Err(format!(
+                        "penalty must be finite and non-negative, got {penalty}"
+                    ));
+                }
+                if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+                    return Err(format!("alpha must be in [0, 1], got {alpha}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn new_state(&self) -> HistoryState {
+        match *self {
+            LearningPolicy::History(s) => HistoryStrategy::new_state(&s),
+            LearningPolicy::Percentile { capacity, .. } => HistoryState::Ring {
+                values: VecDeque::with_capacity(capacity),
+            },
+            LearningPolicy::LossUtility { .. } => HistoryState::Utility { value: None },
+        }
+    }
+
+    fn state_matches(&self, state: &HistoryState) -> bool {
+        match self {
+            LearningPolicy::History(s) => Policy::state_matches(s, state),
+            LearningPolicy::Percentile { .. } => matches!(state, HistoryState::Ring { .. }),
+            LearningPolicy::LossUtility { .. } => matches!(state, HistoryState::Utility { .. }),
+        }
+    }
+
+    fn observe(&self, state: &mut HistoryState, input: &PolicyInput) -> f64 {
+        match (*self, state) {
+            (LearningPolicy::History(s), state) => Policy::observe(&s, state, input),
+            (LearningPolicy::Percentile { fraction, capacity }, HistoryState::Ring { values }) => {
+                values.push_back(input.fresh);
+                while values.len() > capacity {
+                    values.pop_front();
+                }
+                let mut sorted: Vec<f64> = values.iter().copied().collect();
+                sorted.sort_by(f64::total_cmp);
+                // Nearest-rank quantile: exact on a singleton, and the
+                // constant itself on a constant stream.
+                let idx = ((sorted.len() - 1) as f64 * fraction).round() as usize;
+                sorted[idx.min(sorted.len() - 1)]
+            }
+            (
+                LearningPolicy::LossUtility {
+                    gain,
+                    penalty,
+                    alpha,
+                },
+                HistoryState::Utility { value },
+            ) => {
+                // Loss rate as the retransmit share of delivered
+                // segments, the same accounting the guard uses. A group
+                // that acked nothing yet counts one segment so a single
+                // retransmit cannot read as 100% loss.
+                let segments = (input.bytes_acked / LOSS_MSS).max(1);
+                let loss_rate = input.retrans as f64 / (input.retrans as f64 + segments as f64);
+                let utility = input.fresh * (gain - penalty * loss_rate);
+                let blended = match *value {
+                    None => utility,
+                    Some(prev) => alpha * prev + (1.0 - alpha) * utility,
+                };
+                *value = Some(blended);
+                blended
+            }
+            (policy, state) => {
+                panic!("history state {state:?} does not match policy {policy:?}")
+            }
+        }
+    }
+}
+
+impl LearningPolicy {
+    /// Parses a policy spec as written in `riptided --policy` and the
+    /// conf file's `policy =` key:
+    ///
+    /// ```text
+    /// ewma | ewma:<alpha> | ewma-fast | none | windowed:<n>
+    /// p25 | p50 | p75 | percentile:<fraction>:<capacity>
+    /// loss-utility | loss-utility:<gain>:<penalty>:<alpha>
+    /// ```
+    ///
+    /// Registered competitor names ([`registered_policies`]) resolve to
+    /// their registered parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unparsable token; the result
+    /// is additionally [`Policy::validate`]d.
+    pub fn from_spec(spec: &str) -> Result<LearningPolicy, String> {
+        let spec = spec.trim();
+        if let Some((_, policy)) = registered_policies().into_iter().find(|(n, _)| *n == spec) {
+            return Ok(policy);
+        }
+        let parsed = if spec == "ewma" {
+            LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.7 })
+        } else if let Some(a) = spec.strip_prefix("ewma:") {
+            LearningPolicy::History(HistoryStrategy::Ewma {
+                alpha: a.parse().map_err(|e| format!("bad alpha: {e}"))?,
+            })
+        } else if spec == "none" {
+            LearningPolicy::History(HistoryStrategy::None)
+        } else if let Some(n) = spec.strip_prefix("windowed:") {
+            LearningPolicy::History(HistoryStrategy::WindowedMean {
+                window: n.parse().map_err(|e| format!("bad window: {e}"))?,
+            })
+        } else if spec == "p50" {
+            LearningPolicy::Percentile {
+                fraction: 0.5,
+                capacity: 64,
+            }
+        } else if let Some(rest) = spec.strip_prefix("percentile:") {
+            let (frac, cap) = rest
+                .split_once(':')
+                .ok_or("percentile needs <fraction>:<capacity>")?;
+            LearningPolicy::Percentile {
+                fraction: frac.parse().map_err(|e| format!("bad fraction: {e}"))?,
+                capacity: cap.parse().map_err(|e| format!("bad capacity: {e}"))?,
+            }
+        } else if let Some(rest) = spec.strip_prefix("loss-utility:") {
+            let mut parts = rest.splitn(3, ':');
+            let mut next = |what: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("loss-utility missing {what}"))
+            };
+            LearningPolicy::LossUtility {
+                gain: next("gain")?
+                    .parse()
+                    .map_err(|e| format!("bad gain: {e}"))?,
+                penalty: next("penalty")?
+                    .parse()
+                    .map_err(|e| format!("bad penalty: {e}"))?,
+                alpha: next("alpha")?
+                    .parse()
+                    .map_err(|e| format!("bad alpha: {e}"))?,
+            }
+        } else {
+            return Err(format!("unknown policy {spec:?}"));
+        };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+}
+
+/// The competitors the policy-ablation arena races, in arena arm order:
+/// `(registered name, policy)`. The first entry is the paper's deployed
+/// default — its arena arm is labeled `riptide` so its shard digests
+/// stay byte-identical to `probe_comparison`'s.
+pub fn registered_policies() -> Vec<(&'static str, LearningPolicy)> {
+    vec![
+        (
+            "ewma",
+            LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.7 }),
+        ),
+        (
+            "ewma-fast",
+            LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.3 }),
+        ),
+        (
+            "p25",
+            LearningPolicy::Percentile {
+                fraction: 0.25,
+                capacity: 64,
+            },
+        ),
+        (
+            "p75",
+            LearningPolicy::Percentile {
+                fraction: 0.75,
+                capacity: 64,
+            },
+        ),
+        (
+            "loss-utility",
+            LearningPolicy::LossUtility {
+                gain: 1.0,
+                penalty: 2.0,
+                alpha: 0.7,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_the_deployment_ewma() {
+        assert_eq!(
+            LearningPolicy::default(),
+            LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.7 })
+        );
+        assert_eq!(LearningPolicy::default().name(), "ewma");
+    }
+
+    #[test]
+    fn history_policy_matches_inherent_blend_bit_for_bit() {
+        // The trait path must be arithmetically identical to the
+        // pre-trait inherent path — this is what keeps every golden
+        // digest unchanged.
+        let strategy = HistoryStrategy::Ewma { alpha: 0.7 };
+        let policy = LearningPolicy::History(strategy);
+        let mut a = strategy.new_state();
+        let mut b = Policy::new_state(&policy);
+        for v in [50.0, 150.0, 10.0, 77.3, 99.9] {
+            let want = strategy.blend(&mut a, v);
+            let got = policy.observe(&mut b, &PolicyInput::fresh_only(v));
+            assert_eq!(want.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn percentile_answers_the_requested_quantile() {
+        let p25 = LearningPolicy::Percentile {
+            fraction: 0.25,
+            capacity: 8,
+        };
+        let mut st = Policy::new_state(&p25);
+        let mut last = 0.0;
+        for v in [40.0, 10.0, 30.0, 20.0, 50.0] {
+            last = p25.observe(&mut st, &PolicyInput::fresh_only(v));
+        }
+        // Sorted ring [10, 20, 30, 40, 50]: nearest-rank p25 = 20.
+        assert_eq!(last, 20.0);
+        let p75 = LearningPolicy::Percentile {
+            fraction: 0.75,
+            capacity: 8,
+        };
+        let mut st = Policy::new_state(&p75);
+        for v in [40.0, 10.0, 30.0, 20.0, 50.0] {
+            last = p75.observe(&mut st, &PolicyInput::fresh_only(v));
+        }
+        assert_eq!(last, 40.0);
+    }
+
+    #[test]
+    fn percentile_ring_is_bounded() {
+        let policy = LearningPolicy::Percentile {
+            fraction: 0.75,
+            capacity: 3,
+        };
+        let mut st = Policy::new_state(&policy);
+        for v in 1..=10 {
+            policy.observe(&mut st, &PolicyInput::fresh_only(v as f64));
+        }
+        match &st {
+            HistoryState::Ring { values } => {
+                assert_eq!(values.iter().copied().collect::<Vec<_>>(), [8.0, 9.0, 10.0]);
+            }
+            other => panic!("wrong state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_utility_converges_when_loss_free() {
+        let policy = LearningPolicy::LossUtility {
+            gain: 1.0,
+            penalty: 2.0,
+            alpha: 0.7,
+        };
+        let mut st = Policy::new_state(&policy);
+        let mut v = 0.0;
+        for _ in 0..200 {
+            v = policy.observe(
+                &mut st,
+                &PolicyInput {
+                    fresh: 80.0,
+                    retrans: 0,
+                    bytes_acked: 1 << 20,
+                },
+            );
+        }
+        assert!((v - 80.0).abs() < 1e-6, "converged to {v}");
+    }
+
+    #[test]
+    fn loss_utility_discounts_retransmits() {
+        let policy = LearningPolicy::LossUtility {
+            gain: 1.0,
+            penalty: 2.0,
+            alpha: 0.0, // no smoothing: inspect the raw score
+        };
+        let mut st = Policy::new_state(&policy);
+        let clean = policy.observe(
+            &mut st,
+            &PolicyInput {
+                fresh: 80.0,
+                retrans: 0,
+                bytes_acked: 1448 * 100,
+            },
+        );
+        assert_eq!(clean, 80.0);
+        // 100 retransmits against 100 delivered segments: 50% loss rate,
+        // utility 80 × (1 − 2·0.5) = 0.
+        let lossy = policy.observe(
+            &mut st,
+            &PolicyInput {
+                fresh: 80.0,
+                retrans: 100,
+                bytes_acked: 1448 * 100,
+            },
+        );
+        assert!(lossy.abs() < 1e-9, "got {lossy}");
+    }
+
+    #[test]
+    fn registered_policies_validate_and_have_unique_names() {
+        let regs = registered_policies();
+        assert!(regs.len() >= 4, "the arena needs at least 4 competitors");
+        let mut names: Vec<&str> = regs.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), regs.len(), "registered names must be unique");
+        for (name, policy) in regs {
+            policy.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Every registered policy round-trips through the spec
+            // parser under its registered name.
+            assert_eq!(LearningPolicy::from_spec(name).unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn spec_parsing_covers_the_grammar() {
+        assert_eq!(
+            LearningPolicy::from_spec("ewma:0.3").unwrap(),
+            LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.3 })
+        );
+        assert_eq!(
+            LearningPolicy::from_spec("none").unwrap(),
+            LearningPolicy::History(HistoryStrategy::None)
+        );
+        assert_eq!(
+            LearningPolicy::from_spec("windowed:5").unwrap(),
+            LearningPolicy::History(HistoryStrategy::WindowedMean { window: 5 })
+        );
+        assert_eq!(
+            LearningPolicy::from_spec("percentile:0.9:128").unwrap(),
+            LearningPolicy::Percentile {
+                fraction: 0.9,
+                capacity: 128
+            }
+        );
+        assert_eq!(
+            LearningPolicy::from_spec("p50").unwrap(),
+            LearningPolicy::Percentile {
+                fraction: 0.5,
+                capacity: 64
+            }
+        );
+        assert_eq!(
+            LearningPolicy::from_spec("loss-utility:1.5:3.0:0.5").unwrap(),
+            LearningPolicy::LossUtility {
+                gain: 1.5,
+                penalty: 3.0,
+                alpha: 0.5
+            }
+        );
+        assert!(LearningPolicy::from_spec("vibes").is_err());
+        assert!(LearningPolicy::from_spec("ewma:1.5").is_err(), "validated");
+        assert!(LearningPolicy::from_spec("percentile:0.5:0").is_err());
+        assert!(LearningPolicy::from_spec("loss-utility:0:1:0.5").is_err());
+    }
+
+    #[test]
+    fn state_matching_covers_every_pair() {
+        let policies = [
+            LearningPolicy::History(HistoryStrategy::Ewma { alpha: 0.7 }),
+            LearningPolicy::History(HistoryStrategy::None),
+            LearningPolicy::History(HistoryStrategy::WindowedMean { window: 4 }),
+            LearningPolicy::Percentile {
+                fraction: 0.25,
+                capacity: 8,
+            },
+            LearningPolicy::LossUtility {
+                gain: 1.0,
+                penalty: 2.0,
+                alpha: 0.7,
+            },
+        ];
+        for (i, p) in policies.iter().enumerate() {
+            for (j, q) in policies.iter().enumerate() {
+                let state = Policy::new_state(q);
+                assert_eq!(
+                    p.state_matches(&state),
+                    i == j,
+                    "policy {i} vs state of {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_state_panics() {
+        let policy = LearningPolicy::Percentile {
+            fraction: 0.25,
+            capacity: 8,
+        };
+        let mut st = HistoryState::None;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            policy.observe(&mut st, &PolicyInput::fresh_only(1.0));
+        }));
+        assert!(r.is_err());
+    }
+}

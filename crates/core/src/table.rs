@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 use riptide_linuxnet::prefix::Ipv4Prefix;
 use riptide_simnet::time::{SimDuration, SimTime};
 
-use crate::history::{HistoryState, HistoryStrategy};
+use crate::history::HistoryState;
+use crate::policy::{Policy, PolicyInput};
 
 /// One destination's learned state.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,22 +196,25 @@ impl FinalTable {
 
     /// Blends `fresh` into the entry for `key` (creating it if new),
     /// stamps it with `now`, stores the clamped `window`, and returns the
-    /// blended pre-clamp value.
-    pub fn update(
+    /// blended pre-clamp value. Any [`Policy`] — a plain
+    /// [`HistoryStrategy`](crate::history::HistoryStrategy) or a
+    /// [`LearningPolicy`](crate::policy::LearningPolicy) — drives the
+    /// blend.
+    pub fn update<P: Policy + ?Sized>(
         &mut self,
         key: Ipv4Prefix,
         fresh: f64,
         window: u32,
-        strategy: &HistoryStrategy,
+        policy: &P,
         now: SimTime,
     ) -> f64 {
         let entry = self.entries.entry(key).or_insert_with(|| FinalEntry {
             window,
-            history: strategy.new_state(),
+            history: policy.new_state(),
             last_fresh: fresh,
             last_updated: now,
         });
-        let blended = strategy.blend(&mut entry.history, fresh);
+        let blended = policy.blend(&mut entry.history, fresh);
         entry.window = window;
         entry.last_fresh = fresh;
         entry.last_updated = now;
@@ -233,22 +237,36 @@ impl FinalTable {
 
     /// Blends `fresh` through the history for `key` without committing a
     /// window yet, creating the entry if needed.
-    pub fn blend(
+    pub fn blend<P: Policy + ?Sized>(
         &mut self,
         key: Ipv4Prefix,
         fresh: f64,
-        strategy: &HistoryStrategy,
+        policy: &P,
+        now: SimTime,
+    ) -> f64 {
+        self.observe(key, &PolicyInput::fresh_only(fresh), policy, now)
+    }
+
+    /// Feeds a full observation group (fresh value plus loss counters)
+    /// through the policy for `key` without committing a window yet,
+    /// creating the entry if needed — the loss-aware generalisation of
+    /// [`FinalTable::blend`].
+    pub fn observe<P: Policy + ?Sized>(
+        &mut self,
+        key: Ipv4Prefix,
+        input: &PolicyInput,
+        policy: &P,
         now: SimTime,
     ) -> f64 {
         let entry = self.entries.entry(key).or_insert_with(|| FinalEntry {
             window: 0,
-            history: strategy.new_state(),
-            last_fresh: fresh,
+            history: policy.new_state(),
+            last_fresh: input.fresh,
             last_updated: now,
         });
         entry.last_updated = now;
-        let blended = strategy.blend(&mut entry.history, fresh);
-        entry.last_fresh = fresh;
+        let blended = policy.observe(&mut entry.history, input);
+        entry.last_fresh = input.fresh;
         blended
     }
 
@@ -289,6 +307,7 @@ impl FinalTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::HistoryStrategy;
     use std::net::Ipv4Addr;
 
     fn key(n: u8) -> Ipv4Prefix {

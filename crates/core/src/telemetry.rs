@@ -494,6 +494,9 @@ pub enum DecisionCause {
         clamped: bool,
         /// Whether trend damping (§V) overrode the history blend.
         trend_damped: bool,
+        /// The learning policy that produced the value
+        /// ([`Policy::name`](crate::policy::Policy::name)).
+        policy: &'static str,
     },
     /// The loss guard's breaker forced the decision.
     Guard {
@@ -581,8 +584,12 @@ impl DecisionRecord {
                 fresh,
                 clamped,
                 trend_damped,
+                policy,
             } => {
-                format!("learned fresh={fresh} clamped={clamped} trend_damped={trend_damped}")
+                format!(
+                    "learned fresh={fresh} clamped={clamped} trend_damped={trend_damped} \
+                     policy={policy}"
+                )
             }
             DecisionCause::Guard { state } => format!("guard {state:?}"),
             DecisionCause::TtlExpired => "ttl-expired".to_string(),
@@ -1073,10 +1080,13 @@ mod tests {
                 fresh: 80,
                 clamped: false,
                 trend_damped: false,
+                policy: "ewma",
             },
         );
         assert!(
-            line.contains("install w=80") && line.contains("learned fresh=80"),
+            line.contains("install w=80")
+                && line.contains("learned fresh=80")
+                && line.contains("policy=ewma"),
             "{line}"
         );
         let line = mk(

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use riptide::guard::{BreakerState, GuardExport};
 use riptide::history::HistoryState;
 use riptide::persist::{
-    decode_state, encode_state, JournalOp, JournalRecord, SnapshotEntry, TableSnapshot,
+    crc32, decode_state, encode_state, JournalOp, JournalRecord, SnapshotEntry, TableSnapshot,
     JOURNAL_RECORD_BYTES,
 };
 use riptide_linuxnet::prefix::Ipv4Prefix;
@@ -31,14 +31,20 @@ fn prefix_from(seed: u64) -> Ipv4Prefix {
 /// variant with finite floats (NaN would break `PartialEq`, not the
 /// codec — `to_bits` round-trips any pattern).
 fn entry_from(seed: u64) -> SnapshotEntry {
-    let history = match (seed >> 3) % 4 {
+    let history = match (seed >> 3) % 6 {
         0 => HistoryState::Ewma { value: None },
         1 => HistoryState::Ewma {
             value: Some((seed % 10_000) as f64 / 7.0),
         },
         2 => HistoryState::None,
-        _ => HistoryState::Window {
+        3 => HistoryState::Window {
             values: (0..(seed % 5)).map(|i| (seed ^ i) as f64 % 900.0).collect(),
+        },
+        4 => HistoryState::Ring {
+            values: (0..(seed % 7)).map(|i| (seed ^ i) as f64 % 300.0).collect(),
+        },
+        _ => HistoryState::Utility {
+            value: (seed & 1 == 1).then(|| (seed % 5_000) as f64 / 13.0),
         },
     };
     SnapshotEntry {
@@ -87,7 +93,35 @@ fn snapshot_from(taken_at: u64, seeds: &[u64]) -> TableSnapshot {
             .map(|&s| (prefix_from(s), 10 + (s % 91) as u32))
             .collect(),
         guards: seeds.iter().map(|&s| guard_from(s)).collect(),
+        skipped_entries: 0,
     }
+}
+
+/// Regression for the forward-compat gap fixed alongside the policy
+/// work: decoding a snapshot whose entry carries an unknown history tag
+/// used to reject the *whole* snapshot
+/// (`Err(Malformed("unknown history tag"))`), so a version rollback
+/// lost the entire learned table. It must instead skip just that entry
+/// and count the skip.
+#[test]
+fn unknown_history_tag_skips_entry_not_snapshot() {
+    let snapshot = snapshot_from(3, &[8, 100, 201]);
+    assert_eq!(snapshot.entries.len(), 3);
+    let mut bytes = snapshot.encode();
+    // Walk the fixed v2 layout to the first entry's history tag:
+    // header = magic(4) + version(2) + taken_at(8) + 3 counts(12),
+    // entry fields = prefix(5) + window(4) + fresh(8) + updated(8).
+    let tag_pos = 26 + 25;
+    bytes[tag_pos] = 0xEE;
+    let body_len = bytes.len() - 4;
+    let crc = crc32(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+
+    let state = decode_state(&bytes).expect("one foreign entry must not reject the snapshot");
+    assert_eq!(state.snapshot.skipped_entries, 1);
+    assert_eq!(state.snapshot.entries, snapshot.entries[1..]);
+    assert_eq!(state.snapshot.installs, snapshot.installs);
+    assert_eq!(state.snapshot.guards, snapshot.guards);
 }
 
 proptest! {

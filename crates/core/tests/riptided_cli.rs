@@ -163,6 +163,47 @@ fn ewma_across_snapshots() {
 }
 
 #[test]
+fn policy_flag_selects_the_estimator() {
+    // Same two polls as the EWMA test (windows 40 then 80), but under
+    // the conservative p25 percentile the ring's lower sample keeps
+    // winning: the learned window stays 40, so install-on-change emits
+    // a single route — distinct from EWMA's 40 → 60 pair above.
+    let a = write_snapshot(
+        "policy-a",
+        "ESTAB 10.0.0.1 10.0.9.1\n\t cubic cwnd:40 bytes_acked:1\n",
+    );
+    let b = write_snapshot(
+        "policy-b",
+        "ESTAB 10.0.0.1 10.0.9.1\n\t cubic cwnd:80 bytes_acked:1\n",
+    );
+    let out = run(&["--policy", "p25", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.trim(),
+        "ip route replace 10.0.9.1 proto static initcwnd 40"
+    );
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn bad_policy_spec_is_rejected() {
+    let snap = write_snapshot("policy-bad", SNAPSHOT_A);
+    let out = run(&["--policy", "vibes", snap.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad --policy"),
+        "stderr names the flag"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
 fn metrics_flag_prints_prometheus_counters() {
     let snap = write_snapshot("metrics", SNAPSHOT_A);
     let out = run(&["--no-history", "--metrics", snap.to_str().unwrap()]);

@@ -32,8 +32,9 @@ fn small_scale() -> ExperimentScale {
 }
 
 /// Every plan family the engine knows, at a fixed small scale: the
-/// concatenated digests fingerprint all six [`ShardWork`] variants plus
-/// the telemetry `metrics=` token path.
+/// concatenated digests fingerprint all six [`ShardWork`] variants,
+/// the telemetry `metrics=` token path, and one arm per registered
+/// learning policy (the policy-ablation arena).
 ///
 /// [`ShardWork`]: riptide_repro::cdn::engine::ShardWork
 fn all_plan_digests() -> String {
@@ -46,6 +47,7 @@ fn all_plan_digests() -> String {
         RunPlan::guardrail_sweep(&scale, &[0.3], 1),
         RunPlan::traffic_profile(&scale),
         RunPlan::convergence(&scale, SimDuration::from_secs(120)),
+        RunPlan::policy_ablation(&scale, 1),
     ];
     let mut out = String::new();
     for plan in &plans {

@@ -815,3 +815,163 @@ proptest! {
         prop_assert!(SimDuration::from_secs(lo) <= SimDuration::from_secs(hi));
     }
 }
+
+// ---------------------------------------------------------------------
+// Learning policies: every registered policy honours the same contracts
+// ---------------------------------------------------------------------
+
+/// The policies under test: the arena registry plus the spec-grammar
+/// corners the registry does not cover (no-history, windowed mean, an
+/// odd percentile).
+fn policies_under_test() -> Vec<(String, riptide_repro::riptide::policy::LearningPolicy)> {
+    use riptide_repro::riptide::policy::LearningPolicy;
+    let mut out: Vec<(String, LearningPolicy)> =
+        riptide_repro::riptide::policy::registered_policies()
+            .into_iter()
+            .map(|(name, p)| (name.to_string(), p))
+            .collect();
+    for spec in ["none", "windowed:5", "percentile:0.5:32"] {
+        out.push((
+            spec.to_string(),
+            LearningPolicy::from_spec(spec).expect("test specs parse"),
+        ));
+    }
+    out
+}
+
+proptest! {
+    // Whatever a policy learns from arbitrary (cwnd, retransmit,
+    // bytes-acked) observations, nothing the agent installs ever
+    // leaves [c_min, c_max]: the clamp sits downstream of every
+    // policy, not just the default EWMA.
+    #[test]
+    fn installed_windows_stay_clamped_for_every_policy(
+        ticks in proptest::collection::vec(
+            proptest::collection::vec((1u32..10_000, 0u64..100, 1u64..10_000_000), 1..5),
+            1..8),
+    ) {
+        use riptide_repro::riptide::agent::RiptideAgent;
+        use riptide_repro::riptide::control::SharedRouteController;
+        use riptide_repro::riptide::observe::FnObserver;
+        use riptide_repro::simnet::time::SimDuration;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        for (name, policy) in policies_under_test() {
+            let cfg = RiptideConfig::builder()
+                .policy(policy)
+                .build()
+                .expect("registered policies build valid configs");
+            let (c_min, c_max) = (cfg.cwnd_min, cfg.cwnd_max);
+            let table = Rc::new(RefCell::new(RouteTable::new()));
+            let mut controller = SharedRouteController::new(Rc::clone(&table));
+            let mut agent = RiptideAgent::new(cfg).expect("valid config");
+            for (i, tick) in ticks.iter().enumerate() {
+                let now = SimTime::ZERO + SimDuration::from_secs(10 * (i as u64 + 1));
+                let batch: Vec<CwndObservation> = tick
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(cwnd, retrans, bytes_acked))| CwndObservation {
+                        dst: Ipv4Addr::new(10, 0, j as u8 % 4, 1),
+                        cwnd,
+                        bytes_acked,
+                        retrans,
+                    })
+                    .collect();
+                let mut observer = FnObserver(|| batch.clone());
+                agent.tick(now, &mut observer, &mut controller);
+                for route in table.borrow().iter() {
+                    if let Some(w) = route.attrs.initcwnd {
+                        prop_assert!(
+                            (c_min..=c_max).contains(&w),
+                            "{}: installed {} outside [{}, {}] at {}",
+                            name, w, c_min, c_max, route.prefix
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // A constant signal is a fixed point for every policy: feed the
+    // same fresh value long enough (loss-free, so the utility score
+    // has nothing to discount) and the learned window is that value.
+    #[test]
+    fn constant_input_converges_for_every_policy(
+        c in 1.0f64..1_000_000.0,
+        steps in 50usize..200,
+    ) {
+        use riptide_repro::riptide::policy::{Policy, PolicyInput};
+
+        for (name, policy) in policies_under_test() {
+            let mut state = policy.new_state();
+            let mut last = f64::NAN;
+            for _ in 0..steps {
+                last = policy.observe(&mut state, &PolicyInput::fresh_only(c));
+            }
+            prop_assert!(
+                ((last - c) / c).abs() < 1e-9,
+                "{}: constant {} converged to {}",
+                name, c, last
+            );
+        }
+    }
+
+    // Every policy's history accumulator — the seeded/unseeded EWMA
+    // and utility scores, the sample ring, the windowed mean —
+    // survives a persist encode → decode round trip bit-exactly
+    // (Debug rendering distinguishes -0.0 from 0.0, so comparing it
+    // alongside `==` pins the bits, not just numeric equality).
+    #[test]
+    fn history_states_round_trip_bit_exactly_for_every_policy(
+        seeds in proptest::collection::vec(any::<u64>(), 1..12),
+    ) {
+        use riptide_repro::riptide::persist::{
+            decode_state, encode_state, SnapshotEntry, TableSnapshot,
+        };
+        use riptide_repro::riptide::policy::{Policy, PolicyInput};
+
+        let mut entries = Vec::new();
+        for (i, (_, policy)) in policies_under_test().into_iter().enumerate() {
+            for (j, &seed) in seeds.iter().enumerate() {
+                let mut state = policy.new_state();
+                let mut rng = seed;
+                let mut last = 0.0;
+                for _ in 0..1 + seed % 9 {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    last = policy.observe(&mut state, &PolicyInput {
+                        fresh: (rng >> 40) as f64 / 16.0 + 1.0,
+                        retrans: (rng >> 20) & 0x3,
+                        bytes_acked: 1 << 20,
+                    });
+                }
+                entries.push(SnapshotEntry {
+                    key: Ipv4Prefix::host(Ipv4Addr::new(10, i as u8, j as u8, 1)),
+                    window: 10 + (seed % 90) as u32,
+                    last_fresh: last,
+                    last_updated: SimTime::from_secs(seed % 1_000),
+                    history: state,
+                });
+            }
+        }
+        let snapshot = TableSnapshot {
+            taken_at: SimTime::from_secs(1),
+            entries,
+            installs: Vec::new(),
+            guards: Vec::new(),
+            skipped_entries: 0,
+        };
+        let bytes = encode_state(&snapshot, &[]);
+        let state = decode_state(&bytes);
+        prop_assert!(state.is_ok(), "clean bytes must decode: {:?}", state);
+        let state = state.unwrap();
+        prop_assert_eq!(
+            format!("{:?}", state.snapshot.entries),
+            format!("{:?}", snapshot.entries),
+            "history payloads must round-trip bit-exactly"
+        );
+        prop_assert_eq!(&state.snapshot, &snapshot);
+    }
+}

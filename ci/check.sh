@@ -121,6 +121,20 @@ if [[ "$stage" == "build" || "$stage" == "all" ]]; then
     # arm is fatal.
     run cargo run --release -p riptide-bench --bin policy_arena -- \
         --scale quick --check
+
+    # Scenario-matrix smoke: one test-scale matrix run writes to the
+    # scratch dir; the binary itself aborts unless the baseline cell
+    # reproduces the probe comparison bit for bit, at least two cells
+    # re-rank the policies, and loss-utility beats plain EWMA on the
+    # lossy-edge arm...
+    run cargo run --release -p riptide-bench --bin scenarios -- \
+        --scale test --threads 4 --out "$scratch/BENCH_scenarios.json"
+    run grep -q '"baseline_bit_identical": true' "$scratch/BENCH_scenarios.json"
+    run grep -q '"lossy_edge_loss_utility_beats_ewma": true' "$scratch/BENCH_scenarios.json"
+    # ...and the gate replays the matrix against the checked-in
+    # BENCH_scenarios.json: digest drift in any scenario cell is fatal.
+    run cargo run --release -p riptide-bench --bin scenarios -- \
+        --threads 4 --check
 fi
 
 echo "==> stage '$stage' passed"

@@ -20,6 +20,7 @@ fn observations() -> Vec<CwndObservation> {
                 cwnd: 10 + (i % 120) as u32,
                 bytes_acked: (i as u64 + 1) * 10_000,
                 retrans: 0,
+                ecn_marks: 0,
             }
         })
         .collect()

@@ -20,6 +20,7 @@ fn observations(conns: usize, destinations: usize) -> Vec<CwndObservation> {
                 cwnd: 10 + (i % 90) as u32,
                 bytes_acked: 1_000_000,
                 retrans: 0,
+                ecn_marks: 0,
             }
         })
         .collect()

@@ -66,6 +66,7 @@ fn main() {
                         cwnd: w,
                         bytes_acked: 1 << 20,
                         retrans: 0,
+                        ecn_marks: 0,
                     })
                     .collect()
             });

@@ -73,6 +73,7 @@ fn main() {
                 cwnd,
                 bytes_acked: 1 << 20,
                 retrans: 0,
+                ecn_marks: 0,
             })
             .collect()
     });

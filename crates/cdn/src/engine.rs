@@ -45,6 +45,7 @@ use riptide::telemetry::MetricsSnapshot;
 use riptide_simnet::rng::{stream_seed, DetRng};
 use riptide_simnet::time::{SimDuration, SimTime};
 
+use crate::scenario::{scenario_catalog, scenario_sim_config, ScenarioSpec};
 use crate::schedule::{estimated_events, StealPool};
 
 use crate::experiment::{
@@ -130,6 +131,18 @@ pub enum ShardWork {
         riptide: Option<RiptideConfig>,
         /// Per-opportunity fault rate (0 disables the fault layer).
         fault_rate: f64,
+        /// Sender sites probing in this shard.
+        senders: Vec<usize>,
+    },
+    /// One arm of the scenario matrix: the probe setup with one
+    /// [`ScenarioSpec`]'s topology, workload, AQM and CC overlaid (see
+    /// [`scenario_sim_config`]).
+    ScenarioArm {
+        /// Riptide configuration, or `None` for the control arm.
+        riptide: Option<RiptideConfig>,
+        /// The scenario this arm runs under (boxed: a spec is ~10× the
+        /// next-largest work payload, and the enum is stored per shard).
+        spec: Box<ScenarioSpec>,
         /// Sender sites probing in this shard.
         senders: Vec<usize>,
     },
@@ -472,6 +485,77 @@ impl RunPlan {
                 ShardWork::TrafficProfile,
             )],
         }
+    }
+
+    /// The scenario matrix: every [`scenario_catalog`] cell crossed
+    /// with a control arm plus one arm per registered learning policy
+    /// (the default-EWMA arm keeps the `"riptide"` label, as in
+    /// [`RunPlan::policy_ablation`]), one shard per (scenario × arm ×
+    /// sender PoP × replicate). Scenario indices are
+    /// `arms_per_scenario() * cell + arm`, cells in catalog order, arms
+    /// control-first. Arms are seed-paired per (unit, replicate) like
+    /// every other plan — and since the pairing key also excludes the
+    /// *matrix cell*, all cells of one (unit, replicate) share a seed,
+    /// so ranking differences between cells are regime effects, not
+    /// draw effects.
+    pub fn scenario_matrix(scale: &ExperimentScale, replicates: u32) -> RunPlan {
+        assert!(replicates >= 1, "need at least one replicate");
+        let senders = probe_sender_sites(scale);
+        let arms = Self::scenario_arms();
+        let mut shards = Vec::new();
+        for (c, spec) in scenario_catalog(scale).into_iter().enumerate() {
+            for (arm_idx, (arm, riptide)) in arms.iter().enumerate() {
+                for (u, &sender) in senders.iter().enumerate() {
+                    for r in 0..replicates {
+                        let id = ShardId {
+                            scenario: (arms.len() * c + arm_idx) as u32,
+                            unit: u as u32,
+                            replicate: r,
+                        };
+                        shards.push(Self::shard(
+                            scale,
+                            id,
+                            format!("{}/{arm}:site{sender}", spec.name),
+                            ShardWork::ScenarioArm {
+                                riptide: riptide.clone(),
+                                spec: Box::new(spec.clone()),
+                                senders: vec![sender],
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        RunPlan {
+            name: "scenario-matrix".into(),
+            master_seed: scale.seed,
+            shards,
+        }
+    }
+
+    /// The policy arms of [`RunPlan::scenario_matrix`], control first —
+    /// the same lineup as [`RunPlan::policy_ablation`].
+    pub fn scenario_arms() -> Vec<(String, Option<RiptideConfig>)> {
+        let mut arms: Vec<(String, Option<RiptideConfig>)> = vec![("control".into(), None)];
+        for (name, policy) in registered_policies() {
+            let arm_name = if name == "ewma" { "riptide" } else { name };
+            arms.push((
+                arm_name.into(),
+                Some(
+                    RiptideConfig::builder()
+                        .policy(policy)
+                        .build()
+                        .expect("registered policies produce valid configs"),
+                ),
+            ));
+        }
+        arms
+    }
+
+    /// Arms per scenario-matrix cell: control plus every registered
+    /// policy. Scenario index arithmetic in bench consumers uses this.
+    pub fn arms_per_scenario() -> usize {
+        1 + registered_policies().len()
     }
 
     /// The chaos sweep: control (scenario `2i`) vs Riptide (scenario
@@ -865,6 +949,26 @@ fn run_shard(spec: &ShardSpec, scratch: &mut WorkerScratch) -> ShardResult {
                 sim.metrics_snapshot(),
             )
         }
+        ShardWork::ScenarioArm {
+            riptide,
+            spec: scenario,
+            senders,
+        } => {
+            let cfg = scenario_sim_config(scale, riptide.clone(), senders.clone(), scenario);
+            let mut sim = build(cfg);
+            sim.run_for(scale.total());
+            let probes = sim
+                .probe_outcomes()
+                .iter()
+                .filter(|p| p.requested_at >= cutoff)
+                .copied()
+                .collect();
+            (
+                ShardData::Probes(probes),
+                sim.testbed().world.stats(),
+                sim.metrics_snapshot(),
+            )
+        }
         ShardWork::ColdstartArm {
             riptide,
             crash_rate,
@@ -1229,6 +1333,41 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 4, "one stream per (unit, replicate) cell");
+    }
+
+    #[test]
+    fn scenario_matrix_is_seed_paired_across_cells_and_arms() {
+        let scale = ExperimentScale::test();
+        let plan = RunPlan::scenario_matrix(&scale, 2);
+        let arms = RunPlan::arms_per_scenario();
+        let cells = crate::scenario::scenario_catalog(&scale).len();
+        // cells x arms x 2 senders x 2 replicates.
+        assert_eq!(plan.shards.len(), cells * arms * 2 * 2);
+        for shard in &plan.shards {
+            let twin = plan
+                .shards
+                .iter()
+                .find(|s| {
+                    s.id.scenario != shard.id.scenario
+                        && s.id.unit == shard.id.unit
+                        && s.id.replicate == shard.id.replicate
+                })
+                .expect("paired arm exists");
+            assert_eq!(
+                twin.seed, shard.seed,
+                "every cell and arm of one (unit, replicate) shares a seed"
+            );
+        }
+        // Labels carry both the scenario and the arm name, and the
+        // EWMA arm keeps the probe-comparison "riptide" label.
+        assert!(plan
+            .shards
+            .iter()
+            .any(|s| s.label.starts_with("baseline/riptide:")));
+        assert!(plan
+            .shards
+            .iter()
+            .any(|s| s.label.starts_with("red-ecn/loss-utility:")));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`topology`] | Testbed: PoPs, machines, geography-derived paths | §IV-A; Fig. 5 |
 //! | [`workload`] | Probe harness + organic traffic (file-size model, Zipf popularity) | §IV-A; Fig. 2 |
 //! | [`megacdn`] | Million-destination fleet generator for table-scale runs | §III-B at internet scale |
+//! | [`scenario`] | Named (topology × workload × AQM × CC) matrix cells | §V threats to validity |
 //! | [`sim`] | The deployment loop: agents, probes, sampling, chaos, persistence | §IV-A/§IV-D |
 //! | [`gossip`] | Anti-entropy fleet-sync scheduler (seeded fanout, per-peer backoff) | Pied Piper (PAPERS.md) |
 //! | [`experiment`] | One runner per figure (Figs. 10–16) | §IV |
@@ -41,6 +42,7 @@ pub mod experiment;
 pub mod geo;
 pub mod gossip;
 pub mod megacdn;
+pub mod scenario;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
@@ -56,11 +58,12 @@ pub mod prelude {
     pub use crate::geo::{Continent, PopSite, POP_SITES};
     pub use crate::gossip::{GossipConfig, GossipFabric, GossipStats};
     pub use crate::megacdn::MegaCdnConfig;
+    pub use crate::scenario::{scenario_catalog, scenario_sim_config, ScenarioSpec, WorkloadShape};
     pub use crate::sim::{
         CdnSim, CdnSimConfig, ChaosReport, ColdstartReport, CwndSample, PersistenceConfig,
         ProbeOutcome,
     };
     pub use crate::stats::{average_gains, percentile_gains, Cdf, PercentileGain};
     pub use crate::topology::{RttBucket, Testbed, TestbedConfig};
-    pub use crate::workload::{FileSizeDist, OrganicConfig, ProbeConfig, Zipf};
+    pub use crate::workload::{FileSizeDist, FlashCrowd, OrganicConfig, ProbeConfig, Zipf};
 }

@@ -205,6 +205,7 @@ impl MegaCdnConfig {
                     cwnd: self.window_for(pop, host, diverge),
                     bytes_acked: 1_000_000,
                     retrans: 0,
+                    ecn_marks: 0,
                 });
             }
         }

@@ -1,0 +1,324 @@
+//! The scenario matrix: named (topology × workload × AQM × CC)
+//! combinations that stress the learning policies differently.
+//!
+//! The §IV evaluation runs one network regime — a clean drop-tail mesh
+//! with light Poisson traffic — and on it every reasonable policy looks
+//! alike (ROADMAP item 4: the ablation frontier is flat). Each
+//! [`ScenarioSpec`] perturbs one axis the paper holds fixed:
+//!
+//! | Scenario | What changes | Why it separates policies |
+//! |---|---|---|
+//! | `baseline` | nothing | the control regime; matches `probe_comparison` bit for bit |
+//! | `red-drop` | RED queues, drop mode | early random drops inflate `retrans` before queues fill |
+//! | `red-ecn` | RED queues, ECN marking + ECN hosts | congestion signalled *without* retransmits — loss-utility's `retrans` input and the wire diverge |
+//! | `lossy-edge` | 40 Mbit/s / 2%-loss last mile into every probe destination | random loss punishes aggressive windows; loss-aware policies should win |
+//! | `flash-crowd` | diurnal organic load with 8× bursts | bursts of fresh connections arrive exactly when queues are hot |
+//! | `paced` | BBR-like paced senders | window observations no longer track queue occupancy the way AIMD's do |
+//!
+//! [`crate::engine::RunPlan::scenario_matrix`] fans the catalog out
+//! across (scenario × policy arm × sender × replicate) with the same
+//! seed-pairing discipline as every other plan, and the `scenarios`
+//! bench reports per-scenario policy rankings.
+
+use riptide::config::RiptideConfig;
+use riptide_simnet::config::CcAlgorithm;
+use riptide_simnet::fault::FaultPlan;
+use riptide_simnet::link::AqmPolicy;
+use riptide_simnet::time::SimDuration;
+
+use crate::experiment::{probe_sender_sites, probe_sim_config, ExperimentScale, StackTweaks};
+use crate::sim::CdnSimConfig;
+use crate::topology::LastMileProfile;
+use crate::workload::FlashCrowd;
+
+/// Workload-shape overrides one scenario applies to the organic layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadShape {
+    /// Mean organic flow arrivals per second per busy pair.
+    pub flows_per_sec: f64,
+    /// Diurnal modulation amplitude (see
+    /// [`crate::workload::OrganicConfig::diurnal_amplitude`]).
+    pub diurnal_amplitude: f64,
+    /// Flash-crowd bursts layered on the diurnal curve.
+    pub flash_crowds: Vec<FlashCrowd>,
+}
+
+impl Default for WorkloadShape {
+    /// The probe-experiment default: constant 0.2 flows/s, no bursts.
+    fn default() -> Self {
+        WorkloadShape {
+            flows_per_sec: 0.2,
+            diurnal_amplitude: 0.0,
+            flash_crowds: Vec::new(),
+        }
+    }
+}
+
+/// One named cell of the scenario matrix: a topology overlay, a
+/// workload shape, a queue discipline and a congestion controller.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Short name used in shard labels and bench output.
+    pub name: &'static str,
+    /// Queue discipline on every inter-PoP path.
+    pub aqm: AqmPolicy,
+    /// Congestion-control algorithm on every host.
+    pub cc: CcAlgorithm,
+    /// Whether hosts negotiate ECN (only meaningful with a marking AQM).
+    pub ecn: bool,
+    /// Inter-PoP queue-depth override in bytes (`None` keeps the
+    /// testbed default). The RED scenarios shrink this so the average
+    /// queue can actually cross the RED thresholds at probe scale.
+    pub queue_bytes: Option<u64>,
+    /// Last-mile impairment overlay, if any.
+    pub last_mile: Option<LastMileProfile>,
+    /// Organic-traffic shape.
+    pub workload: WorkloadShape,
+    /// Fault overlay ([`FaultPlan::none`] — the catalog default —
+    /// leaves the chaos layer off and the run digest-neutral).
+    pub faults: FaultPlan,
+}
+
+impl ScenarioSpec {
+    /// The unmodified probe-experiment regime.
+    pub fn baseline() -> Self {
+        ScenarioSpec {
+            name: "baseline",
+            aqm: AqmPolicy::DropTail,
+            cc: CcAlgorithm::Cubic,
+            ecn: false,
+            queue_bytes: None,
+            last_mile: None,
+            workload: WorkloadShape::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Queue depth the RED scenarios use: shallow enough (48 KiB ≈ 33
+    /// segments, RED `min_th` at 12 KiB) that probe bursts and organic
+    /// load push the EWMA queue into the marking band. On the default
+    /// 384 KiB queues the 96 KiB `min_th` is never reached at probe
+    /// scale and RED degenerates to drop-tail.
+    const RED_QUEUE_BYTES: u64 = 48 * 1024;
+
+    /// Organic load in the RED scenarios: heavy enough to hold a
+    /// standing queue at the bottleneck so RED has something to react
+    /// to, light enough that probes still complete.
+    const RED_FLOWS_PER_SEC: f64 = 1.0;
+
+    /// RED on every path in classic drop mode: early random drops
+    /// inflate `retrans` before the queue is anywhere near full.
+    pub fn red_drop() -> Self {
+        ScenarioSpec {
+            name: "red-drop",
+            aqm: AqmPolicy::red_for_queue(Self::RED_QUEUE_BYTES, false),
+            queue_bytes: Some(Self::RED_QUEUE_BYTES),
+            workload: WorkloadShape {
+                flows_per_sec: Self::RED_FLOWS_PER_SEC,
+                ..WorkloadShape::default()
+            },
+            ..ScenarioSpec::baseline()
+        }
+    }
+
+    /// RED in ECN-marking mode with ECN-capable hosts: congestion is
+    /// signalled by marks the sender reacts to without retransmitting,
+    /// so a policy reading `retrans` alone goes blind.
+    pub fn red_ecn() -> Self {
+        ScenarioSpec {
+            name: "red-ecn",
+            aqm: AqmPolicy::red_for_queue(Self::RED_QUEUE_BYTES, true),
+            ecn: true,
+            queue_bytes: Some(Self::RED_QUEUE_BYTES),
+            workload: WorkloadShape {
+                flows_per_sec: Self::RED_FLOWS_PER_SEC,
+                ..WorkloadShape::default()
+            },
+            ..ScenarioSpec::baseline()
+        }
+    }
+
+    /// A consumer-grade lossy last mile in front of every non-sender
+    /// site: 40 Mbit/s, shallow buffers, 2% random loss.
+    pub fn lossy_edge(scale: &ExperimentScale) -> Self {
+        let senders = probe_sender_sites(scale);
+        let edges: Vec<usize> = (0..scale.sites).filter(|i| !senders.contains(i)).collect();
+        ScenarioSpec {
+            name: "lossy-edge",
+            last_mile: Some(LastMileProfile::lossy(edges)),
+            ..ScenarioSpec::baseline()
+        }
+    }
+
+    /// Diurnal organic load with two 8× flash-crowd bursts, placed at
+    /// 30% and 65% of the run so at least one lands after warm-up at
+    /// every scale.
+    pub fn flash_crowd(scale: &ExperimentScale) -> Self {
+        let total = scale.total().as_secs_f64();
+        let burst = |frac: f64| FlashCrowd {
+            start: SimDuration::from_secs_f64(total * frac),
+            duration: SimDuration::from_secs_f64((total * 0.1).max(1.0)),
+            multiplier: 8.0,
+        };
+        ScenarioSpec {
+            name: "flash-crowd",
+            workload: WorkloadShape {
+                flows_per_sec: 0.5,
+                diurnal_amplitude: 0.5,
+                flash_crowds: vec![burst(0.30), burst(0.65)],
+            },
+            ..ScenarioSpec::baseline()
+        }
+    }
+
+    /// Every host runs the pacing-based controller instead of CUBIC.
+    pub fn paced() -> Self {
+        ScenarioSpec {
+            name: "paced",
+            cc: CcAlgorithm::Paced,
+            ..ScenarioSpec::baseline()
+        }
+    }
+}
+
+/// The full catalog, baseline first. Order is part of the scenario
+/// matrix's digest contract: scenario indices in
+/// [`crate::engine::RunPlan::scenario_matrix`] follow this order.
+pub fn scenario_catalog(scale: &ExperimentScale) -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::baseline(),
+        ScenarioSpec::red_drop(),
+        ScenarioSpec::red_ecn(),
+        ScenarioSpec::lossy_edge(scale),
+        ScenarioSpec::flash_crowd(scale),
+        ScenarioSpec::paced(),
+    ]
+}
+
+/// The simulation configuration for one scenario arm: the §IV-B2 probe
+/// setup with the scenario's topology, workload, AQM and CC overlaid.
+/// With [`ScenarioSpec::baseline`] the result is identical to
+/// [`probe_sim_config`]'s, so the baseline scenario reproduces the
+/// probe-comparison arms bit for bit.
+pub fn scenario_sim_config(
+    scale: &ExperimentScale,
+    riptide: Option<RiptideConfig>,
+    senders: Vec<usize>,
+    spec: &ScenarioSpec,
+) -> CdnSimConfig {
+    let mut cfg = probe_sim_config(scale, riptide, StackTweaks::default(), senders);
+    cfg.testbed.aqm = spec.aqm;
+    cfg.testbed.tcp.cc = spec.cc;
+    cfg.testbed.tcp.ecn = spec.ecn;
+    if let Some(q) = spec.queue_bytes {
+        cfg.testbed.queue_bytes = q;
+    }
+    cfg.testbed.last_mile = spec.last_mile.clone();
+    cfg.organic.flows_per_sec = spec.workload.flows_per_sec;
+    cfg.organic.diurnal_amplitude = spec.workload.diurnal_amplitude;
+    cfg.organic.flash_crowds = spec.workload.flash_crowds.clone();
+    cfg.faults = spec.faults.clone();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_baseline_first() {
+        let scale = ExperimentScale::test();
+        let catalog = scenario_catalog(&scale);
+        assert_eq!(catalog[0].name, "baseline");
+        let mut names: Vec<&str> = catalog.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), catalog.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn baseline_matches_probe_sim_config() {
+        let scale = ExperimentScale::test();
+        let senders = probe_sender_sites(&scale);
+        let base = probe_sim_config(&scale, None, StackTweaks::default(), senders.clone());
+        let scen = scenario_sim_config(&scale, None, senders, &ScenarioSpec::baseline());
+        assert_eq!(scen.testbed.aqm, base.testbed.aqm);
+        assert_eq!(scen.testbed.tcp, base.testbed.tcp);
+        assert_eq!(scen.testbed.last_mile, base.testbed.last_mile);
+        assert_eq!(scen.organic, base.organic);
+    }
+
+    #[test]
+    fn red_scenarios_use_marking_only_with_ecn_hosts() {
+        let drop = ScenarioSpec::red_drop();
+        let mark = ScenarioSpec::red_ecn();
+        assert!(!drop.ecn);
+        assert!(mark.ecn);
+        match (drop.aqm, mark.aqm) {
+            (AqmPolicy::Red { ecn: d, .. }, AqmPolicy::Red { ecn: m, .. }) => {
+                assert!(!d && m, "drop mode must not mark; ecn mode must");
+            }
+            other => panic!("both RED scenarios must use RED, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_edge_degrades_only_non_sender_sites() {
+        let scale = ExperimentScale::test();
+        let spec = ScenarioSpec::lossy_edge(&scale);
+        let lm = spec.last_mile.expect("lossy-edge sets a last mile");
+        let senders = probe_sender_sites(&scale);
+        for s in &senders {
+            assert!(!lm.sites.contains(s), "sender {s} must stay clean");
+        }
+        assert_eq!(lm.sites.len(), scale.sites - senders.len());
+        assert!(lm.loss > 0.0 && lm.rate_bps < TestbedDefaultRate::BPS);
+    }
+
+    /// Local alias so the assertion reads against the documented default.
+    struct TestbedDefaultRate;
+    impl TestbedDefaultRate {
+        const BPS: u64 = 500_000_000;
+    }
+
+    #[test]
+    fn flash_crowd_bursts_land_after_warmup() {
+        for scale in [ExperimentScale::test(), ExperimentScale::quick()] {
+            let spec = ScenarioSpec::flash_crowd(&scale);
+            let crowds = &spec.workload.flash_crowds;
+            assert_eq!(crowds.len(), 2);
+            for c in crowds {
+                c.validate().unwrap();
+            }
+            let after_warmup = crowds
+                .iter()
+                .filter(|c| c.start.as_secs_f64() >= scale.warmup.as_secs_f64())
+                .count();
+            assert!(after_warmup >= 1, "no burst in the measured window");
+        }
+    }
+
+    #[test]
+    fn scenario_overlays_reach_the_sim_config() {
+        let scale = ExperimentScale::test();
+        let senders = probe_sender_sites(&scale);
+        let cfg = scenario_sim_config(&scale, None, senders, &ScenarioSpec::red_ecn());
+        assert!(matches!(cfg.testbed.aqm, AqmPolicy::Red { ecn: true, .. }));
+        assert!(cfg.testbed.tcp.ecn);
+        let cfg = scenario_sim_config(
+            &scale,
+            None,
+            probe_sender_sites(&scale),
+            &ScenarioSpec::paced(),
+        );
+        assert_eq!(cfg.testbed.tcp.cc, CcAlgorithm::Paced);
+        let cfg = scenario_sim_config(
+            &scale,
+            None,
+            probe_sender_sites(&scale),
+            &ScenarioSpec::flash_crowd(&scale),
+        );
+        assert_eq!(cfg.organic.flash_crowds.len(), 2);
+        assert_eq!(cfg.organic.diurnal_amplitude, 0.5);
+    }
+}

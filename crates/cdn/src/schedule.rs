@@ -50,6 +50,7 @@ pub fn estimated_events(spec: &ShardSpec) -> u64 {
         ShardWork::ProbeArm { senders, .. }
         | ShardWork::ChaosArm { senders, .. }
         | ShardWork::GuardrailArm { senders, .. }
+        | ShardWork::ScenarioArm { senders, .. }
         | ShardWork::ColdstartArm { senders, .. } => senders.len() as u64,
         ShardWork::CwndDistribution { .. }
         | ShardWork::TrafficProfile

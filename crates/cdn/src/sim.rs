@@ -535,6 +535,11 @@ impl CdnSim {
         if let Err(e) = cfg.faults.validate() {
             panic!("invalid fault plan: {e}");
         }
+        for crowd in &cfg.organic.flash_crowds {
+            if let Err(e) = crowd.validate() {
+                panic!("invalid flash crowd: {e}");
+            }
+        }
         if let Some(g) = &cfg.gossip {
             if let Err(e) = g.validate() {
                 panic!("invalid gossip config: {e}");
@@ -1088,6 +1093,7 @@ impl CdnSim {
                         cwnd: s.cwnd,
                         bytes_acked: s.bytes_acked,
                         retrans: s.retransmits,
+                        ecn_marks: s.ece_reductions,
                     });
                 }
             });

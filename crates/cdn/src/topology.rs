@@ -77,8 +77,46 @@ pub struct TestbedConfig {
     pub loss: f64,
     /// Per-packet jitter bound.
     pub jitter: SimDuration,
+    /// Queue discipline on every inter-PoP path (drop-tail by default;
+    /// scenarios switch it to RED, optionally in ECN-marking mode).
+    pub aqm: AqmPolicy,
+    /// Last-mile impairment overlay: when set, paths *into* the listed
+    /// sites are degraded to the profile's rate/loss/queue — the "lossy
+    /// last mile" the initial-window studies warn about. `None` leaves
+    /// the clean inter-PoP mesh untouched.
+    pub last_mile: Option<LastMileProfile>,
     /// Master RNG seed.
     pub seed: u64,
+}
+
+/// A degraded access-network profile applied to paths toward edge sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LastMileProfile {
+    /// Site indices whose *inbound* paths are degraded.
+    pub sites: Vec<usize>,
+    /// Serialization rate of the degraded leg.
+    pub rate_bps: u64,
+    /// Queue capacity of the degraded leg (shallow buffers).
+    pub queue_bytes: u64,
+    /// Random loss on the degraded leg.
+    pub loss: f64,
+    /// Extra jitter on the degraded leg.
+    pub jitter: SimDuration,
+}
+
+impl LastMileProfile {
+    /// A consumer-grade lossy profile for the given sites: 40 Mbit/s,
+    /// 48 KiB of buffer, 2% random loss, 3 ms of jitter — the regime
+    /// where an aggressive initial window genuinely hurts.
+    pub fn lossy(sites: Vec<usize>) -> Self {
+        LastMileProfile {
+            sites,
+            rate_bps: 40_000_000,
+            queue_bytes: 48 * 1024,
+            loss: 0.02,
+            jitter: SimDuration::from_millis(3),
+        }
+    }
 }
 
 impl Default for TestbedConfig {
@@ -95,6 +133,8 @@ impl Default for TestbedConfig {
             queue_bytes: 384 * 1024,
             loss: 0.0003,
             jitter: SimDuration::from_micros(200),
+            aqm: AqmPolicy::DropTail,
+            last_mile: None,
             seed: 1,
         }
     }
@@ -154,12 +194,26 @@ impl Testbed {
                     continue;
                 }
                 let rtt = rtt_between(a, b);
-                let path = PathConfig {
-                    delay: rtt / 2,
-                    jitter: config.jitter,
-                    loss: config.loss,
-                    rate_bps: config.rate_bps,
-                    queue_bytes: config.queue_bytes,
+                let degraded = config.last_mile.as_ref().filter(|lm| lm.sites.contains(&j));
+                let path = match degraded {
+                    // The inbound leg to an edge site takes the last-mile
+                    // impairments on top of the geo delay.
+                    Some(lm) => PathConfig {
+                        delay: rtt / 2,
+                        jitter: lm.jitter,
+                        loss: lm.loss,
+                        rate_bps: lm.rate_bps,
+                        queue_bytes: lm.queue_bytes,
+                        aqm: config.aqm,
+                    },
+                    None => PathConfig {
+                        delay: rtt / 2,
+                        jitter: config.jitter,
+                        loss: config.loss,
+                        rate_bps: config.rate_bps,
+                        queue_bytes: config.queue_bytes,
+                        aqm: config.aqm,
+                    },
                 };
                 world.set_path(pops[i], pops[j], path);
             }

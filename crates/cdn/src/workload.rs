@@ -268,6 +268,49 @@ impl ProbeConfig {
     }
 }
 
+/// A flash-crowd burst: within `[start, start + duration)` (offsets from
+/// simulation start) the organic arrival rate is multiplied by
+/// `multiplier`. Models the sudden back-office fan-out after a cache
+/// purge or a breaking-news event — the regime where many *fresh*
+/// connections open at once and jump-started windows matter most.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCrowd {
+    /// Burst onset, as an offset from simulation start.
+    pub start: SimDuration,
+    /// Burst length.
+    pub duration: SimDuration,
+    /// Arrival-rate multiplier while the burst is active (> 1 for a
+    /// crowd; values in (0, 1) model brown-outs).
+    pub multiplier: f64,
+}
+
+impl FlashCrowd {
+    /// Whether simulated time `t_secs` falls inside the burst window.
+    pub fn contains(&self, t_secs: f64) -> bool {
+        let s = self.start.as_secs_f64();
+        t_secs >= s && t_secs < s + self.duration.as_secs_f64()
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the duration is zero or the multiplier
+    /// is non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.duration.is_zero() {
+            return Err("flash-crowd duration must be non-zero".into());
+        }
+        if !(self.multiplier > 0.0 && self.multiplier.is_finite()) {
+            return Err(format!(
+                "flash-crowd multiplier must be finite and positive, got {}",
+                self.multiplier
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Poisson back-office ("organic") traffic between busy PoP pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrganicConfig {
@@ -282,6 +325,11 @@ pub struct OrganicConfig {
     /// Zero (the default) keeps the rate constant. §V ties Riptide's
     /// effectiveness to the traffic profile; this knob exercises that.
     pub diurnal_amplitude: f64,
+    /// Flash-crowd bursts layered on top of the diurnal curve; each
+    /// active burst multiplies the instantaneous rate. Empty (the
+    /// default) leaves the rate curve — and therefore every RNG draw —
+    /// untouched.
+    pub flash_crowds: Vec<FlashCrowd>,
     /// Flow size distribution.
     pub sizes: FileSizeDist,
 }
@@ -292,6 +340,7 @@ impl Default for OrganicConfig {
             busy_pops: Vec::new(),
             flows_per_sec: 0.2,
             diurnal_amplitude: 0.0,
+            flash_crowds: Vec::new(),
             sizes: FileSizeDist::fig2(),
         }
     }
@@ -328,11 +377,18 @@ impl OrganicConfig {
             (0.0..1.0).contains(&self.diurnal_amplitude),
             "diurnal amplitude must be in [0, 1)"
         );
-        if self.diurnal_amplitude == 0.0 {
-            return self.flows_per_sec;
+        let mut rate = if self.diurnal_amplitude == 0.0 {
+            self.flows_per_sec
+        } else {
+            let phase = t_secs / (24.0 * 3600.0) * std::f64::consts::TAU;
+            self.flows_per_sec * (1.0 + self.diurnal_amplitude * phase.sin())
+        };
+        for crowd in &self.flash_crowds {
+            if crowd.contains(t_secs) {
+                rate *= crowd.multiplier;
+            }
         }
-        let phase = t_secs / (24.0 * 3600.0) * std::f64::consts::TAU;
-        self.flows_per_sec * (1.0 + self.diurnal_amplitude * phase.sin())
+        rate
     }
 }
 
@@ -447,6 +503,66 @@ mod tests {
         // Constant when amplitude is zero.
         let flat = OrganicConfig::among(vec![0, 1], 2.0);
         assert_eq!(flat.rate_at(12345.0), 2.0);
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_rate_inside_its_window() {
+        let cfg = OrganicConfig {
+            busy_pops: vec![0, 1],
+            flows_per_sec: 1.0,
+            flash_crowds: vec![FlashCrowd {
+                start: SimDuration::from_secs(100),
+                duration: SimDuration::from_secs(50),
+                multiplier: 8.0,
+            }],
+            ..OrganicConfig::default()
+        };
+        assert_eq!(cfg.rate_at(99.0), 1.0, "before the burst: base rate");
+        assert_eq!(cfg.rate_at(100.0), 8.0, "onset is inclusive");
+        assert_eq!(cfg.rate_at(149.9), 8.0, "inside the burst");
+        assert_eq!(cfg.rate_at(150.0), 1.0, "end is exclusive");
+    }
+
+    #[test]
+    fn flash_crowd_stacks_on_the_diurnal_curve() {
+        let cfg = OrganicConfig {
+            busy_pops: vec![0, 1],
+            flows_per_sec: 1.0,
+            diurnal_amplitude: 0.5,
+            flash_crowds: vec![FlashCrowd {
+                start: SimDuration::from_secs(6 * 3600),
+                duration: SimDuration::from_secs(3600),
+                multiplier: 4.0,
+            }],
+            ..OrganicConfig::default()
+        };
+        // Diurnal peak (+6h) is 1.5; the crowd quadruples it.
+        assert!((cfg.rate_at(6.0 * 3600.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_crowd_validation() {
+        let good = FlashCrowd {
+            start: SimDuration::ZERO,
+            duration: SimDuration::from_secs(60),
+            multiplier: 8.0,
+        };
+        good.validate().unwrap();
+        let zero_len = FlashCrowd {
+            duration: SimDuration::ZERO,
+            ..good.clone()
+        };
+        assert!(zero_len.validate().is_err());
+        let bad_mult = FlashCrowd {
+            multiplier: 0.0,
+            ..good.clone()
+        };
+        assert!(bad_mult.validate().is_err());
+        let nan_mult = FlashCrowd {
+            multiplier: f64::NAN,
+            ..good
+        };
+        assert!(nan_mult.validate().is_err());
     }
 
     #[test]

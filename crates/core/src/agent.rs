@@ -188,8 +188,8 @@ impl AgentStats {
 /// // One poll observed two connections to the same host, windows 60/100.
 /// let mut observer = FnObserver(|| {
 ///     vec![
-///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 60, bytes_acked: 1 << 20, retrans: 0 },
-///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 100, bytes_acked: 1 << 20, retrans: 0 },
+///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 60, bytes_acked: 1 << 20, retrans: 0, ecn_marks: 0 },
+///         CwndObservation { dst: Ipv4Addr::new(10, 0, 1, 1), cwnd: 100, bytes_acked: 1 << 20, retrans: 0, ecn_marks: 0 },
 ///     ]
 /// });
 /// let report = agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
@@ -369,6 +369,7 @@ impl RiptideAgent {
             // The group's cumulative loss counters feed both the
             // loss-aware policies and (below) the guard.
             let retrans_total: u64 = group.iter().map(|o| o.retrans).sum();
+            let ecn_total: u64 = group.iter().map(|o| o.ecn_marks).sum();
             let bytes_total: u64 = group.iter().map(|o| o.bytes_acked).sum();
             let previous_fresh = self.table.last_fresh(&key);
             let blended = self.table.observe(
@@ -376,6 +377,7 @@ impl RiptideAgent {
                 &PolicyInput {
                     fresh,
                     retrans: retrans_total,
+                    ecn_marks: ecn_total,
                     bytes_acked: bytes_total,
                 },
                 &self.config.policy,
@@ -1115,6 +1117,7 @@ mod tests {
             cwnd,
             bytes_acked: 1_000_000,
             retrans: 0,
+            ecn_marks: 0,
         }
     }
 
@@ -1430,6 +1433,7 @@ mod tests {
             cwnd,
             bytes_acked: bytes,
             retrans,
+            ecn_marks: 0,
         }
     }
 

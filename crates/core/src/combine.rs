@@ -80,6 +80,7 @@ mod tests {
             cwnd,
             bytes_acked: bytes,
             retrans: 0,
+            ecn_marks: 0,
         }
     }
 

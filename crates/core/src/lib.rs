@@ -47,7 +47,7 @@
 //! let mut agent = RiptideAgent::new(RiptideConfig::deployment())?;
 //! let mut routes = RouteTable::new();
 //! let mut observer = FnObserver(|| vec![
-//!     CwndObservation { dst: Ipv4Addr::new(10, 0, 0, 127), cwnd: 80, bytes_acked: 1 << 20, retrans: 0 },
+//!     CwndObservation { dst: Ipv4Addr::new(10, 0, 0, 127), cwnd: 80, bytes_acked: 1 << 20, retrans: 0, ecn_marks: 0 },
 //! ]);
 //! agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
 //! // New connections to 10.0.0.127 now start at a window of 80:

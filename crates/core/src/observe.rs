@@ -27,6 +27,11 @@ pub struct CwndObservation {
     /// cumulative `retrans` total) — the loss signal the guard layer
     /// differentiates into a post-install retransmit rate.
     pub retrans: u64,
+    /// ECN-echo window reductions over the connection's lifetime —
+    /// congestion signalled by marking rather than loss. Zero wherever
+    /// ECN is not negotiated, which keeps every existing pipeline
+    /// arithmetic unchanged.
+    pub ecn_marks: u64,
 }
 
 /// A source of congestion-window observations — the agent's view of
@@ -124,6 +129,9 @@ pub fn observations_from_sock_table(table: &SockTable) -> Vec<CwndObservation> {
             cwnd: e.cwnd,
             bytes_acked: e.bytes_acked,
             retrans: e.retrans,
+            // `ss` exposes no per-socket ECN-reduction counter; the
+            // kernel path reports marks only through the simulator.
+            ecn_marks: 0,
         })
         .collect()
 }
@@ -179,6 +187,7 @@ mod tests {
                 cwnd: 33,
                 bytes_acked: 0,
                 retrans: 0,
+                ecn_marks: 0,
             }]
         });
         assert_eq!(obs.observe().len(), 1);
@@ -195,6 +204,7 @@ mod tests {
                 cwnd: 12,
                 bytes_acked: 0,
                 retrans: 0,
+                ecn_marks: 0,
             }]
         });
         assert_eq!(obs.try_observe().unwrap().len(), 1);

@@ -45,6 +45,11 @@ pub struct PolicyInput {
     pub fresh: f64,
     /// Cumulative retransmitted segments across the group.
     pub retrans: u64,
+    /// Cumulative ECN-echo window reductions across the group —
+    /// congestion signalled without loss. Zero when ECN is off, so
+    /// policies that sum it with `retrans` are arithmetic-identical to
+    /// their pre-ECN behaviour on non-ECN scenarios.
+    pub ecn_marks: u64,
     /// Cumulative acknowledged bytes across the group.
     pub bytes_acked: u64,
 }
@@ -56,6 +61,7 @@ impl PolicyInput {
         PolicyInput {
             fresh,
             retrans: 0,
+            ecn_marks: 0,
             bytes_acked: 0,
         }
     }
@@ -289,7 +295,14 @@ impl Policy for LearningPolicy {
                 // that acked nothing yet counts one segment so a single
                 // retransmit cannot read as 100% loss.
                 let segments = (input.bytes_acked / LOSS_MSS).max(1);
-                let loss_rate = input.retrans as f64 / (input.retrans as f64 + segments as f64);
+                // ECN echoes count as congestion events alongside
+                // retransmits: a marking AQM signals overload without
+                // dropping anything, and ignoring it would make the
+                // utility blind to exactly the congestion this policy
+                // exists to price in. With ECN off the term is zero and
+                // the arithmetic is bit-identical to the pre-ECN form.
+                let congestion = input.retrans + input.ecn_marks;
+                let loss_rate = congestion as f64 / (congestion as f64 + segments as f64);
                 let utility = input.fresh * (gain - penalty * loss_rate);
                 let blended = match *value {
                     None => utility,
@@ -503,6 +516,7 @@ mod tests {
                 &PolicyInput {
                     fresh: 80.0,
                     retrans: 0,
+                    ecn_marks: 0,
                     bytes_acked: 1 << 20,
                 },
             );
@@ -523,6 +537,7 @@ mod tests {
             &PolicyInput {
                 fresh: 80.0,
                 retrans: 0,
+                ecn_marks: 0,
                 bytes_acked: 1448 * 100,
             },
         );
@@ -534,6 +549,7 @@ mod tests {
             &PolicyInput {
                 fresh: 80.0,
                 retrans: 100,
+                ecn_marks: 0,
                 bytes_acked: 1448 * 100,
             },
         );

@@ -548,6 +548,7 @@ mod tests {
                     cwnd: 42,
                     bytes_acked: 0,
                     retrans: 0,
+                    ecn_marks: 0,
                 }])
             }
         });

@@ -15,6 +15,7 @@ fn obs(dst: [u8; 4], cwnd: u32) -> CwndObservation {
         cwnd,
         bytes_acked: 1_000_000,
         retrans: 0,
+        ecn_marks: 0,
     }
 }
 

@@ -14,6 +14,9 @@ pub enum CcAlgorithm {
     Cubic,
     /// Classic AIMD Reno/NewReno growth.
     Reno,
+    /// BBR-like pacing-based control: a bandwidth × RTT model with a
+    /// pacing-gain cycle instead of loss-driven AIMD.
+    Paced,
 }
 
 /// Host-wide TCP parameters, mirroring the Linux sysctls relevant to the
@@ -95,6 +98,12 @@ pub struct TcpConfig {
     /// event (0.7 for CUBIC, 0.5 for Reno). Set automatically from `cc` by
     /// [`TcpConfig::default`]; override for ablations.
     pub loss_beta: f64,
+    /// If `true`, hosts negotiate ECN (RFC 3168): data segments are sent
+    /// ECN-capable, AQMs in marking mode mark instead of dropping them,
+    /// receivers echo ECE, and senders cut cwnd once per RTT on the echo
+    /// without retransmitting. Off by default (`tcp_ecn=0`-ish), which
+    /// keeps every existing scenario bit-identical.
+    pub ecn: bool,
 }
 
 impl Default for TcpConfig {
@@ -116,6 +125,7 @@ impl Default for TcpConfig {
             metrics_cache: true,
             slow_start_after_idle: false,
             loss_beta: 0.7,
+            ecn: false,
         }
     }
 }

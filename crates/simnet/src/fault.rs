@@ -120,6 +120,24 @@ impl FaultPlan {
         }
     }
 
+    /// A bursts-only plan: transient link loss episodes fire at `rate`
+    /// per check interval with 20% in-burst loss, and every other
+    /// category stays zero. This is the overlay scenario specs use for
+    /// "episodically lossy" regimes — the path itself misbehaves while
+    /// agents, polls and installs stay healthy, so any policy-ranking
+    /// shift is attributable to the wire alone.
+    pub fn loss_bursts(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate {rate} outside [0, 1]"
+        );
+        FaultPlan {
+            burst_start: rate,
+            burst_loss: 0.2,
+            ..FaultPlan::none()
+        }
+    }
+
     /// A plan with every per-opportunity rate set to `rate` — the knob the
     /// `chaos` binary sweeps.
     ///
@@ -465,6 +483,29 @@ mod tests {
         assert!(s.install_delays > 0, "{s:?}");
         assert!(s.crashes > 0, "{s:?}");
         assert!(s.bursts > 0, "{s:?}");
+    }
+
+    #[test]
+    fn loss_bursts_plan_fires_only_the_burst_category() {
+        let plan = FaultPlan::loss_bursts(0.5);
+        plan.validate().unwrap();
+        assert!(plan.is_enabled());
+        let rng = DetRng::from_seed(42);
+        let mut inj = FaultInjector::new(plan, &rng);
+        for _ in 0..400 {
+            inj.observe_fault(8);
+            inj.install_fault();
+            inj.crashes_now();
+            inj.burst_starts(10);
+        }
+        let s = inj.stats();
+        assert!(s.bursts > 0, "{s:?}");
+        assert_eq!(s.observe_timeouts, 0, "{s:?}");
+        assert_eq!(s.observe_partials, 0, "{s:?}");
+        assert_eq!(s.install_errors, 0, "{s:?}");
+        assert_eq!(s.install_delays, 0, "{s:?}");
+        assert_eq!(s.crashes, 0, "{s:?}");
+        assert!(!FaultPlan::loss_bursts(0.0).is_enabled());
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod prelude {
         ChurnFault, FaultInjector, FaultPlan, FaultStats, InstallFault, ObserveFault,
     };
     pub use crate::ids::{ConnId, HostId, PopId, TransferId};
-    pub use crate::link::{PathConfig, PathStats};
+    pub use crate::link::{AqmPolicy, LossCause, PathConfig, PathStats};
     pub use crate::rng::DetRng;
     pub use crate::stats::{ConnStats, TransferRecord, WorldStats};
     pub use crate::time::{SimDuration, SimTime};

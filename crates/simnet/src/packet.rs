@@ -27,6 +27,9 @@ pub struct Segment {
     pub wire_bytes: u32,
     /// Whether this is a retransmission (for stats only).
     pub retransmit: bool,
+    /// Whether the path's AQM set the ECN Congestion Experienced mark
+    /// on this segment (RFC 3168 CE codepoint).
+    pub ecn: bool,
 }
 
 /// Maximum SACK ranges carried per ACK (RFC 2018: three fit alongside
@@ -92,6 +95,9 @@ pub struct Ack {
     pub rwnd: u32,
     /// Selective-acknowledgement ranges (empty unless SACK is enabled).
     pub sack: SackBlocks,
+    /// ECN Echo: the receiver saw a Congestion Experienced mark since
+    /// its last acknowledgement (RFC 3168 ECE flag).
+    pub ece: bool,
 }
 
 impl Ack {
@@ -102,6 +108,7 @@ impl Ack {
             cum_ack,
             rwnd,
             sack: SackBlocks::EMPTY,
+            ece: false,
         }
     }
 }
@@ -133,6 +140,7 @@ mod tests {
             seq: 42,
             wire_bytes: 1500,
             retransmit: false,
+            ecn: false,
         };
         assert_eq!(s.seq, 42);
         assert!(!s.retransmit);

@@ -37,6 +37,10 @@ pub struct ConnStats {
     /// the slash in `retrans:0/N`. The loss signal the guard layer
     /// differentiates.
     pub retransmits: u64,
+    /// Window reductions taken in response to ECN echoes — congestion
+    /// signalled without loss, so this and `retransmits` diverge under a
+    /// marking AQM.
+    pub ece_reductions: u64,
     /// The initial congestion window the connection started with.
     pub initial_cwnd: u32,
     /// When the connection was opened.

@@ -37,6 +37,14 @@ pub trait CongestionControl: fmt::Debug {
     /// (multiplicative decrease; the sender then enters fast recovery).
     fn on_loss(&mut self, now: SimTime);
 
+    /// Called once per RTT when the peer echoes an ECN mark (RFC 3168
+    /// ECE). The default reacts exactly like a loss — the classical
+    /// ECN response — without any retransmission happening; model-based
+    /// controllers may respond more gently.
+    fn on_ecn(&mut self, now: SimTime) {
+        self.on_loss(now);
+    }
+
     /// Called on retransmission timeout (collapse to one segment).
     fn on_timeout(&mut self, now: SimTime);
 
@@ -230,6 +238,203 @@ impl CongestionControl for Cubic {
     }
 }
 
+/// Gain cycle the paced controller walks in steady state: one probing
+/// phase, one draining phase, six cruise phases (BBR's ProbeBW cycle).
+const PACING_GAIN_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// How long a bandwidth-estimate maximum stays valid without being
+/// refreshed, and how often a probing phase re-measures min RTT.
+const BW_FILTER_WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// A BBR-like model-based controller: estimates the bottleneck
+/// bandwidth (windowed-max of delivery-rate samples) and the round-trip
+/// propagation delay (windowed-min of RTT samples), and sets the window
+/// from their product instead of from loss events.
+///
+/// The simulator's sender is window-clocked rather than timer-paced, so
+/// the pacing-gain cycle is expressed through the *window*: each phase
+/// lasts one `rtprop` and scales the BDP-derived window by its gain —
+/// 1.25 probes for more bandwidth, 0.75 drains the queue the probe
+/// built, the remaining six phases cruise at the estimate. Loss barely
+/// moves it (the model, not the loss signal, sets the rate), which is
+/// exactly the behavioural contrast with Reno/CUBIC the scenario matrix
+/// wants; a retransmission timeout still collapses to one segment.
+#[derive(Debug, Clone)]
+pub struct Paced {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Bottleneck bandwidth estimate, segments per second.
+    btl_bw: f64,
+    /// When `btl_bw` was last raised (max-filter freshness).
+    btl_bw_stamp: SimTime,
+    /// Round-trip propagation estimate (min filter over RTT samples).
+    rtprop: Option<SimDuration>,
+    /// Start of the current gain-cycle phase.
+    phase_start: SimTime,
+    /// Index into [`PACING_GAIN_CYCLE`].
+    phase: usize,
+    /// Startup state: double per RTT until the bandwidth estimate stops
+    /// growing, as BBR's Startup does.
+    in_startup: bool,
+    /// Best bandwidth seen while judging startup progress.
+    full_bw: f64,
+    /// Consecutive judgement rounds without ≥ 25% bandwidth growth.
+    full_bw_count: u32,
+    /// Start of the current delivery-rate sampling round.
+    round_start: SimTime,
+    /// Segments acknowledged since `round_start`.
+    round_delivered: f64,
+}
+
+impl Paced {
+    /// Creates a paced controller starting from `initial_cwnd` segments.
+    pub fn new(initial_cwnd: u32, initial_ssthresh: u32) -> Self {
+        Paced {
+            cwnd: initial_cwnd.max(1) as f64,
+            ssthresh: initial_ssthresh as f64,
+            btl_bw: 0.0,
+            btl_bw_stamp: SimTime::ZERO,
+            rtprop: None,
+            phase_start: SimTime::ZERO,
+            phase: 0,
+            in_startup: true,
+            full_bw: 0.0,
+            full_bw_count: 0,
+            round_start: SimTime::ZERO,
+            round_delivered: 0.0,
+        }
+    }
+
+    /// Bandwidth-delay product in segments, once both estimates exist.
+    fn bdp(&self) -> Option<f64> {
+        let rtprop = self.rtprop?;
+        (self.btl_bw > 0.0).then(|| self.btl_bw * rtprop.as_secs_f64())
+    }
+}
+
+impl CongestionControl for Paced {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn in_slow_start(&self) -> bool {
+        // The model's Startup phase, not the cwnd/ssthresh comparison:
+        // in steady state the window cruises below the startup-exit
+        // ssthresh by design.
+        self.in_startup
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, now: SimTime, srtt: Option<SimDuration>) {
+        let Some(srtt) = srtt else {
+            // No RTT sample yet: grow like slow start until the model
+            // has inputs.
+            self.cwnd += newly_acked as f64;
+            return;
+        };
+        // Update the two model filters. Bandwidth is sampled per *round*
+        // — segments delivered over a full smoothed RTT — not per ack: a
+        // single ack covers only its own batch, and dividing that by the
+        // whole RTT undercounts the pipe by the ack rate (a window of 50
+        // acked two segments at a time would measure 2/RTT, collapse the
+        // BDP estimate to ~2 segments, and drag the window down with it).
+        if self.rtprop.is_none_or(|r| srtt < r) {
+            self.rtprop = Some(srtt);
+        }
+        self.round_delivered += newly_acked as f64;
+        let elapsed = now.saturating_since(self.round_start);
+        let round_done = elapsed >= srtt;
+        if round_done {
+            let sample_bw = self.round_delivered / elapsed.as_secs_f64().max(1e-9);
+            if sample_bw >= self.btl_bw
+                || now.saturating_since(self.btl_bw_stamp) > BW_FILTER_WINDOW
+            {
+                self.btl_bw = sample_bw;
+                self.btl_bw_stamp = now;
+            }
+            self.round_delivered = 0.0;
+            self.round_start = now;
+        }
+
+        if self.in_startup {
+            // Double per round trip, exiting when three consecutive
+            // rounds have seen < 25% bandwidth growth (the pipe is full).
+            self.cwnd += newly_acked as f64;
+            if round_done {
+                if self.btl_bw >= self.full_bw * 1.25 {
+                    self.full_bw = self.btl_bw;
+                    self.full_bw_count = 0;
+                } else {
+                    self.full_bw_count += 1;
+                    if self.full_bw_count >= 3 {
+                        self.in_startup = false;
+                        self.ssthresh = self.cwnd;
+                        self.phase_start = now;
+                    }
+                }
+            }
+            return;
+        }
+
+        let Some(bdp) = self.bdp() else { return };
+        // Advance the gain cycle, one rtprop per phase.
+        let rtprop = self.rtprop.expect("bdp() required it");
+        if now.saturating_since(self.phase_start) >= rtprop {
+            self.phase = (self.phase + 1) % PACING_GAIN_CYCLE.len();
+            self.phase_start = now;
+        }
+        // Window from the model: gain × BDP plus headroom so acks keep
+        // flowing (BBR's cwnd_gain floor of ~2 compressed to +2 here —
+        // the sim has no aggregation/offload batching to absorb).
+        let target = (PACING_GAIN_CYCLE[self.phase] * bdp + 2.0).max(4.0);
+        // Move toward the target by at most newly_acked per ack, so the
+        // window stays ack-clocked rather than jumping.
+        let step = newly_acked as f64;
+        if target > self.cwnd {
+            self.cwnd = (self.cwnd + step).min(target);
+        } else {
+            self.cwnd = (self.cwnd - step).max(target);
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        // The model, not the loss, sets the rate: shave a little to
+        // stay live under persistent overload, but no AIMD halving.
+        self.cwnd = (self.cwnd * 0.85).max(4.0);
+        self.ssthresh = self.cwnd;
+        self.in_startup = false;
+    }
+
+    fn on_ecn(&mut self, _now: SimTime) {
+        // Same mild response: the mark confirms a standing queue, which
+        // the 0.75 drain phase already handles in steady state.
+        self.cwnd = (self.cwnd * 0.85).max(4.0);
+        self.ssthresh = self.cwnd;
+        self.in_startup = false;
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.ssthresh = (self.cwnd * 0.5).max(2.0);
+        self.cwnd = 1.0;
+        self.in_startup = true;
+        self.full_bw = 0.0;
+        self.full_bw_count = 0;
+        self.round_start = now;
+        self.round_delivered = 0.0;
+    }
+
+    fn on_idle_restart(&mut self, initial_cwnd: u32) {
+        self.cwnd = self.cwnd.min(initial_cwnd.max(1) as f64);
+    }
+
+    fn name(&self) -> &'static str {
+        "paced"
+    }
+}
+
 /// Builds the controller named by `algo`, starting from `initial_cwnd`.
 pub fn build(
     algo: crate::config::CcAlgorithm,
@@ -239,6 +444,7 @@ pub fn build(
     match algo {
         crate::config::CcAlgorithm::Reno => Box::new(Reno::new(initial_cwnd, initial_ssthresh)),
         crate::config::CcAlgorithm::Cubic => Box::new(Cubic::new(initial_cwnd, initial_ssthresh)),
+        crate::config::CcAlgorithm::Paced => Box::new(Paced::new(initial_cwnd, initial_ssthresh)),
     }
 }
 
@@ -358,6 +564,90 @@ mod tests {
         use crate::config::CcAlgorithm;
         assert_eq!(build(CcAlgorithm::Reno, 10, 100).name(), "reno");
         assert_eq!(build(CcAlgorithm::Cubic, 10, 100).name(), "cubic");
+        assert_eq!(build(CcAlgorithm::Paced, 10, 100).name(), "paced");
+    }
+
+    /// Drives a paced controller to a steady bandwidth: `bw` segments
+    /// per `rtt`, acked once per rtt for `rounds` rounds.
+    fn drive_paced(cc: &mut Paced, bw_per_rtt: u64, rtt_ms: u64, rounds: u32) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for _ in 0..rounds {
+            now += SimDuration::from_millis(rtt_ms);
+            cc.on_ack(bw_per_rtt, now, Some(SimDuration::from_millis(rtt_ms)));
+        }
+        now
+    }
+
+    #[test]
+    fn paced_startup_grows_then_exits() {
+        let mut cc = Paced::new(10, u32::MAX);
+        assert!(cc.in_slow_start());
+        // Constant delivery rate: startup ends after three flat rounds.
+        drive_paced(&mut cc, 50, 40, 10);
+        assert!(!cc.in_slow_start(), "startup exited on flat bandwidth");
+    }
+
+    #[test]
+    fn paced_settles_near_the_bdp() {
+        let mut cc = Paced::new(10, u32::MAX);
+        // 50 segments per 40 ms RTT → BDP is 50 segments.
+        drive_paced(&mut cc, 50, 40, 100);
+        let bdp = 50.0;
+        assert!(
+            cc.cwnd() > bdp * 0.7 && cc.cwnd() < bdp * 1.5,
+            "cwnd {} should track the ~{bdp}-segment BDP",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn paced_shrugs_off_loss_but_collapses_on_timeout() {
+        let mut cc = Paced::new(10, u32::MAX);
+        let now = drive_paced(&mut cc, 50, 40, 100);
+        let before = cc.cwnd();
+        cc.on_loss(now);
+        assert!(
+            cc.cwnd() > before * 0.8,
+            "loss is a nudge, not a halving: {} -> {}",
+            before,
+            cc.cwnd()
+        );
+        cc.on_timeout(now);
+        assert_eq!(cc.cwnd(), 1.0, "RTO still collapses the window");
+    }
+
+    #[test]
+    fn paced_gain_cycle_probes_and_drains() {
+        let mut cc = Paced::new(10, u32::MAX);
+        drive_paced(&mut cc, 50, 40, 20);
+        // Walk whole cycles, recording the window at every phase.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut now = SimTime::from_millis(20 * 40);
+        for _ in 0..64 {
+            now += SimDuration::from_millis(40);
+            cc.on_ack(50, now, Some(SimDuration::from_millis(40)));
+            lo = lo.min(cc.cwnd());
+            hi = hi.max(cc.cwnd());
+        }
+        assert!(
+            hi > lo + 1.0,
+            "the gain cycle should wobble the window: lo {lo} hi {hi}"
+        );
+    }
+
+    #[test]
+    fn default_on_ecn_reacts_like_loss() {
+        let mut reno = Reno::new(100, u32::MAX);
+        reno.on_ecn(SimTime::ZERO);
+        assert_eq!(
+            reno.cwnd(),
+            50.0,
+            "Reno's ECE response is its loss response"
+        );
+        let mut cubic = Cubic::new(100, u32::MAX);
+        cubic.on_ecn(SimTime::ZERO);
+        assert!((cubic.cwnd() - 70.0).abs() < 1e-9);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct Receiver {
     pending: bool,
     /// Invalidates stale delayed-ack timers.
     epoch: u64,
+    /// A Congestion Experienced mark arrived since the last ACK left;
+    /// echo ECE on the next acknowledgement (one-shot — this simulator
+    /// does not model the full CWR handshake).
+    ece_pending: bool,
     segments_received: u64,
     duplicates_received: u64,
 }
@@ -69,6 +73,7 @@ impl Receiver {
             unacked: 0,
             pending: false,
             epoch: 0,
+            ece_pending: false,
             segments_received: 0,
             duplicates_received: 0,
         }
@@ -94,12 +99,15 @@ impl Receiver {
         self.pending
     }
 
-    fn current_ack(&self) -> Ack {
+    fn current_ack(&mut self) -> Ack {
+        let ece = self.ece_pending;
+        self.ece_pending = false;
         Ack {
             conn: self.conn,
             cum_ack: self.cum,
             rwnd: self.rwnd,
             sack: self.sack_blocks(),
+            ece,
         }
     }
 
@@ -132,6 +140,17 @@ impl Receiver {
 
     /// Accepts a data segment and decides how to acknowledge it.
     pub fn on_segment(&mut self, seq: SegIndex) -> AckDecision {
+        self.on_segment_ecn(seq, false)
+    }
+
+    /// [`Receiver::on_segment`] for a segment that may carry an ECN
+    /// Congestion Experienced mark. A marked segment forces an
+    /// immediate ACK carrying ECE — the sender needs the congestion
+    /// signal now, like a dup-ack.
+    pub fn on_segment_ecn(&mut self, seq: SegIndex, ecn: bool) -> AckDecision {
+        if ecn {
+            self.ece_pending = true;
+        }
         let duplicate = seq < self.cum || self.out_of_order.contains(&seq);
         if duplicate {
             self.duplicates_received += 1;
@@ -162,7 +181,7 @@ impl Receiver {
             return self.emit_now();
         }
         self.unacked += 1;
-        if !self.delayed_ack || self.unacked >= 2 {
+        if ecn || !self.delayed_ack || self.unacked >= 2 {
             return self.emit_now();
         }
         self.pending = true;
@@ -372,6 +391,36 @@ mod tests {
             Some((10, 11)),
             "the most recent (highest) range survives"
         );
+    }
+
+    #[test]
+    fn ecn_mark_echoes_ece_once() {
+        let mut r = rx();
+        let a = imm(r.on_segment_ecn(0, true));
+        assert!(a.ece, "mark echoed on the very next ACK");
+        // The echo is one-shot: the following clean ACK is ECE-free.
+        let a = imm(r.on_segment_ecn(1, false));
+        assert!(!a.ece);
+    }
+
+    #[test]
+    fn ecn_mark_forces_immediate_ack_under_delack() {
+        let mut r = rx_delack();
+        // A lone marked segment may not sit behind the delack timer —
+        // the sender needs the congestion signal now.
+        let a = imm(r.on_segment_ecn(0, true));
+        assert!(a.ece);
+    }
+
+    #[test]
+    fn ece_survives_until_an_ack_actually_leaves() {
+        let mut r = rx_delack();
+        // Unmarked lone segment deferred, then a marked one arrives:
+        // the combined ACK carries ECE.
+        assert!(matches!(r.on_segment(0), AckDecision::Deferred { .. }));
+        let a = imm(r.on_segment_ecn(1, true));
+        assert_eq!(a.cum_ack, 2);
+        assert!(a.ece);
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct Sender {
     phase: SenderPhase,
     /// NewReno recovery point: highest sequence sent when loss was detected.
     recover_point: SegIndex,
+    /// ECN recovery point: ECE echoes below this acknowledge the same
+    /// congestion event and trigger no further reduction (one cwnd cut
+    /// per RTT, RFC 3168 §6.1.2).
+    ece_recover_point: SegIndex,
 
     rto_backoff: u32,
     rto_epoch: u64,
@@ -111,6 +115,7 @@ pub struct Sender {
     retransmits_total: u64,
     timeouts_total: u64,
     fast_retransmits_total: u64,
+    ece_reductions_total: u64,
 }
 
 impl Sender {
@@ -141,6 +146,7 @@ impl Sender {
             dup_acks: 0,
             phase: SenderPhase::Open,
             recover_point: 0,
+            ece_recover_point: 0,
             rto_backoff: 0,
             rto_epoch: 0,
             rto_armed: false,
@@ -156,6 +162,7 @@ impl Sender {
             retransmits_total: 0,
             timeouts_total: 0,
             fast_retransmits_total: 0,
+            ece_reductions_total: 0,
         }
     }
 
@@ -242,6 +249,14 @@ impl Sender {
         self.fast_retransmits_total
     }
 
+    /// Total window reductions taken in response to ECN echoes. These
+    /// involve no retransmission — the congestion signal arrives without
+    /// packet loss, which is exactly why ECN and the retransmit counter
+    /// diverge as learning-policy inputs.
+    pub fn ece_reductions_total(&self) -> u64 {
+        self.ece_reductions_total
+    }
+
     /// Current recovery phase.
     pub fn phase(&self) -> SenderPhase {
         self.phase
@@ -321,6 +336,16 @@ impl Sender {
                     self.sacked.insert(seq);
                 }
             }
+        }
+        // ECN echo: cut the window once per round trip (RFC 3168
+        // §6.1.2) without retransmitting anything — the packet was
+        // delivered, only marked. Echoes for the same flight (below the
+        // recovery point) repeat the same congestion event.
+        if ack.ece && ack.cum_ack >= self.ece_recover_point {
+            self.cc.on_ecn(now);
+            self.ssthresh_update = Some(self.ssthresh_segments());
+            self.ece_recover_point = self.next_seq;
+            self.ece_reductions_total += 1;
         }
         if ack.cum_ack > self.cum_acked {
             self.handle_advance(ack.cum_ack, now);
@@ -524,6 +549,66 @@ mod tests {
 
     fn ack(cum: SegIndex) -> Ack {
         Ack::plain(crate::ids::ConnId::from_index(0), cum, 1000)
+    }
+
+    fn ece_ack(cum: SegIndex) -> Ack {
+        Ack {
+            ece: true,
+            ..ack(cum)
+        }
+    }
+
+    #[test]
+    fn ece_reduces_cwnd_without_retransmitting() {
+        let mut s = sender_with_iw(10);
+        s.write(100, SimTime::ZERO);
+        s.take_outbox();
+        let before = s.cwnd_segments();
+        s.on_ack(ece_ack(5), SimTime::from_millis(100));
+        assert!(
+            s.cwnd_segments() < before,
+            "window cut: {} -> {}",
+            before,
+            s.cwnd_segments()
+        );
+        assert_eq!(s.ece_reductions_total(), 1);
+        assert_eq!(s.retransmits_total(), 0, "nothing was lost");
+        assert_eq!(s.phase(), SenderPhase::Open, "no recovery episode");
+        assert!(
+            s.take_outbox().iter().all(|o| !o.retransmit),
+            "only fresh data after an ECE"
+        );
+    }
+
+    #[test]
+    fn ece_cuts_at_most_once_per_rtt() {
+        let mut s = sender_with_iw(10);
+        s.write(100, SimTime::ZERO);
+        s.take_outbox();
+        s.on_ack(ece_ack(2), SimTime::from_millis(50));
+        let after_first = s.cwnd_segments();
+        // More ECE echoes from the same flight: same congestion event.
+        s.on_ack(ece_ack(4), SimTime::from_millis(60));
+        s.on_ack(ece_ack(6), SimTime::from_millis(70));
+        assert_eq!(s.ece_reductions_total(), 1);
+        assert!(s.cwnd_segments() >= after_first.saturating_sub(1));
+        // Once the post-cut flight is acknowledged, a new echo counts.
+        let flight_end = s.stream_end().min(s.cum_acked() + s.in_flight());
+        s.on_ack(ack(flight_end), SimTime::from_millis(150));
+        s.take_outbox();
+        s.on_ack(ece_ack(flight_end + 1), SimTime::from_millis(250));
+        assert_eq!(s.ece_reductions_total(), 2);
+    }
+
+    #[test]
+    fn ece_records_ssthresh_for_the_metrics_cache() {
+        let mut s = sender_with_iw(10);
+        s.write(100, SimTime::ZERO);
+        s.take_outbox();
+        assert!(s.take_ssthresh_update().is_none());
+        s.on_ack(ece_ack(5), SimTime::from_millis(100));
+        let cached = s.take_ssthresh_update().expect("ECE updates the cache");
+        assert!(cached >= 1);
     }
 
     #[test]

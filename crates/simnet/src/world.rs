@@ -561,6 +561,7 @@ impl World {
             srtt: c.sender.srtt(),
             bytes_acked: c.sender.cum_acked() * self.cfg.mss as u64,
             retransmits: c.sender.retransmits_total(),
+            ece_reductions: c.sender.ece_reductions_total(),
             initial_cwnd: c.initial_cwnd,
             opened_at: c.opened_at,
             established_at: c.established_at,
@@ -650,7 +651,10 @@ impl World {
                 seq: seg.seq,
             },
         );
-        match self.conns[seg.conn.index()].receiver.on_segment(seg.seq) {
+        match self.conns[seg.conn.index()]
+            .receiver
+            .on_segment_ecn(seg.seq, seg.ecn)
+        {
             crate::tcp::receiver::AckDecision::Immediate(ack) => {
                 self.send_ack_back(seg.conn, ack);
             }
@@ -756,6 +760,7 @@ impl World {
             let c = &self.conns[conn.index()];
             (c.fwd_path, self.cfg.wire_bytes())
         };
+        let ecn_capable = self.cfg.ecn;
         let mut outbox = std::mem::take(&mut self.outbox_scratch);
         outbox.clear();
         self.conns[conn.index()]
@@ -776,8 +781,8 @@ impl World {
                         retransmit: out.retransmit,
                     });
                 }
-                match path.admit(self.now, wire_bytes) {
-                    Admission::Deliver { arrival } => {
+                match path.admit_ect(self.now, wire_bytes, ecn_capable) {
+                    Admission::Deliver { arrival, ecn } => {
                         self.queue.schedule(
                             arrival,
                             Event::Segment(Segment {
@@ -785,6 +790,7 @@ impl World {
                                 seq: out.seq,
                                 wire_bytes,
                                 retransmit: out.retransmit,
+                                ecn,
                             }),
                         );
                     }
@@ -798,7 +804,7 @@ impl World {
                             });
                         }
                     }
-                    Admission::LostOverflow => {
+                    Admission::LostOverflow | Admission::LostAqm => {
                         if tracing {
                             trace_events.push(TraceEvent::SegmentDropped {
                                 at: self.now,

@@ -21,6 +21,7 @@ fn observe_steady() -> Vec<CwndObservation> {
             cwnd,
             bytes_acked: 5 << 20,
             retrans: 0,
+            ecn_marks: 0,
         })
         .collect()
 }
@@ -69,6 +70,7 @@ fn main() {
             cwnd: 200,
             bytes_acked: 5 << 20,
             retrans: 0,
+            ecn_marks: 0,
         }]
     });
     agent.tick(SimTime::from_secs(3), &mut shifted, &mut controller);

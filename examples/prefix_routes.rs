@@ -25,6 +25,7 @@ fn observations() -> Vec<CwndObservation> {
             cwnd: 40 + (i % 41),
             bytes_acked: 1_000_000,
             retrans: 0,
+            ecn_marks: 0,
         })
         .collect()
 }

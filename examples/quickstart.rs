@@ -42,6 +42,7 @@ fn main() {
                 cwnd,
                 bytes_acked: 5_000_000,
                 retrans: 0,
+                ecn_marks: 0,
             })
             .collect()
     });

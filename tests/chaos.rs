@@ -59,6 +59,7 @@ fn agent_survives_flaky_route_control() {
                     cwnd: 40 + t as u32 + i as u32, // keeps changing -> keeps installing
                     bytes_acked: 1 << 20,
                     retrans: 0,
+                    ecn_marks: 0,
                 })
                 .collect()
         });
@@ -130,6 +131,7 @@ fn learned_windows_track_a_path_that_degrades() {
                     cwnd: s.cwnd,
                     bytes_acked: s.bytes_acked,
                     retrans: s.retransmits,
+                    ecn_marks: s.ece_reductions,
                 })
                 .collect();
             let mut o = FnObserver(move || obs.clone());
@@ -214,6 +216,7 @@ fn degenerate_observations_clamp_to_floor() {
             cwnd: 0,
             bytes_acked: 0,
             retrans: 0,
+            ecn_marks: 0,
         }]
     });
     agent.tick(SimTime::from_secs(1), &mut observer, &mut routes);
@@ -243,6 +246,7 @@ fn expiry_storm_after_total_silence() {
                 cwnd: 50,
                 bytes_acked: 1,
                 retrans: 0,
+                ecn_marks: 0,
             })
             .collect()
     });

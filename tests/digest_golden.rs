@@ -48,6 +48,7 @@ fn all_plan_digests() -> String {
         RunPlan::traffic_profile(&scale),
         RunPlan::convergence(&scale, SimDuration::from_secs(120)),
         RunPlan::policy_ablation(&scale, 1),
+        RunPlan::scenario_matrix(&scale, 1),
     ];
     let mut out = String::new();
     for plan in &plans {

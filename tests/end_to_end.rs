@@ -227,6 +227,7 @@ fn agent_commands_round_trip_through_ip_route_syntax() {
                 cwnd: 30 + i as u32 * 5,
                 bytes_acked: 1 << 20,
                 retrans: 0,
+                ecn_marks: 0,
             })
             .collect()
     });

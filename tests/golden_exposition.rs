@@ -30,6 +30,7 @@ fn obs(dst: [u8; 4], cwnd: u32, retrans: u64) -> CwndObservation {
         cwnd,
         bytes_acked: 1_000_000,
         retrans,
+        ecn_marks: 0,
     }
 }
 

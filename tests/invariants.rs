@@ -261,6 +261,7 @@ proptest! {
                 cwnd,
                 bytes_acked: bytes,
                 retrans: 0,
+                ecn_marks: 0,
             })
             .collect();
         let lo = group.iter().map(|o| o.cwnd as f64).fold(f64::MAX, f64::min);
@@ -876,6 +877,7 @@ proptest! {
                         cwnd,
                         bytes_acked,
                         retrans,
+                        ecn_marks: 0,
                     })
                     .collect();
                 let mut observer = FnObserver(|| batch.clone());
@@ -944,6 +946,7 @@ proptest! {
                     last = policy.observe(&mut state, &PolicyInput {
                         fresh: (rng >> 40) as f64 / 16.0 + 1.0,
                         retrans: (rng >> 20) & 0x3,
+                        ecn_marks: 0,
                         bytes_acked: 1 << 20,
                     });
                 }
